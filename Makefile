@@ -1,0 +1,54 @@
+# Reproduction workflow targets. Everything is stdlib-only Go; no
+# network access is required.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz verify examples report clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/crawler/ ./internal/gplusd/ ./internal/graph/
+
+# One benchmark per table and figure, headline values as custom metrics.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Design-choice ablations and the methodology/future-work experiments.
+ablations:
+	$(GO) test -bench='Ablation|SamplingBias|SeedSensitivity|Growth|Stream|Recommendation' -benchtime=1x .
+
+fuzz:
+	$(GO) test -fuzz=FuzzParseProfileHTML -fuzztime=30s ./internal/gplusapi/
+	$(GO) test -fuzz=FuzzToProfile -fuzztime=30s ./internal/gplusapi/
+	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/graph/
+	$(GO) test -fuzz=FuzzReadResult -fuzztime=30s ./internal/crawler/
+
+# Generate a dataset and audit it against the paper's published claims.
+verify:
+	$(GO) run ./cmd/gplusgen -nodes 100000 -out /tmp/gplus-verify-data
+	$(GO) run ./cmd/gplusverify -data /tmp/gplus-verify-data
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/crawlpipeline
+	$(GO) run ./examples/privacystudy
+	$(GO) run ./examples/geostudy
+	$(GO) run ./examples/growthstudy
+	$(GO) run ./examples/streamstudy
+	$(GO) run ./examples/recommendstudy
+
+# Full Markdown report (EXPERIMENTS-style) from a fresh dataset.
+report:
+	$(GO) run ./cmd/gplusgen -nodes 100000 -out /tmp/gplus-report-data
+	$(GO) run ./cmd/gplusanalyze -data /tmp/gplus-report-data -format md
+
+clean:
+	rm -rf /tmp/gplus-verify-data /tmp/gplus-report-data

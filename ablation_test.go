@@ -1,0 +1,310 @@
+package gplus
+
+// Ablation benchmarks: each one disables a single mechanism of the
+// synthetic-universe generator and reports how the corresponding paper
+// observable degrades. They document *why* the generator has each knob —
+// run with `go test -bench=Ablation -benchtime=1x`.
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+
+	"gplus/internal/core"
+	"gplus/internal/crawler"
+	"gplus/internal/dataset"
+	"gplus/internal/gplusd"
+	"gplus/internal/graph"
+	"gplus/internal/growth"
+	"gplus/internal/recommend"
+	"gplus/internal/sampling"
+	"gplus/internal/stream"
+	"gplus/internal/synth"
+	"net/http/httptest"
+)
+
+const ablationNodes = 30_000
+
+func ablationStudy(b *testing.B, mutate func(*synth.Config)) *core.Study {
+	b.Helper()
+	cfg := synth.DefaultConfig(ablationNodes)
+	cfg.Seed = 1234
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	u, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.New(dataset.FromUniverse(u), core.Options{
+		Seed: 5, PathSources: 64, ClusteringSample: 20_000, PairSample: 20_000,
+	})
+}
+
+// BenchmarkAblationCommunities shows that without tight communities the
+// clustering coefficient of Figure 4(b) collapses.
+func BenchmarkAblationCommunities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ablationStudy(b, nil).Clustering()
+		without := ablationStudy(b, func(c *synth.Config) {
+			c.CommunityAffinity = 0 // local picks spread over the country
+			c.TriadicShare = 0      // and no triadic closure
+		}).Clustering()
+		if i == 0 {
+			b.ReportMetric(100*with.FractionAbove02, "CC>0.2-with-%")
+			b.ReportMetric(100*without.FractionAbove02, "CC>0.2-without-%")
+		}
+	}
+}
+
+// BenchmarkAblationDomesticPA shows that without domestic preferential
+// attachment the Figure 10 self-loop structure flattens.
+func BenchmarkAblationDomesticPA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ablationStudy(b, nil).CountryLinks()
+		without := ablationStudy(b, func(c *synth.Config) {
+			c.PADomestic = 0
+		}).CountryLinks()
+		if i == 0 {
+			b.ReportMetric(with.SelfLoop("US"), "US-selfloop-with")
+			b.ReportMetric(without.SelfLoop("US"), "US-selfloop-without")
+		}
+	}
+}
+
+// BenchmarkAblationCelebrities shows that without the celebrity weight
+// tail, Table 1's hub list loses its public figures and the in-degree
+// tail shortens.
+func BenchmarkAblationCelebrities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ablationStudy(b, nil)
+		without := ablationStudy(b, func(c *synth.Config) {
+			c.CelebrityFraction = 0
+		})
+		if i == 0 {
+			b.ReportMetric(float64(with.TopUsers(1)[0].InDegree), "top-indegree-with")
+			b.ReportMetric(float64(without.TopUsers(1)[0].InDegree), "top-indegree-without")
+		}
+	}
+}
+
+// BenchmarkAblationEdgeTypeReciprocation shows that flattening the
+// per-edge-type reciprocation (every edge reciprocated with the same
+// probability) destroys the coexistence of high per-node RR with low
+// global reciprocity that Figure 4(a) and Table 4 report together.
+func BenchmarkAblationEdgeTypeReciprocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ablationStudy(b, nil).Reciprocity()
+		flat := ablationStudy(b, func(c *synth.Config) {
+			// One flat probability everywhere.
+			p := 0.19 // tuned to land the same global reciprocity
+			c.ReciprocationLocal = p
+			c.ReciprocationTriadic = p
+			c.ReciprocationGlobal = p
+			c.ReciprocationCelebrity = p
+			c.CasualResponse = 1
+		}).Reciprocity()
+		if i == 0 {
+			b.ReportMetric(100*with.FractionAbove06, "RR>0.6-typed-%")
+			b.ReportMetric(100*flat.FractionAbove06, "RR>0.6-flat-%")
+			b.ReportMetric(100*with.Global, "global-typed-%")
+			b.ReportMetric(100*flat.Global, "global-flat-%")
+		}
+	}
+}
+
+// BenchmarkAblationUnidirectionalCrawl reproduces §2.2's motivation for
+// the *bidirectional* BFS: crawling only out-circles loses the edges the
+// in-circle lists would have recovered under the cap.
+func BenchmarkAblationUnidirectionalCrawl(b *testing.B) {
+	cfg := synth.DefaultConfig(6_000)
+	cfg.Seed = 11
+	u, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(gplusd.New(u, gplusd.Options{CircleCap: 100}))
+	defer ts.Close()
+	seed := u.IDs[graph.TopByInDegree(u.Graph, 1)[0]]
+
+	crawlEdges := func(fetchIn bool) int64 {
+		res, err := crawler.Crawl(context.Background(), crawler.Config{
+			BaseURL: ts.URL,
+			Seeds:   []string{seed},
+			Workers: 8,
+			FetchIn: fetchIn, FetchOut: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return dataset.FromCrawl(res).Graph.NumEdges()
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bidi := crawlEdges(true)
+		uni := crawlEdges(false)
+		if i == 0 {
+			b.ReportMetric(float64(bidi), "edges-bidirectional")
+			b.ReportMetric(float64(uni), "edges-out-only")
+			b.ReportMetric(100*(1-float64(uni)/float64(bidi)), "edges-lost-%")
+		}
+	}
+}
+
+// BenchmarkSamplingBias reproduces the §2.2 methodology caveat: BFS and
+// plain random walks over-sample hubs; Metropolis-Hastings re-weighting
+// does not.
+func BenchmarkSamplingBias(b *testing.B) {
+	cfg := synth.DefaultConfig(ablationNodes)
+	u, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := graph.TopByInDegree(u.Graph, 1)[0]
+	rng := rand.New(rand.NewPCG(2, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bfs := sampling.MeasureBias(u.Graph, sampling.BFS, seed, 3000, rng)
+		mh := sampling.MeasureBias(u.Graph, sampling.MetropolisHastings, seed, 3000, rng)
+		uni := sampling.MeasureBias(u.Graph, sampling.Uniform, seed, 3000, rng)
+		if i == 0 {
+			b.ReportMetric(bfs.Inflation, "bfs-degree-inflation")
+			b.ReportMetric(mh.Inflation, "mh-degree-inflation")
+			b.ReportMetric(uni.Inflation, "uniform-degree-inflation")
+		}
+	}
+}
+
+// BenchmarkSeedSensitivity runs the comparison the paper could not
+// (§2.2: "We could not repeat the crawl with randomly chosen seed nodes,
+// because numeric user IDs were not supported"): two budget-limited
+// crawls from very different seeds — the most popular user versus an
+// ordinary one — and measures how far apart the collected datasets land.
+func BenchmarkSeedSensitivity(b *testing.B) {
+	cfg := synth.DefaultConfig(10_000)
+	cfg.Seed = 77
+	u, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(gplusd.New(u, gplusd.Options{}))
+	defer ts.Close()
+
+	popular := u.IDs[graph.TopByInDegree(u.Graph, 1)[0]]
+	// An ordinary seed: a node with a median-ish degree.
+	ordinary := ""
+	for i := 0; i < u.NumUsers(); i++ {
+		if u.Graph.OutDegree(graph.NodeID(i)) == 5 {
+			ordinary = u.IDs[i]
+			break
+		}
+	}
+	if ordinary == "" {
+		b.Fatal("no ordinary seed found")
+	}
+
+	crawlStudy := func(seed string) *core.Study {
+		res, err := crawler.Crawl(context.Background(), crawler.Config{
+			BaseURL:     ts.URL,
+			Seeds:       []string{seed},
+			Workers:     8,
+			MaxProfiles: 3_000,
+			FetchIn:     true, FetchOut: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return core.New(dataset.FromCrawl(res), core.Options{
+			Seed: 3, PathSources: 32, ClusteringSample: 5_000, PairSample: 5_000,
+		})
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sPop := crawlStudy(popular)
+		sOrd := crawlStudy(ordinary)
+		if i == 0 {
+			rPop, rOrd := sPop.Reciprocity().Global, sOrd.Reciprocity().Global
+			b.ReportMetric(100*rPop, "reciprocity-popular-seed-%")
+			b.ReportMetric(100*rOrd, "reciprocity-ordinary-seed-%")
+			b.ReportMetric(sPop.Topology(context.Background()).AvgDegree, "avgdeg-popular-seed")
+			b.ReportMetric(sOrd.Topology(context.Background()).AvgDegree, "avgdeg-ordinary-seed")
+		}
+	}
+}
+
+// BenchmarkStreamCascades regenerates the §7 content-sharing study:
+// prolific-user concentration, public-versus-circles reach, and the
+// reshare cascade tail.
+func BenchmarkStreamCascades(b *testing.B) {
+	cfg := synth.DefaultConfig(20_000)
+	u, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.FromUniverse(u)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := stream.Simulate(ds, stream.DefaultConfig(20_000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reach := res.ReachByVisibility()
+			b.ReportMetric(100*res.Concentration(1), "top1pct-posts-%")
+			b.ReportMetric(reach[stream.Public], "public-reach")
+			b.ReportMetric(reach[stream.Circles], "circles-reach")
+		}
+	}
+}
+
+// BenchmarkRecommendation regenerates the §6 implication: domestic
+// candidate restriction boosts friend-recommendation precision for
+// inward-looking countries far more than for outward-looking ones.
+func BenchmarkRecommendation(b *testing.B) {
+	u, err := synth.Generate(synth.DefaultConfig(20_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.FromUniverse(u)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := func(mode recommend.Mode, countries []string) float64 {
+			res, err := recommend.Evaluate(ds, mode, recommend.EvalOptions{
+				Holdout: 400, K: 10, Seed: 17, Countries: countries, LocatedOnly: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.HitRate()
+		}
+		inGain := run(recommend.Domestic, []string{"BR", "IN"}) - run(recommend.Global, []string{"BR", "IN"})
+		outGain := run(recommend.Domestic, []string{"GB", "CA"}) - run(recommend.Global, []string{"GB", "CA"})
+		if i == 0 {
+			b.ReportMetric(inGain, "domestic-gain-inward")
+			b.ReportMetric(outGain, "domestic-gain-outward")
+		}
+	}
+}
+
+// BenchmarkGrowthDensification regenerates the §7 future-work study: the
+// densification exponent and the phase-transition epoch.
+func BenchmarkGrowthDensification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		snaps, err := growth.Simulate(growth.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fit, err := growth.DensificationFit(snaps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(fit.Slope, "densification-exponent")
+			if epoch, ok := growth.TippingPoint(snaps); ok {
+				b.ReportMetric(float64(epoch), "tipping-epoch")
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command gplusanalyze runs the full study over a saved dataset and
+// prints every table and figure of the paper.
+//
+// Usage:
+//
+//	gplusanalyze -data ./data                  # all experiments
+//	gplusanalyze -data ./data -only table4,fig5
+//	gplusanalyze -data ./data -baselines       # include Table 4 baselines
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"gplus/internal/core"
+	"gplus/internal/dataset"
+	"gplus/internal/report"
+	"gplus/internal/synth"
+)
+
+func main() {
+	var (
+		dataDir   = flag.String("data", "data", "dataset directory (from gpluscrawl or gplusgen)")
+		only      = flag.String("only", "", "comma-separated experiment ids (table1..table5, fig2..fig10, lostedges); empty = all")
+		baselines = flag.Bool("baselines", false, "regenerate Twitter/Facebook/Orkut-like baselines for Table 4")
+		seed      = flag.Uint64("analysis-seed", 2012, "seed for sampled analyses")
+		circleCap = flag.Int("cap", 10_000, "assumed circle cap for the lost-edge estimate")
+		format    = flag.String("format", "text", "output format: text or md (full Markdown report with audit)")
+		plotDir   = flag.String("plotdir", "", "also write gnuplot-ready figure data + plots.gp here")
+	)
+	flag.Parse()
+
+	ds, err := dataset.Load(*dataDir)
+	if err != nil {
+		log.Fatalf("loading dataset: %v", err)
+	}
+	log.Printf("dataset: %d users (%d crawled), %d edges",
+		ds.NumUsers(), ds.NumCrawled(), ds.Graph.NumEdges())
+
+	study := core.New(ds, core.Options{Seed: *seed})
+	ctx := context.Background()
+	w := os.Stdout
+
+	if *plotDir != "" {
+		if err := report.WritePlotData(ctx, *plotDir, study); err != nil {
+			log.Fatalf("plot data: %v", err)
+		}
+		log.Printf("wrote figure data + plots.gp -> %s", *plotDir)
+	}
+
+	if *format == "md" {
+		if err := report.Markdown(ctx, w, study); err != nil {
+			log.Fatalf("markdown report: %v", err)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	run := func(id string, fn func()) {
+		if len(want) > 0 && !want[id] {
+			return
+		}
+		fn()
+		fmt.Fprintln(w)
+	}
+
+	run("table1", func() { report.Table1(w, study.TopUsers(20)) })
+	run("table2", func() { report.Table2(w, study.AttributeTable()) })
+	run("table3", func() { report.Table3(w, study.TelUsers()) })
+	run("table4", func() {
+		rows := []core.TopologyRow{study.Topology(ctx)}
+		if *baselines {
+			n := ds.NumUsers() / 3
+			if n < 1000 {
+				n = 1000
+			}
+			for _, kind := range []synth.Baseline{synth.TwitterLike, synth.FacebookLike, synth.OrkutLike} {
+				g, err := synth.GenerateBaseline(kind, n, *seed)
+				if err != nil {
+					log.Fatalf("baseline %v: %v", kind, err)
+				}
+				rows = append(rows, study.BaselineTopology(ctx, kind.String(), g))
+			}
+		}
+		report.Table4(w, rows)
+	})
+	run("table5", func() { report.Table5(w, study.TopOccupationsByCountry(10)) })
+
+	run("fig2", func() { report.Fig2(w, study.FieldsShared()) })
+	run("fig3", func() {
+		dd, err := study.Degrees()
+		if err != nil {
+			log.Fatalf("degrees: %v", err)
+		}
+		report.Fig3(w, dd)
+	})
+	run("fig4", func() { report.Fig4(w, study.Reciprocity(), study.Clustering(), study.SCC()) })
+	run("fig5", func() { report.Fig5(w, study.PathLengths(ctx)) })
+	run("fig6", func() { report.Fig6(w, study.TopCountries(11)) })
+	run("fig7", func() { report.Fig7(w, study.Penetration()) })
+	run("fig8", func() { report.Fig8(w, study.FieldsByCountry(nil)) })
+	run("fig9", func() { report.Fig9(w, study.PathMiles(), study.AveragePathMiles()) })
+	run("fig10", func() { report.Fig10(w, study.CountryLinks()) })
+	run("connectivity", func() { report.Connectivity(w, study.WCC(), study.SCC()) })
+	run("lostedges", func() { report.LostEdges(w, study.LostEdges(*circleCap)) })
+}

@@ -1,0 +1,57 @@
+// Command gplusd runs the Google+ service simulator: it generates a
+// synthetic universe and serves profile pages, paginated circle lists
+// (with the 10,000-entry cap), a /stats ground-truth endpoint, and a
+// /seed endpoint naming a popular user to start crawls from.
+//
+// Usage:
+//
+//	gplusd -nodes 100000 -seed 2011 -addr :8041 -rate 500
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"gplus/internal/gplusd"
+	"gplus/internal/synth"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 50_000, "users in the synthetic universe")
+		seed      = flag.Uint64("seed", 2011, "generation seed")
+		addr      = flag.String("addr", "127.0.0.1:8041", "listen address")
+		circleCap = flag.Int("cap", 10_000, "circle list cap (-1 disables)")
+		pageSize  = flag.Int("page", 1000, "circle page size")
+		rate      = flag.Float64("rate", 0, "per-crawler rate limit (req/s, 0 disables)")
+		faultRate = flag.Float64("fault", 0, "transient 503 probability")
+	)
+	flag.Parse()
+
+	log.Printf("generating universe: %d nodes (seed %d)...", *nodes, *seed)
+	start := time.Now()
+	cfg := synth.DefaultConfig(*nodes)
+	cfg.Seed = *seed
+	u, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	log.Printf("generated %d users, %d edges in %v", u.NumUsers(), u.Graph.NumEdges(), time.Since(start))
+
+	srv := gplusd.New(u, gplusd.Options{
+		CircleCap:     *circleCap,
+		PageSize:      *pageSize,
+		RatePerSecond: *rate,
+		FaultRate:     *faultRate,
+		FaultSeed:     *seed,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("serving %s on http://%s", srv, ln.Addr())
+	log.Fatal(http.Serve(ln, srv))
+}

@@ -1,0 +1,69 @@
+// Command gplusverify evaluates a dataset against the paper's published
+// findings and reports pass/fail per check — the automated reproduction
+// audit behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	gplusverify -data ./data
+//
+// Exit status is non-zero when any check fails.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gplus/internal/core"
+	"gplus/internal/dataset"
+	"gplus/internal/paper"
+)
+
+func main() {
+	var (
+		dataDir = flag.String("data", "data", "dataset directory")
+		seed    = flag.Uint64("analysis-seed", 2012, "seed for sampled analyses")
+	)
+	flag.Parse()
+
+	ds, err := dataset.Load(*dataDir)
+	if err != nil {
+		log.Fatalf("loading dataset: %v", err)
+	}
+	log.Printf("verifying dataset: %d users, %d edges", ds.NumUsers(), ds.Graph.NumEdges())
+
+	study := core.New(ds, core.Options{Seed: *seed})
+	results, err := paper.Collect(context.Background(), study)
+	if err != nil {
+		log.Fatalf("collecting analyses: %v", err)
+	}
+
+	outcomes := paper.Evaluate(results)
+	failed := 0
+	fmt.Printf("%-26s %-8s %10s %10s  %s\n", "check", "status", "paper", "measured", "claim")
+	for _, o := range outcomes {
+		status := "PASS"
+		if !o.Pass {
+			status = "FAIL"
+			failed++
+		}
+		if o.Check.IsOrdering() {
+			fmt.Printf("%-26s %-8s %10s %10s  %s\n", o.Check.ID, status, "-", holds(o.Pass), o.Check.Claim)
+		} else {
+			fmt.Printf("%-26s %-8s %10.4f %10.4f  %s\n", o.Check.ID, status, o.Check.Published, o.Measured, o.Check.Claim)
+		}
+	}
+	fmt.Printf("\n%d/%d checks passed\n", len(outcomes)-failed, len(outcomes))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func holds(pass bool) string {
+	if pass {
+		return "holds"
+	}
+	return "violated"
+}

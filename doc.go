@@ -1,0 +1,11 @@
+// Package gplus reproduces "New Kid on the Block: Exploring the Google+
+// Social Graph" (Magno, Comarela, Saez-Trumper, Cha, Almeida — IMC 2012)
+// as a Go library: a calibrated synthetic Google+ service, the paper's
+// bidirectional BFS crawler, and the full analysis suite behind every
+// table and figure of the study.
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// benchmark per table and figure, each reporting its headline
+// measurements as benchmark metrics. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-versus-measured results.
+package gplus

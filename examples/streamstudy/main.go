@@ -1,0 +1,74 @@
+// Stream study: the paper's second future-work direction (§7) — how
+// openness and privacy settings shape content sharing. Simulates the
+// §2.1 content layer (posts, per-post visibility, +1s, reshares) over a
+// synthetic population and reports diffusion patterns.
+//
+//	go run ./examples/streamstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gplus/internal/dataset"
+	"gplus/internal/stats"
+	"gplus/internal/stream"
+	"gplus/internal/synth"
+)
+
+func main() {
+	universe, err := synth.Generate(synth.DefaultConfig(30_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := dataset.FromUniverse(universe)
+	res, err := stream.Simulate(ds, stream.DefaultConfig(50_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("simulated %d posts by %d distinct authors\n", len(res.Posts), len(res.PostsByAuthor))
+
+	// Prolific-user concentration: a tiny elite produces most content.
+	fmt.Printf("content concentration: top 1%% of posters wrote %.0f%%, top 10%% wrote %.0f%%\n",
+		100*res.Concentration(1), 100*res.Concentration(10))
+
+	// Openness and information flow: public posts travel much further.
+	reach := res.ReachByVisibility()
+	fmt.Printf("mean reach: public %.1f users vs circles-limited %.1f users\n",
+		reach[stream.Public], reach[stream.Circles])
+
+	// Cascade structure: heavy-tailed reshare trees.
+	ccdf := res.CascadeSizeCCDF()
+	if len(ccdf) > 0 {
+		fmt.Printf("reshare cascades: %d formed; largest %d reshares; P(size >= 5) = %.3f\n",
+			countCascades(res), int(ccdf[len(ccdf)-1].X), at(ccdf, 5))
+	}
+	var deepest int
+	for _, p := range res.Posts {
+		if p.Depth > deepest {
+			deepest = p.Depth
+		}
+	}
+	fmt.Printf("deepest reshare chain: %d hops\n", deepest)
+}
+
+func countCascades(res *stream.Result) int {
+	n := 0
+	for _, p := range res.Posts {
+		if p.Reshares > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// at evaluates a CCDF point series at x.
+func at(pts []stats.Point, x float64) float64 {
+	for _, p := range pts {
+		if p.X >= x {
+			return p.Y
+		}
+	}
+	return 0
+}

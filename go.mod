@@ -1,0 +1,3 @@
+module gplus
+
+go 1.22

@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"gplus/internal/core"
+	"gplus/internal/dataset"
+	"gplus/internal/synth"
+)
+
+// Generate a small calibrated universe and reproduce two headline
+// statistics of the study.
+func Example() {
+	universe, err := synth.Generate(synth.DefaultConfig(5_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	study := core.New(dataset.FromUniverse(universe), core.Options{Seed: 1})
+
+	rec := study.Reciprocity()
+	fmt.Printf("reciprocity band ok: %v\n", rec.Global > 0.2 && rec.Global < 0.45)
+
+	table2 := study.AttributeTable()
+	fmt.Printf("name always public: %v\n", table2[0].Fraction == 1)
+	// Output:
+	// reciprocity band ok: true
+	// name always public: true
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"context"
+	"math/rand/v2"
+
+	"gplus/internal/graph"
+	"gplus/internal/stats"
+)
+
+// DegreeDistributions is Figure 3: the in- and out-degree CCDFs with the
+// paper's log-log power-law fits plus maximum-likelihood cross-checks.
+type DegreeDistributions struct {
+	In, Out []stats.Point
+	// InFit and OutFit are the paper's estimator: least squares over the
+	// log-log CCDF (§3.3.1).
+	InFit, OutFit stats.PowerLawFit
+	// InMLE and OutMLE are Clauset-style tail MLE estimates of the same
+	// CCDF exponents, with asymptotic standard errors — the estimator the
+	// later literature recommends over regression.
+	InMLE, OutMLE       float64
+	InMLEErr, OutMLEErr float64
+}
+
+// degreeMLEXmin is the tail cutoff for the MLE cross-check; it skips the
+// flattened head of the degree curves.
+const degreeMLEXmin = 10
+
+// Degrees computes Figure 3 over the full graph.
+func (s *Study) Degrees() (DegreeDistributions, error) {
+	inDegs := graph.InDegrees(s.ds.Graph)
+	outDegs := graph.OutDegrees(s.ds.Graph)
+	in := stats.CCDFInts(inDegs)
+	out := stats.CCDFInts(outDegs)
+	inFit, err := stats.FitPowerLawCCDF(in, 1)
+	if err != nil {
+		return DegreeDistributions{}, err
+	}
+	outFit, err := stats.FitPowerLawCCDF(out, 1)
+	if err != nil {
+		return DegreeDistributions{}, err
+	}
+	dd := DegreeDistributions{In: in, Out: out, InFit: inFit, OutFit: outFit}
+	// The MLE cross-check is best-effort: tiny datasets may lack a tail.
+	if a, se, err := stats.FitDegreesMLE(inDegs, degreeMLEXmin); err == nil {
+		dd.InMLE, dd.InMLEErr = a, se
+	}
+	if a, se, err := stats.FitDegreesMLE(outDegs, degreeMLEXmin); err == nil {
+		dd.OutMLE, dd.OutMLEErr = a, se
+	}
+	return dd, nil
+}
+
+// WCCResult is the §3.3.4 weak-connectivity check: a bidirectional
+// snowball crawl yields a single weakly connected component by
+// construction.
+type WCCResult struct {
+	Count         int
+	GiantSize     int
+	GiantFraction float64
+}
+
+// WCC computes weak connectivity over the full graph.
+func (s *Study) WCC() WCCResult {
+	res := graph.WCC(s.ds.Graph)
+	out := WCCResult{Count: res.Count, GiantSize: res.GiantSize()}
+	if n := s.ds.NumUsers(); n > 0 {
+		out.GiantFraction = float64(out.GiantSize) / float64(n)
+	}
+	return out
+}
+
+// ReciprocityResult is Figure 4(a) plus the Table 4 global figure.
+type ReciprocityResult struct {
+	// CDF is the distribution of per-node RR(u) over nodes with
+	// out-edges.
+	CDF []stats.Point
+	// Global is the fraction of edges that are reciprocated.
+	Global float64
+	// FractionAbove06 is the paper's headline: the share of users with
+	// RR > 0.6.
+	FractionAbove06 float64
+}
+
+// Reciprocity computes Figure 4(a).
+func (s *Study) Reciprocity() ReciprocityResult {
+	rrs := graph.AllReciprocities(s.ds.Graph)
+	over := 0
+	for _, r := range rrs {
+		if r > 0.6 {
+			over++
+		}
+	}
+	res := ReciprocityResult{
+		CDF:    stats.CDF(rrs),
+		Global: graph.GlobalReciprocity(s.ds.Graph),
+	}
+	if len(rrs) > 0 {
+		res.FractionAbove06 = float64(over) / float64(len(rrs))
+	}
+	return res
+}
+
+// ClusteringResult is Figure 4(b).
+type ClusteringResult struct {
+	// CDF is the distribution of sampled clustering coefficients over
+	// nodes with out-degree > 1.
+	CDF []stats.Point
+	// Mean is the sample mean.
+	Mean float64
+	// FractionAbove02 is the paper's headline: ~40% of users with
+	// CC > 0.2.
+	FractionAbove02 float64
+	// Sampled is how many nodes entered the sample.
+	Sampled int
+}
+
+// Clustering computes Figure 4(b) on a node sample (the paper sampled
+// one million nodes).
+func (s *Study) Clustering() ClusteringResult {
+	coeffs := graph.SampleClustering(s.ds.Graph, s.opts.ClusteringSample, s.rng(2))
+	res := ClusteringResult{CDF: stats.CDF(coeffs), Sampled: len(coeffs)}
+	if len(coeffs) == 0 {
+		return res
+	}
+	var sum float64
+	over := 0
+	for _, c := range coeffs {
+		sum += c
+		if c > 0.2 {
+			over++
+		}
+	}
+	res.Mean = sum / float64(len(coeffs))
+	res.FractionAbove02 = float64(over) / float64(len(coeffs))
+	return res
+}
+
+// SCCResult is Figure 4(c).
+type SCCResult struct {
+	// Count is the number of strongly connected components (the paper
+	// found 9,771,696).
+	Count int
+	// GiantSize and GiantFraction describe the giant component (the
+	// paper: 25.24M nodes, ~70% of the graph).
+	GiantSize     int
+	GiantFraction float64
+	// SizeCCDF is the CCDF over component sizes.
+	SizeCCDF []stats.Point
+}
+
+// SCC computes Figure 4(c) over the full graph.
+func (s *Study) SCC() SCCResult {
+	res := graph.SCC(s.ds.Graph)
+	sizes := make([]float64, len(res.Sizes))
+	for i, sz := range res.Sizes {
+		sizes[i] = float64(sz)
+	}
+	return SCCResult{
+		Count:         res.Count,
+		GiantSize:     res.GiantSize(),
+		GiantFraction: res.GiantFraction(),
+		SizeCCDF:      stats.CCDF(sizes),
+	}
+}
+
+// PathLengthResult is Figure 5 plus the Table 4 diameter entries.
+type PathLengthResult struct {
+	Directed, Undirected *graph.PathLengthDist
+	// DiameterDirected and DiameterUndirected are double-sweep lower
+	// bounds (the paper reports 19 and 13).
+	DiameterDirected, DiameterUndirected int
+}
+
+// PathLengths computes Figure 5 by sampled BFS, the paper's §3.3.5
+// procedure (grow the source sample until the distribution stabilizes).
+func (s *Study) PathLengths(ctx context.Context) PathLengthResult {
+	opt := graph.PathLengthOptions{
+		MinSources:  s.opts.PathSources / 4,
+		MaxSources:  s.opts.PathSources,
+		Parallelism: s.opts.Parallelism,
+		Rand:        s.rng(3),
+	}
+	res := PathLengthResult{
+		Directed: graph.SamplePathLengths(ctx, s.ds.Graph, graph.Directed, opt),
+	}
+	opt.Rand = s.rng(4)
+	res.Undirected = graph.SamplePathLengths(ctx, s.ds.Graph, graph.Undirected, opt)
+	res.DiameterDirected = graph.DoubleSweepDiameter(s.ds.Graph, graph.Directed, s.opts.DiameterSweeps, s.rng(5))
+	res.DiameterUndirected = graph.DoubleSweepDiameter(s.ds.Graph, graph.Undirected, s.opts.DiameterSweeps, s.rng(6))
+	return res
+}
+
+// TopologyRow is one row of Table 4.
+type TopologyRow struct {
+	Network        string
+	Nodes          int
+	Edges          int64
+	CrawledPercent float64 // share of nodes whose profile was fetched
+	PathLength     float64 // sampled average directed path length
+	Reciprocity    float64
+	Diameter       int // directed double-sweep lower bound
+	AvgDegree      float64
+}
+
+// Topology computes the Google+ row of Table 4.
+func (s *Study) Topology(ctx context.Context) TopologyRow {
+	row := topologyOf(ctx, "Google+", s.ds.Graph, s.opts, s.rng(7), s.rng(8))
+	if n := s.ds.NumUsers(); n > 0 {
+		row.CrawledPercent = 100 * float64(s.ds.NumCrawled()) / float64(n)
+	}
+	return row
+}
+
+// BaselineTopology computes a Table 4 row for a comparison graph
+// produced by the synth baselines (or any other graph).
+func (s *Study) BaselineTopology(ctx context.Context, name string, g *graph.Graph) TopologyRow {
+	row := topologyOf(ctx, name, g, s.opts, s.rng(9), s.rng(10))
+	row.CrawledPercent = 100
+	return row
+}
+
+func topologyOf(ctx context.Context, name string, g *graph.Graph, opts Options, pathRNG, diamRNG *rand.Rand) TopologyRow {
+	dist := graph.SamplePathLengths(ctx, g, graph.Directed, graph.PathLengthOptions{
+		MinSources:  opts.PathSources / 4,
+		MaxSources:  opts.PathSources,
+		Parallelism: opts.Parallelism,
+		Rand:        pathRNG,
+	})
+	return TopologyRow{
+		Network:     name,
+		Nodes:       g.NumNodes(),
+		Edges:       g.NumEdges(),
+		PathLength:  dist.Mean(),
+		Reciprocity: graph.GlobalReciprocity(g),
+		Diameter:    graph.DoubleSweepDiameter(g, graph.Directed, opts.DiameterSweeps, diamRNG),
+		AvgDegree:   g.AvgDegree(),
+	}
+}
+
+// LostEdgeEstimate reproduces §2.2's estimate of edges lost to the
+// service's circle-list cap: compare the in-circle counts declared on
+// profile pages against the edges actually collected for users whose
+// lists were truncated.
+type LostEdgeEstimate struct {
+	// CircleCap is the cap assumed (10,000 on the live service).
+	CircleCap int
+	// UsersOverCap is how many crawled users declare more in-circle
+	// members than the cap (the paper found 915).
+	UsersOverCap int
+	// DeclaredEdges is their total declared in-degree (paper: 37.2M);
+	// FoundEdges is what the bidirectional crawl recovered for them
+	// (paper: 27.6M).
+	DeclaredEdges, FoundEdges int64
+	// LostFraction is (Declared-Found)/total collected edges (paper:
+	// 1.6%).
+	LostFraction float64
+}
+
+// LostEdges computes the §2.2 estimate for a given cap.
+func (s *Study) LostEdges(circleCap int) LostEdgeEstimate {
+	est := LostEdgeEstimate{CircleCap: circleCap}
+	s.eachCrawled(func(node graph.NodeID) {
+		declared := s.ds.Profiles[node].DeclaredInDegree
+		if declared <= circleCap {
+			return
+		}
+		est.UsersOverCap++
+		est.DeclaredEdges += int64(declared)
+		est.FoundEdges += int64(s.ds.Graph.InDegree(node))
+	})
+	if total := s.ds.Graph.NumEdges(); total > 0 {
+		est.LostFraction = float64(est.DeclaredEdges-est.FoundEdges) / float64(total)
+	}
+	return est
+}

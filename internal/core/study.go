@@ -1,0 +1,95 @@
+// Package core implements the paper's analyses: every table and figure
+// of "New Kid on the Block: Exploring the Google+ Social Graph" (IMC'12)
+// is computed from a dataset.Dataset by a Study.
+//
+// Node-characteristic analyses (Tables 1-3, Figures 2, 6-10) run over
+// crawled profiles only, matching the paper's 27.5M-profile set, while
+// structural analyses (Table 4, Figures 3-5) run over the full discovered
+// graph, matching the paper's 35.1M-node graph G.
+package core
+
+import (
+	"math/rand/v2"
+	"runtime"
+
+	"gplus/internal/dataset"
+	"gplus/internal/graph"
+)
+
+// Study computes the paper's analyses over one dataset. All methods are
+// deterministic for a fixed Options.Seed. A Study is safe for concurrent
+// use: methods do not mutate shared state and derive their own RNGs.
+type Study struct {
+	ds   *dataset.Dataset
+	opts Options
+}
+
+// Options tunes the sampled analyses.
+type Options struct {
+	// Seed drives every sampled analysis (path lengths, clustering,
+	// path miles). Defaults to 2012.
+	Seed uint64
+	// PathSources bounds the BFS sources of the Figure 5 estimate
+	// (default 256; the paper used up to 10,000 on a 35M-node graph).
+	PathSources int
+	// ClusteringSample bounds the Figure 4(b) node sample (default
+	// 100,000; the paper used one million).
+	ClusteringSample int
+	// PairSample bounds each Figure 9 pair population (default 100,000;
+	// the paper used 13-60 million pairs).
+	PairSample int
+	// DiameterSweeps controls the double-sweep diameter bound restarts
+	// (default 4).
+	DiameterSweeps int
+	// Parallelism fans the BFS sampling of Figure 5 out over this many
+	// goroutines (default: up to 8, bounded by GOMAXPROCS). Results are
+	// identical for any value.
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 2012
+	}
+	if o.PathSources <= 0 {
+		o.PathSources = 256
+	}
+	if o.ClusteringSample <= 0 {
+		o.ClusteringSample = 100_000
+	}
+	if o.PairSample <= 0 {
+		o.PairSample = 100_000
+	}
+	if o.DiameterSweeps <= 0 {
+		o.DiameterSweeps = 4
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+		if o.Parallelism > 8 {
+			o.Parallelism = 8
+		}
+	}
+	return o
+}
+
+// New builds a Study over a dataset.
+func New(ds *dataset.Dataset, opts Options) *Study {
+	return &Study{ds: ds, opts: opts.withDefaults()}
+}
+
+// Dataset returns the underlying dataset.
+func (s *Study) Dataset() *dataset.Dataset { return s.ds }
+
+// rng derives an independent deterministic stream per analysis.
+func (s *Study) rng(stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(s.opts.Seed, s.opts.Seed^(stream*0x9e3779b97f4a7c15+stream)))
+}
+
+// eachCrawled visits every crawled profile with its node id.
+func (s *Study) eachCrawled(fn func(node graph.NodeID)) {
+	for i := range s.ds.Profiles {
+		if s.ds.Crawled[i] {
+			fn(graph.NodeID(i))
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package crawler
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gplus/internal/gplusapi"
+	"gplus/internal/profile"
+)
+
+// Checkpoint format: a line-oriented stream that can be appended to and
+// scanned without loading everything at once.
+//
+//	P {"id":...,"name":...}   one crawled profile (gplusapi.ProfileDoc)
+//	E <from> <to>             one observed edge
+//	D <id>                    one discovered id (crawled or not)
+//
+// WriteResult always emits D records for every discovered id, so a
+// checkpoint alone reconstructs the crawl frontier: discovered ids
+// without a P record are the uncrawled frontier that Resume continues
+// from.
+
+// WriteResult serializes a crawl result as a checkpoint stream.
+func WriteResult(w io.Writer, res *Result) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for id, p := range res.Profiles {
+		doc := gplusapi.FromProfile(id, &p)
+		raw, err := json.Marshal(&doc)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "P %s\n", raw); err != nil {
+			return err
+		}
+	}
+	for _, e := range res.Edges {
+		if _, err := fmt.Fprintf(bw, "E %s %s\n", e.From, e.To); err != nil {
+			return err
+		}
+	}
+	for id := range res.Discovered {
+		if _, err := fmt.Fprintf(bw, "D %s\n", id); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadResult parses a checkpoint stream back into a Result. Statistics
+// are reconstructed from the stream contents (durations are lost).
+func ReadResult(r io.Reader) (*Result, error) {
+	res := &Result{
+		Profiles:   make(map[string]profile.Profile),
+		Discovered: make(map[string]bool),
+	}
+	scanner := bufio.NewScanner(bufio.NewReaderSize(r, 1<<16))
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := scanner.Text()
+		if text == "" {
+			continue
+		}
+		if len(text) < 2 || text[1] != ' ' {
+			return nil, fmt.Errorf("crawler: checkpoint line %d malformed", line)
+		}
+		body := text[2:]
+		switch text[0] {
+		case 'P':
+			var doc gplusapi.ProfileDoc
+			if err := json.Unmarshal([]byte(body), &doc); err != nil {
+				return nil, fmt.Errorf("crawler: checkpoint line %d: %w", line, err)
+			}
+			if doc.ID == "" {
+				return nil, fmt.Errorf("crawler: checkpoint line %d: profile without id", line)
+			}
+			res.Profiles[doc.ID] = doc.ToProfile()
+			res.Discovered[doc.ID] = true
+		case 'E':
+			from, to, ok := strings.Cut(body, " ")
+			if !ok || from == "" || to == "" {
+				return nil, fmt.Errorf("crawler: checkpoint line %d: bad edge", line)
+			}
+			res.Edges = append(res.Edges, Edge{From: from, To: to})
+		case 'D':
+			if body == "" {
+				return nil, fmt.Errorf("crawler: checkpoint line %d: empty id", line)
+			}
+			res.Discovered[body] = true
+		default:
+			return nil, fmt.Errorf("crawler: checkpoint line %d: unknown record %q", line, text[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	res.Stats.ProfilesCrawled = len(res.Profiles)
+	res.Stats.EdgesObserved = int64(len(res.Edges))
+	res.Stats.Discovered = len(res.Discovered)
+	return res, nil
+}
+
+// SaveCheckpoint writes a result to path atomically (write to a temp
+// file in the same directory, then rename).
+func SaveCheckpoint(path string, res *Result) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".checkpoint-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteResult(tmp, res); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadResult(f)
+}
+
+func dirOf(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i > 0 {
+		return path[:i]
+	}
+	return "."
+}

@@ -1,0 +1,274 @@
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"gplus/internal/gplusd"
+	"gplus/internal/graph"
+)
+
+// buildGraph replicates dataset.FromCrawl's graph construction without
+// importing dataset (which would create an import cycle in tests):
+// sorted-id dense nodes, deduplicated edges.
+func buildGraph(res *Result) (*graph.Graph, []string) {
+	ids := make([]string, 0, len(res.Discovered))
+	for id := range res.Discovered {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	index := make(map[string]graph.NodeID, len(ids))
+	for i, id := range ids {
+		index[id] = graph.NodeID(i)
+	}
+	b := graph.NewBuilder(len(ids), len(res.Edges))
+	for _, e := range res.Edges {
+		b.AddEdge(index[e.From], index[e.To])
+	}
+	if len(ids) > 0 {
+		b.EnsureNode(graph.NodeID(len(ids) - 1))
+	}
+	return b.Build(), ids
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	res, err := Crawl(context.Background(), Config{
+		BaseURL:     url,
+		Seeds:       []string{seedID(u)},
+		Workers:     4,
+		MaxProfiles: 200,
+		FetchIn:     true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatalf("WriteResult: %v", err)
+	}
+	got, err := ReadResult(&buf)
+	if err != nil {
+		t.Fatalf("ReadResult: %v", err)
+	}
+	if !reflect.DeepEqual(got.Profiles, res.Profiles) {
+		t.Error("profiles differ after round trip")
+	}
+	if !reflect.DeepEqual(got.Discovered, res.Discovered) {
+		t.Error("discovered sets differ after round trip")
+	}
+	// Edge multiset must survive (order may differ).
+	sortEdges := func(es []Edge) []Edge {
+		cp := append([]Edge(nil), es...)
+		sort.Slice(cp, func(i, j int) bool {
+			if cp[i].From != cp[j].From {
+				return cp[i].From < cp[j].From
+			}
+			return cp[i].To < cp[j].To
+		})
+		return cp
+	}
+	if !reflect.DeepEqual(sortEdges(got.Edges), sortEdges(res.Edges)) {
+		t.Error("edges differ after round trip")
+	}
+	if got.Stats.ProfilesCrawled != res.Stats.ProfilesCrawled {
+		t.Errorf("stats crawled %d != %d", got.Stats.ProfilesCrawled, res.Stats.ProfilesCrawled)
+	}
+}
+
+func TestCheckpointFileAtomic(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 2,
+		MaxProfiles: 50, FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "crawl.ckpt")
+	if err := SaveCheckpoint(path, res); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if len(got.Profiles) != len(res.Profiles) || len(got.Discovered) != len(res.Discovered) {
+		t.Errorf("checkpoint loss: %d/%d profiles, %d/%d discovered",
+			len(got.Profiles), len(res.Profiles), len(got.Discovered), len(res.Discovered))
+	}
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}
+
+func TestReadResultRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"X what\n",
+		"P notjson\n",
+		"E onlyone\n",
+		"D \n",
+		"P {\"name\":\"no id\"}\n",
+		"Z\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadResult(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("garbage %q accepted", c)
+		}
+	}
+	// Empty stream is a valid empty crawl.
+	res, err := ReadResult(bytes.NewBuffer(nil))
+	if err != nil || len(res.Discovered) != 0 {
+		t.Errorf("empty stream: %v, %+v", err, res)
+	}
+}
+
+func TestResumeCompletesCrawl(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	ctx := context.Background()
+
+	// Session 1: budget-limited.
+	first, err := Crawl(ctx, Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		MaxProfiles: 400, FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Discovered <= first.Stats.ProfilesCrawled {
+		t.Fatal("first session left no frontier; test needs a bigger universe")
+	}
+
+	// Round-trip through a checkpoint, as a real resume would.
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, first); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2: resume with no budget — crawl everything left.
+	second, err := Crawl(ctx, Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		FetchIn: true, FetchOut: true,
+		Resume: restored,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh unbudgeted crawl is the reference.
+	reference, err := Crawl(ctx, Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(second.Profiles) != len(reference.Profiles) {
+		t.Errorf("resumed crawl has %d profiles, reference %d",
+			len(second.Profiles), len(reference.Profiles))
+	}
+	if len(second.Discovered) != len(reference.Discovered) {
+		t.Errorf("resumed crawl discovered %d, reference %d",
+			len(second.Discovered), len(reference.Discovered))
+	}
+	// The resulting graphs must be identical.
+	gResumed, idsResumed := buildGraph(second)
+	gRef, idsRef := buildGraph(reference)
+	if !reflect.DeepEqual(gResumed, gRef) {
+		t.Error("resumed graph differs from single-session graph")
+	}
+	if !reflect.DeepEqual(idsResumed, idsRef) {
+		t.Error("resumed id space differs from single-session id space")
+	}
+}
+
+func TestResumeDoesNotRefetch(t *testing.T) {
+	u := crawlUniverse(t)
+	srv := gplusd.New(u, gplusd.Options{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	url := ts.URL
+	ctx := context.Background()
+
+	first, err := Crawl(ctx, Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		MaxProfiles: 300, FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profilesBefore, _, _, _ := srv.RequestStats()
+
+	if _, err := Crawl(ctx, Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		MaxProfiles: 100, FetchIn: true, FetchOut: true,
+		Resume: first,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	profilesAfter, _, _, _ := srv.RequestStats()
+	fetched := profilesAfter - profilesBefore
+	if fetched > 100 {
+		t.Errorf("resume refetched: %d profile requests for a 100-profile budget", fetched)
+	}
+	if fetched == 0 {
+		t.Error("resume fetched nothing")
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	_, err := Crawl(context.Background(), Config{
+		BaseURL: "http://x", Seeds: []string{"a"},
+		FetchIn: true, FetchOut: true,
+		Resume: &Result{}, // missing maps
+	})
+	if err == nil {
+		t.Error("resume with nil maps accepted")
+	}
+}
+
+func TestGraphFromPartialPlusResumeEqualsWhole(t *testing.T) {
+	// Degenerate resume: resuming a *complete* crawl fetches nothing and
+	// returns the same result.
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	ctx := context.Background()
+	full, err := Crawl(ctx, Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Crawl(ctx, Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		FetchIn: true, FetchOut: true,
+		Resume: full,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Profiles) != len(full.Profiles) {
+		t.Errorf("degenerate resume changed profile count: %d vs %d",
+			len(again.Profiles), len(full.Profiles))
+	}
+	ga, _ := buildGraph(again)
+	gb, _ := buildGraph(full)
+	if !reflect.DeepEqual(ga, gb) {
+		t.Error("degenerate resume changed the graph")
+	}
+}

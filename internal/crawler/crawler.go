@@ -1,0 +1,278 @@
+// Package crawler implements the paper's data-collection methodology: a
+// breadth-first crawl of public profile pages that follows both the
+// in-circles and out-circles lists ("bidirectional BFS", §2.2), spread
+// over a pool of concurrent workers standing in for the 11 crawl
+// machines, with retries and a profile budget.
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gplus/internal/gplusapi"
+	"gplus/internal/profile"
+)
+
+// Config controls a crawl.
+type Config struct {
+	// BaseURL locates the service.
+	BaseURL string
+	// Seeds are the profile ids to start from. The paper used a single
+	// seed (Mark Zuckerberg's profile).
+	Seeds []string
+	// Workers is the number of concurrent crawl workers (default 11 — the
+	// paper's machine count). Each worker presents a distinct identity to
+	// the service's rate limiter.
+	Workers int
+	// MaxProfiles bounds how many profiles are fetched; 0 means no bound.
+	// Hitting the bound leaves frontier users discovered-but-uncrawled,
+	// the partial-crawl effect behind the paper's 35.1M-node/27.5M-profile
+	// dataset.
+	MaxProfiles int
+	// PageLimit is the per-request circle page size (0 = server default).
+	PageLimit int
+	// FetchIn and FetchOut select which circle lists to follow. The
+	// paper's crawl is bidirectional: both true. (Both false is rejected.)
+	FetchIn, FetchOut bool
+	// HTTPTimeout bounds individual requests (default 30s).
+	HTTPTimeout time.Duration
+	// Politeness inserts a pause between consecutive requests of each
+	// worker — the well-behaved pacing that let the paper's crawl run
+	// for 45 days without hammering the service. Zero disables it.
+	Politeness time.Duration
+	// AbortAfterErrors stops the crawl once this many profile or circle
+	// fetches have failed permanently (after retries), so a dead or
+	// hostile service does not grind through the whole frontier at
+	// retry pace. 0 disables the budget.
+	AbortAfterErrors int
+	// ScrapeHTML fetches profile pages as HTML and scrapes them instead
+	// of using the JSON API — the path the paper's crawler actually
+	// exercised. Circle lists remain JSON (the live service exposed
+	// those as structured data to its own frontend).
+	ScrapeHTML bool
+	// Resume continues a previous crawl: its discovered set seeds the
+	// visited set, its uncrawled frontier seeds the queue (in sorted
+	// order, approximating the interrupted BFS order), and its profiles
+	// and edges are merged into the new result. Seeds already crawled in
+	// Resume are not refetched. MaxProfiles bounds only the *additional*
+	// profiles fetched in this session.
+	Resume *Result
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.BaseURL == "" {
+		return out, errors.New("crawler: BaseURL required")
+	}
+	if len(out.Seeds) == 0 {
+		return out, errors.New("crawler: at least one seed required")
+	}
+	if !out.FetchIn && !out.FetchOut {
+		return out, errors.New("crawler: at least one circle direction must be enabled")
+	}
+	if out.Resume != nil && (out.Resume.Profiles == nil || out.Resume.Discovered == nil) {
+		return out, errors.New("crawler: Resume result is missing its profile or discovered maps")
+	}
+	if out.Workers <= 0 {
+		out.Workers = 11
+	}
+	return out, nil
+}
+
+// Edge is one observed circle relationship: From added To to a circle.
+type Edge struct {
+	From, To string
+}
+
+// Stats summarizes a crawl.
+type Stats struct {
+	ProfilesCrawled int
+	ProfileErrors   int
+	PagesFetched    int64
+	EdgesObserved   int64
+	Discovered      int
+	Duration        time.Duration
+}
+
+// Result is the raw output of a crawl, before graph construction.
+type Result struct {
+	// Profiles maps user id to the public profile collected.
+	Profiles map[string]profile.Profile
+	// Edges lists every observed relationship, possibly with duplicates
+	// (the same edge can be seen from both endpoints' lists — that is
+	// what recovers links truncated by the circle cap).
+	Edges []Edge
+	// Discovered holds every user id seen, crawled or not.
+	Discovered map[string]bool
+	Stats      Stats
+}
+
+// ErrTooManyErrors is returned (wrapped) when the crawl aborts on its
+// error budget; the partial result is still returned.
+var ErrTooManyErrors = errors.New("crawler: error budget exhausted")
+
+// Crawl runs a bidirectional BFS crawl against a gplusd-compatible
+// service. It returns when the reachable graph is exhausted, the profile
+// budget is spent, the error budget is exhausted (ErrTooManyErrors), or
+// ctx is cancelled — in every case returning what was collected.
+func Crawl(ctx context.Context, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	sched := newScheduler(cfg.MaxProfiles)
+	sched.errorBudget = cfg.AbortAfterErrors
+	if cfg.Resume != nil {
+		sched.preload(cfg.Resume)
+	}
+	for _, seed := range cfg.Seeds {
+		sched.offer(seed)
+	}
+
+	workers := make([]*worker, cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range workers {
+		w := &worker{
+			cfg:   cfg,
+			sched: sched,
+			client: &gplusapi.Client{
+				BaseURL:   cfg.BaseURL,
+				CrawlerID: fmt.Sprintf("machine-%02d", i),
+			},
+			profiles: make(map[string]profile.Profile),
+		}
+		if cfg.HTTPTimeout > 0 {
+			w.client.HTTPClient = newTimeoutClient(cfg.HTTPTimeout)
+		}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(ctx)
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{
+		Profiles:   make(map[string]profile.Profile),
+		Discovered: sched.discovered(),
+	}
+	if cfg.Resume != nil {
+		for id, p := range cfg.Resume.Profiles {
+			res.Profiles[id] = p
+		}
+		res.Edges = append(res.Edges, cfg.Resume.Edges...)
+	}
+	for _, w := range workers {
+		for id, p := range w.profiles {
+			res.Profiles[id] = p
+		}
+		res.Edges = append(res.Edges, w.edges...)
+		res.Stats.PagesFetched += w.pages
+		res.Stats.ProfileErrors += w.errors
+	}
+	res.Stats.ProfilesCrawled = len(res.Profiles)
+	res.Stats.EdgesObserved = int64(len(res.Edges))
+	res.Stats.Discovered = len(res.Discovered)
+	res.Stats.Duration = time.Since(start)
+	if ctx.Err() != nil {
+		return res, ctx.Err()
+	}
+	if cfg.AbortAfterErrors > 0 && res.Stats.ProfileErrors >= cfg.AbortAfterErrors {
+		return res, fmt.Errorf("%w: %d failures", ErrTooManyErrors, res.Stats.ProfileErrors)
+	}
+	return res, nil
+}
+
+type worker struct {
+	cfg      Config
+	sched    *scheduler
+	client   *gplusapi.Client
+	profiles map[string]profile.Profile
+	edges    []Edge
+	pages    int64
+	errors   int
+}
+
+func (w *worker) run(ctx context.Context) {
+	for {
+		id, ok := w.sched.next(ctx)
+		if !ok {
+			return
+		}
+		before := w.errors
+		w.crawlOne(ctx, id)
+		if w.errors > before {
+			w.sched.recordErrors(w.errors - before)
+		}
+		w.sched.finish()
+	}
+}
+
+func (w *worker) crawlOne(ctx context.Context, id string) {
+	w.pause(ctx)
+	var (
+		doc *gplusapi.ProfileDoc
+		err error
+	)
+	if w.cfg.ScrapeHTML {
+		doc, err = w.client.FetchProfileHTML(ctx, id)
+	} else {
+		doc, err = w.client.FetchProfile(ctx, id)
+	}
+	if err != nil {
+		// Unreachable profiles (deleted accounts, persistent errors) are
+		// skipped; the crawl continues, as the paper's did.
+		w.errors++
+		return
+	}
+	w.profiles[id] = doc.ToProfile()
+
+	if w.cfg.FetchOut {
+		w.fetchCircle(ctx, id, gplusapi.CircleOut)
+	}
+	if w.cfg.FetchIn {
+		w.fetchCircle(ctx, id, gplusapi.CircleIn)
+	}
+}
+
+// pause enforces the politeness delay, aborting early on cancellation.
+func (w *worker) pause(ctx context.Context) {
+	if w.cfg.Politeness <= 0 {
+		return
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(w.cfg.Politeness):
+	}
+}
+
+func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.CircleDir) {
+	token := ""
+	for {
+		w.pause(ctx)
+		page, err := w.client.FetchCircle(ctx, id, dir, token, w.cfg.PageLimit)
+		if err != nil {
+			w.errors++
+			return
+		}
+		w.pages++
+		for _, other := range page.IDs {
+			if dir == gplusapi.CircleOut {
+				w.edges = append(w.edges, Edge{From: id, To: other})
+			} else {
+				w.edges = append(w.edges, Edge{From: other, To: id})
+			}
+			w.sched.offer(other)
+		}
+		if page.NextPageToken == "" {
+			return
+		}
+		token = page.NextPageToken
+	}
+}

@@ -1,0 +1,437 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"gplus/internal/gplusd"
+	"gplus/internal/graph"
+	"gplus/internal/growth"
+	"gplus/internal/synth"
+)
+
+var (
+	crawlUniverseOnce sync.Once
+	crawlUniverseVal  *synth.Universe
+)
+
+// crawlUniverse is a small shared ground truth.
+func crawlUniverse(t *testing.T) *synth.Universe {
+	t.Helper()
+	crawlUniverseOnce.Do(func() {
+		cfg := synth.DefaultConfig(2_500)
+		cfg.Seed = 1234
+		u, err := synth.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		crawlUniverseVal = u
+	})
+	return crawlUniverseVal
+}
+
+func startService(t *testing.T, u *synth.Universe, opts gplusd.Options) string {
+	t.Helper()
+	ts := httptest.NewServer(gplusd.New(u, opts))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// seedID returns the id of the highest in-degree user — "the most popular
+// user", like the paper's Mark Zuckerberg seed.
+func seedID(u *synth.Universe) string {
+	top := graph.TopByInDegree(u.Graph, 1)
+	return u.IDs[top[0]]
+}
+
+func TestConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Crawl(ctx, Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Crawl(ctx, Config{BaseURL: "http://x"}); err == nil {
+		t.Error("config without seeds accepted")
+	}
+	if _, err := Crawl(ctx, Config{BaseURL: "http://x", Seeds: []string{"a"}}); err == nil {
+		t.Error("config without directions accepted")
+	}
+}
+
+func TestFullCrawlRecoversWCC(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{CircleCap: -1})
+
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: url,
+		Seeds:   []string{seedID(u)},
+		Workers: 8,
+		FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatalf("Crawl: %v", err)
+	}
+
+	// The bidirectional snowball must reach exactly the seed's weakly
+	// connected component (§3.3.4: "the social graph G consists of only
+	// one WCC" by construction of the crawl).
+	wcc := graph.WCC(u.Graph)
+	seedComp := wcc.Comp[graph.TopByInDegree(u.Graph, 1)[0]]
+	wantUsers := 0
+	var wantEdges int64
+	for i := 0; i < u.NumUsers(); i++ {
+		if wcc.Comp[i] != seedComp {
+			continue
+		}
+		wantUsers++
+		wantEdges += int64(u.Graph.OutDegree(graph.NodeID(i)))
+	}
+	if res.Stats.ProfilesCrawled != wantUsers {
+		t.Errorf("crawled %d profiles, want %d (seed WCC)", res.Stats.ProfilesCrawled, wantUsers)
+	}
+	if res.Stats.Discovered != wantUsers {
+		t.Errorf("discovered %d, want %d", res.Stats.Discovered, wantUsers)
+	}
+
+	// Every edge is observed from both endpoints, so raw observations are
+	// roughly double the true count; dedup happens at graph build.
+	unique := make(map[Edge]bool, len(res.Edges))
+	for _, e := range res.Edges {
+		unique[e] = true
+	}
+	if int64(len(unique)) != wantEdges {
+		t.Errorf("unique observed edges = %d, want %d", len(unique), wantEdges)
+	}
+	if res.Stats.ProfileErrors != 0 {
+		t.Errorf("profile errors = %d", res.Stats.ProfileErrors)
+	}
+}
+
+func TestCrawlEdgesMatchGroundTruth(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{CircleCap: -1})
+
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: url,
+		Seeds:   []string{seedID(u)},
+		Workers: 4,
+		FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check: every observed edge exists in the ground truth.
+	idx := make(map[string]graph.NodeID, len(u.IDs))
+	for i, id := range u.IDs {
+		idx[id] = graph.NodeID(i)
+	}
+	for _, e := range res.Edges[:min(len(res.Edges), 5000)] {
+		from, okF := idx[e.From]
+		to, okT := idx[e.To]
+		if !okF || !okT {
+			t.Fatalf("edge with unknown endpoint: %+v", e)
+		}
+		if !u.Graph.HasEdge(from, to) {
+			t.Fatalf("observed edge %d->%d not in ground truth", from, to)
+		}
+	}
+}
+
+func TestCrawlBudgetLeavesFrontier(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+
+	const budget = 300
+	res, err := Crawl(context.Background(), Config{
+		BaseURL:     url,
+		Seeds:       []string{seedID(u)},
+		Workers:     6,
+		MaxProfiles: budget,
+		FetchIn:     true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ProfilesCrawled > budget {
+		t.Errorf("crawled %d profiles, budget %d", res.Stats.ProfilesCrawled, budget)
+	}
+	if res.Stats.ProfilesCrawled < budget*9/10 {
+		t.Errorf("crawled only %d of %d budget", res.Stats.ProfilesCrawled, budget)
+	}
+	// The partial crawl discovers far more users than it crawls — the
+	// 35.1M-nodes vs 27.5M-profiles effect of §2.2.
+	if res.Stats.Discovered <= res.Stats.ProfilesCrawled {
+		t.Errorf("discovered %d <= crawled %d; expected an uncrawled frontier",
+			res.Stats.Discovered, res.Stats.ProfilesCrawled)
+	}
+}
+
+func TestCrawlWithCircleCapAndRecovery(t *testing.T) {
+	u := crawlUniverse(t)
+	// A small cap truncates popular users' in-lists, but the
+	// bidirectional crawl recovers those edges from the other side's
+	// out-lists.
+	url := startService(t, u, gplusd.Options{CircleCap: 50})
+
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: url,
+		Seeds:   []string{seedID(u)},
+		Workers: 8,
+		FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unique := make(map[Edge]bool, len(res.Edges))
+	for _, e := range res.Edges {
+		unique[e] = true
+	}
+	var trueEdges int64
+	wcc := graph.WCC(u.Graph)
+	seedComp := wcc.Comp[graph.TopByInDegree(u.Graph, 1)[0]]
+	for i := 0; i < u.NumUsers(); i++ {
+		if wcc.Comp[i] == seedComp {
+			trueEdges += int64(u.Graph.OutDegree(graph.NodeID(i)))
+		}
+	}
+	recovered := float64(len(unique)) / float64(trueEdges)
+	// Out-lists are capped at 50 too, so some loss is real; but recovery
+	// through both directions must keep the vast majority.
+	if recovered < 0.95 {
+		t.Errorf("recovered only %.1f%% of edges under cap", 100*recovered)
+	}
+}
+
+func TestCrawlPoliteness(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	const (
+		budget = 10
+		delay  = 20 * time.Millisecond
+	)
+	start := time.Now()
+	res, err := Crawl(context.Background(), Config{
+		BaseURL:     url,
+		Seeds:       []string{seedID(u)},
+		Workers:     1,
+		MaxProfiles: budget,
+		Politeness:  delay,
+		FetchIn:     true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One worker, >= 3 paced requests per profile (profile + two circle
+	// fetches): the crawl cannot beat the politeness floor.
+	minElapsed := time.Duration(budget) * 3 * delay
+	if elapsed := time.Since(start); elapsed < minElapsed {
+		t.Errorf("polite crawl took %v, below the %v pacing floor", elapsed, minElapsed)
+	}
+	if res.Stats.ProfilesCrawled != budget {
+		t.Errorf("crawled %d, want %d", res.Stats.ProfilesCrawled, budget)
+	}
+}
+
+func TestCrawlCancellation(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Crawl(ctx, Config{
+		BaseURL: url,
+		Seeds:   []string{seedID(u)},
+		FetchIn: true, FetchOut: true,
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled crawl should still return partial results")
+	}
+}
+
+func TestCrawlSurvivesFaultsAndRateLimits(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{
+		FaultRate:     0.05,
+		FaultSeed:     3,
+		RatePerSecond: 2000,
+		BurstSize:     200,
+	})
+	res, err := Crawl(context.Background(), Config{
+		BaseURL:     url,
+		Seeds:       []string{seedID(u)},
+		Workers:     8,
+		MaxProfiles: 500,
+		FetchIn:     true, FetchOut: true,
+		HTTPTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ProfilesCrawled < 450 {
+		t.Errorf("crawled %d profiles under faults, want >= 450", res.Stats.ProfilesCrawled)
+	}
+}
+
+func TestCrawlHTMLScrapePathEquivalent(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	ctx := context.Background()
+	base := Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		MaxProfiles: 300, FetchIn: true, FetchOut: true,
+	}
+	jsonRes, err := Crawl(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	htmlCfg := base
+	htmlCfg.ScrapeHTML = true
+	htmlRes, err := Crawl(ctx, htmlCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(htmlRes.Profiles) != len(jsonRes.Profiles) {
+		t.Fatalf("HTML crawl got %d profiles, JSON got %d", len(htmlRes.Profiles), len(jsonRes.Profiles))
+	}
+	// Every profile the HTML scrape collected must equal the JSON view.
+	for id, hp := range htmlRes.Profiles {
+		jp, ok := jsonRes.Profiles[id]
+		if !ok {
+			continue // scheduling differences under a budget are fine
+		}
+		if hp.Public != jp.Public || hp.Gender != jp.Gender || hp.Place != jp.Place ||
+			hp.CountryCode != jp.CountryCode || hp.DeclaredInDegree != jp.DeclaredInDegree {
+			t.Fatalf("scraped profile %s differs:\n html %+v\n json %+v", id, hp, jp)
+		}
+	}
+	if htmlRes.Stats.ProfileErrors != 0 {
+		t.Errorf("HTML scrape had %d profile errors", htmlRes.Stats.ProfileErrors)
+	}
+}
+
+// TestCrawlOverGrowingService reproduces the paper's 45-day collection
+// condition: the service grows while the crawl runs. The crawler must
+// absorb the moving target — discovering users who joined mid-crawl —
+// and still produce a coherent dataset.
+func TestCrawlOverGrowingService(t *testing.T) {
+	gcfg := growth.DefaultConfig()
+	gcfg.Epochs = 5
+	gcfg.InvitationEpochs = 3
+	gcfg.SeedUsers = 200
+	gcfg.MaxUsers = 8_000
+	snaps, err := growth.Simulate(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contents := make([]gplusd.Content, len(snaps))
+	for i := range snaps {
+		ids, profiles := snaps[i].ServableUsers()
+		contents[i] = gplusd.Content{IDs: ids, Profiles: profiles, Graph: snaps[i].Graph}
+	}
+	srv := gplusd.NewEvolving(contents, gplusd.Options{}, 200)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: ts.URL,
+		Seeds:   []string{contents[0].IDs[0]},
+		Workers: 4,
+		FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch0 := len(contents[0].IDs)
+	final := len(contents[len(contents)-1].IDs)
+	if res.Stats.Discovered <= epoch0 {
+		t.Errorf("crawl discovered %d users, no more than epoch 0's %d — it missed the growth",
+			res.Stats.Discovered, epoch0)
+	}
+	if res.Stats.Discovered > final {
+		t.Errorf("discovered %d users, beyond the final population %d", res.Stats.Discovered, final)
+	}
+	if srv.Epoch() == 0 {
+		t.Error("service never advanced during the crawl")
+	}
+	// The inconsistent snapshots must still yield a valid graph.
+	g, _ := buildGraph(res)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph from moving-target crawl invalid: %v", err)
+	}
+}
+
+func TestCrawlAbortsOnErrorBudget(t *testing.T) {
+	u := crawlUniverse(t)
+	// A service that always fails: every fetch exhausts its retries.
+	url := startService(t, u, gplusd.Options{FaultRate: 1.0, FaultSeed: 1})
+	start := time.Now()
+	res, err := Crawl(context.Background(), Config{
+		BaseURL:          url,
+		Seeds:            []string{seedID(u), "x1", "x2", "x3", "x4", "x5", "x6", "x7"},
+		Workers:          4,
+		AbortAfterErrors: 3,
+		FetchIn:          true, FetchOut: true,
+		HTTPTimeout: 5 * time.Second,
+	})
+	if !errors.Is(err, ErrTooManyErrors) {
+		t.Fatalf("err = %v, want ErrTooManyErrors", err)
+	}
+	if res == nil || res.Stats.ProfileErrors < 3 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+	// The abort must bite long before all eight seeds grind through
+	// retries; generous bound for slow CI.
+	if time.Since(start) > 30*time.Second {
+		t.Errorf("abort took %v", time.Since(start))
+	}
+}
+
+func TestCrawlErrorBudgetDisabledByDefault(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: url,
+		Seeds:   []string{"missing-1", "missing-2", "missing-3", seedID(u)},
+		Workers: 2, MaxProfiles: 50,
+		FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatalf("crawl with errors but no budget failed: %v", err)
+	}
+	if res.Stats.ProfileErrors < 3 {
+		t.Errorf("errors = %d, want 3 missing seeds", res.Stats.ProfileErrors)
+	}
+}
+
+func TestCrawlUnknownSeedSkipped(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	res, err := Crawl(context.Background(), Config{
+		BaseURL:  url,
+		Seeds:    []string{"no-such-user", seedID(u)},
+		Workers:  4,
+		FetchOut: true, FetchIn: true,
+		MaxProfiles: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ProfileErrors == 0 {
+		t.Error("missing seed should count as a profile error")
+	}
+	if res.Stats.ProfilesCrawled == 0 {
+		t.Error("crawl should proceed from the valid seed")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

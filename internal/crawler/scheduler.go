@@ -1,0 +1,156 @@
+package crawler
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// scheduler is the shared BFS frontier: a FIFO queue with a visited set,
+// a profile budget, and completion detection (queue drained while no
+// worker is mid-crawl).
+type scheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []string
+	seen     map[string]bool
+	inflight int
+	claimed  int
+	budget   int // 0 = unlimited
+	// errorBudget closes the crawl once errorCount reaches it (0 =
+	// unlimited).
+	errorBudget int
+	errorCount  int
+	closed      bool
+}
+
+// recordErrors adds permanently-failed fetches toward the error budget,
+// closing the crawl when it is exhausted.
+func (s *scheduler) recordErrors(n int) {
+	s.mu.Lock()
+	s.errorCount += n
+	exhausted := s.errorBudget > 0 && s.errorCount >= s.errorBudget
+	if exhausted {
+		s.closed = true
+	}
+	s.mu.Unlock()
+	if exhausted {
+		s.cond.Broadcast()
+	}
+}
+
+func newScheduler(budget int) *scheduler {
+	s := &scheduler{
+		seen:   make(map[string]bool),
+		budget: budget,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// preload seeds the scheduler from a previous crawl: already-crawled ids
+// enter the visited set so they are never refetched, and the uncrawled
+// frontier enters the queue in sorted order.
+func (s *scheduler) preload(prev *Result) {
+	s.mu.Lock()
+	frontier := make([]string, 0, len(prev.Discovered)-len(prev.Profiles))
+	for id := range prev.Discovered {
+		s.seen[id] = true
+		if _, crawled := prev.Profiles[id]; !crawled {
+			frontier = append(frontier, id)
+		}
+	}
+	sort.Strings(frontier)
+	for _, id := range frontier {
+		if s.budget > 0 && len(s.queue) >= s.budget {
+			break
+		}
+		s.queue = append(s.queue, id)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// offer enqueues an id if it has never been seen. It may be called from
+// any worker while it crawls.
+func (s *scheduler) offer(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[id] {
+		return
+	}
+	s.seen[id] = true
+	if s.closed || (s.budget > 0 && s.claimed+len(s.queue) >= s.budget) {
+		// Past the budget: the user is discovered but will never be
+		// crawled — a frontier node of the partial crawl.
+		return
+	}
+	s.queue = append(s.queue, id)
+	s.cond.Signal()
+}
+
+// next blocks until an id is available, the crawl is complete, or ctx is
+// cancelled. ok is false when the worker should exit.
+func (s *scheduler) next(ctx context.Context) (id string, ok bool) {
+	// Wake all waiters on cancellation; Cond has no channel integration,
+	// so a helper goroutine broadcasts once.
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	})
+	defer stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed || (s.budget > 0 && s.claimed >= s.budget) {
+			return "", false
+		}
+		if len(s.queue) > 0 {
+			id = s.queue[0]
+			s.queue = s.queue[1:]
+			s.claimed++
+			s.inflight++
+			return id, true
+		}
+		if s.inflight == 0 {
+			// Nothing queued and nobody working: the crawl is complete.
+			s.closed = true
+			s.cond.Broadcast()
+			return "", false
+		}
+		s.cond.Wait()
+	}
+}
+
+// finish marks one claimed crawl as done and wakes waiters so completion
+// can be detected.
+func (s *scheduler) finish() {
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// discovered snapshots the set of all ids ever seen.
+func (s *scheduler) discovered() map[string]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]bool, len(s.seen))
+	for id := range s.seen {
+		out[id] = true
+	}
+	return out
+}
+
+// newTimeoutClient builds an HTTP client with its own transport so
+// concurrent workers do not share connection pools unfairly.
+func newTimeoutClient(timeout time.Duration) *http.Client {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConnsPerHost = 16
+	return &http.Client{Timeout: timeout, Transport: t}
+}

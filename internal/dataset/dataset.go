@@ -1,0 +1,124 @@
+// Package dataset turns raw crawl output into the analysis-ready form
+// used by the study — a dense-id directed graph plus per-node profile
+// columns — and persists it to disk.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"gplus/internal/crawler"
+	"gplus/internal/graph"
+	"gplus/internal/profile"
+	"gplus/internal/synth"
+)
+
+// Dataset is the collected Google+ sample: every discovered user gets a
+// dense node id; users whose profile page was fetched carry profile data
+// and Crawled=true, while frontier users discovered only through circle
+// lists carry an empty profile.
+type Dataset struct {
+	Graph    *graph.Graph
+	Profiles []profile.Profile
+	IDs      []string
+	Crawled  []bool
+
+	index map[string]graph.NodeID
+}
+
+// NumUsers returns the number of discovered users (graph nodes).
+func (d *Dataset) NumUsers() int { return len(d.IDs) }
+
+// NumCrawled returns how many users have fetched profiles.
+func (d *Dataset) NumCrawled() int {
+	n := 0
+	for _, c := range d.Crawled {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// NodeOf resolves a service id to the dense node id.
+func (d *Dataset) NodeOf(id string) (graph.NodeID, bool) {
+	n, ok := d.index[id]
+	return n, ok
+}
+
+// buildIndex populates the id lookup; called by constructors and Load.
+func (d *Dataset) buildIndex() {
+	d.index = make(map[string]graph.NodeID, len(d.IDs))
+	for i, id := range d.IDs {
+		d.index[id] = graph.NodeID(i)
+	}
+}
+
+// Validate checks cross-field invariants.
+func (d *Dataset) Validate() error {
+	n := len(d.IDs)
+	if len(d.Profiles) != n || len(d.Crawled) != n {
+		return fmt.Errorf("dataset: column lengths differ: %d ids, %d profiles, %d crawled flags",
+			n, len(d.Profiles), len(d.Crawled))
+	}
+	if d.Graph.NumNodes() != n {
+		return fmt.Errorf("dataset: graph has %d nodes for %d users", d.Graph.NumNodes(), n)
+	}
+	return d.Graph.Validate()
+}
+
+// FromCrawl builds a dataset from raw crawl output. Node ids are
+// assigned in sorted service-id order so the construction is
+// deterministic regardless of worker scheduling.
+func FromCrawl(res *crawler.Result) *Dataset {
+	ids := make([]string, 0, len(res.Discovered))
+	for id := range res.Discovered {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	d := &Dataset{
+		IDs:      ids,
+		Profiles: make([]profile.Profile, len(ids)),
+		Crawled:  make([]bool, len(ids)),
+	}
+	d.buildIndex()
+	for id, p := range res.Profiles {
+		node := d.index[id]
+		d.Profiles[node] = p
+		d.Crawled[node] = true
+	}
+
+	b := graph.NewBuilder(len(ids), len(res.Edges))
+	for _, e := range res.Edges {
+		from, okFrom := d.index[e.From]
+		to, okTo := d.index[e.To]
+		if !okFrom || !okTo {
+			continue // edge to an id outside the discovered set: impossible, but harmless
+		}
+		b.AddEdge(from, to)
+	}
+	if b.NumNodes() < len(ids) {
+		// No edges touched the last ids (isolated seeds).
+		b.EnsureNode(graph.NodeID(len(ids) - 1))
+	}
+	d.Graph = b.Build()
+	return d
+}
+
+// FromUniverse builds a ground-truth dataset directly from a synthetic
+// universe, bypassing HTTP. This is the fast path used by benchmarks and
+// by cmd/gplusgen for large-scale runs.
+func FromUniverse(u *synth.Universe) *Dataset {
+	d := &Dataset{
+		Graph:    u.Graph,
+		Profiles: u.Profiles,
+		IDs:      u.IDs,
+		Crawled:  make([]bool, u.NumUsers()),
+	}
+	for i := range d.Crawled {
+		d.Crawled[i] = true
+	}
+	d.buildIndex()
+	return d
+}

@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"gplus/internal/gplusapi"
+	"gplus/internal/graph"
+)
+
+// On-disk layout: <dir>/graph.bin (compact CSR) and <dir>/profiles.jsonl
+// (one JSON record per user in node-id order). The JSONL form keeps the
+// profile columns greppable and diffable; the graph stays binary because
+// edge lists dominate the size.
+
+const (
+	graphFile      = "graph.bin"
+	profilesFile   = "profiles.jsonl"
+	profilesGzFile = "profiles.jsonl.gz"
+)
+
+// userRecord is one line of profiles.jsonl.
+type userRecord struct {
+	gplusapi.ProfileDoc
+	Crawled bool `json:"crawled"`
+}
+
+// Save writes the dataset under dir, creating it if needed.
+func (d *Dataset) Save(dir string) error {
+	return d.save(dir, false)
+}
+
+// SaveCompressed writes the dataset with a gzip-compressed profile
+// column (profiles.jsonl.gz), roughly quartering the disk footprint of
+// million-user datasets. Load reads either form transparently.
+func (d *Dataset) SaveCompressed(dir string) error {
+	return d.save(dir, true)
+}
+
+func (d *Dataset) save(dir string, compress bool) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	gf, err := os.Create(filepath.Join(dir, graphFile))
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	if err := graph.WriteBinary(gf, d.Graph); err != nil {
+		return fmt.Errorf("dataset: writing graph: %w", err)
+	}
+	if err := gf.Close(); err != nil {
+		return err
+	}
+
+	name := profilesFile
+	if compress {
+		name = profilesGzFile
+	}
+	pf, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	var w io.Writer = pf
+	var gz *gzip.Writer
+	if compress {
+		gz = gzip.NewWriter(pf)
+		w = gz
+	}
+	if err := d.writeProfiles(w); err != nil {
+		return fmt.Errorf("dataset: writing profiles: %w", err)
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return pf.Close()
+}
+
+func (d *Dataset) writeProfiles(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	for i := range d.IDs {
+		rec := userRecord{
+			ProfileDoc: gplusapi.FromProfile(d.IDs[i], &d.Profiles[i]),
+			Crawled:    d.Crawled[i],
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a dataset saved by Save.
+func Load(dir string) (*Dataset, error) {
+	gf, err := os.Open(filepath.Join(dir, graphFile))
+	if err != nil {
+		return nil, err
+	}
+	defer gf.Close()
+	g, err := graph.ReadBinary(gf)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading graph: %w", err)
+	}
+
+	// Prefer the plain form; fall back to the gzip form.
+	var profiles io.Reader
+	pf, err := os.Open(filepath.Join(dir, profilesFile))
+	switch {
+	case err == nil:
+		profiles = pf
+	case os.IsNotExist(err):
+		pf, err = os.Open(filepath.Join(dir, profilesGzFile))
+		if err != nil {
+			return nil, err
+		}
+		gz, err := gzip.NewReader(pf)
+		if err != nil {
+			pf.Close()
+			return nil, fmt.Errorf("dataset: opening compressed profiles: %w", err)
+		}
+		defer gz.Close()
+		profiles = gz
+	default:
+		return nil, err
+	}
+	defer pf.Close()
+	d := &Dataset{Graph: g}
+	if err := d.readProfiles(profiles); err != nil {
+		return nil, fmt.Errorf("dataset: reading profiles: %w", err)
+	}
+	d.buildIndex()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Dataset) readProfiles(r io.Reader) error {
+	scanner := bufio.NewScanner(bufio.NewReaderSize(r, 1<<16))
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for scanner.Scan() {
+		line++
+		var rec userRecord
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if rec.ID == "" {
+			return fmt.Errorf("line %d: record without id", line)
+		}
+		d.IDs = append(d.IDs, rec.ID)
+		d.Profiles = append(d.Profiles, rec.ToProfile())
+		d.Crawled = append(d.Crawled, rec.Crawled)
+	}
+	return scanner.Err()
+}

@@ -1,0 +1,42 @@
+package dataset
+
+import (
+	"gplus/internal/geo"
+	"gplus/internal/profile"
+)
+
+// ResolveCountries runs the §4 place-resolution pipeline over profiles
+// whose "places lived" field is public but whose country is not yet
+// identified: first the free-text place name is looked up in the
+// gazetteer, then the map coordinates fall back to the nearest
+// reference-country centroid within maxMiles. It returns how many
+// profiles were resolved.
+//
+// This is a no-op on datasets whose source already geocoded the place
+// markers; it exists for crawls of services (or gplusd with OmitGeocode)
+// that expose only raw place text and coordinates, which is what the
+// paper's crawler had to work with.
+func (d *Dataset) ResolveCountries(maxMiles float64) int {
+	if maxMiles <= 0 {
+		maxMiles = 600
+	}
+	resolved := 0
+	for i := range d.Profiles {
+		p := &d.Profiles[i]
+		if !p.Public.Has(profile.AttrPlacesLived) || p.CountryCode != "" {
+			continue
+		}
+		if _, code, ok := geo.ResolvePlace(p.Place); ok {
+			p.CountryCode = code
+			resolved++
+			continue
+		}
+		if p.Loc != (geo.Point{}) {
+			if code, ok := geo.CountryOf(p.Loc, maxMiles); ok {
+				p.CountryCode = code
+				resolved++
+			}
+		}
+	}
+	return resolved
+}

@@ -1,0 +1,34 @@
+// Package geo supplies the geographic machinery of Section 4: haversine
+// distances ("path miles"), a 2011 country reference table (population,
+// Internet users, GDP per capita PPP), place-name resolution for the
+// "places lived" profile field, and the penetration-rate definitions.
+package geo
+
+import "math"
+
+// Point is a location in degrees of latitude and longitude.
+type Point struct {
+	Lat float64 // degrees, positive north
+	Lon float64 // degrees, positive east
+}
+
+// EarthRadiusMiles is the mean Earth radius used for path-mile
+// computations.
+const EarthRadiusMiles = 3958.7613
+
+// HaversineMiles returns the great-circle distance between two points in
+// miles, the "path mile" metric of §4.4.
+func HaversineMiles(a, b Point) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(lat1)*math.Cos(lat2)*s2*s2
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusMiles * math.Asin(math.Sqrt(h))
+}

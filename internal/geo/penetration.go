@@ -1,0 +1,38 @@
+package geo
+
+import "sort"
+
+// PenetrationPoint is one country's position in Figure 7: GDP per capita
+// on X, a penetration rate on Y.
+type PenetrationPoint struct {
+	Code         string
+	Region       Region
+	GDPPerCapita float64
+	// GPR is the Google+ penetration rate of Equation 2: dataset users
+	// living in the country divided by the country's Internet population.
+	GPR float64
+	// IPR is the Internet penetration rate: Internet users / population.
+	IPR float64
+}
+
+// PenetrationRates computes Figure 7's points from a per-country count of
+// dataset users. Countries missing from the reference table are skipped.
+// Results are sorted by country code for determinism.
+func PenetrationRates(usersByCountry map[string]int) []PenetrationPoint {
+	out := make([]PenetrationPoint, 0, len(usersByCountry))
+	for code, users := range usersByCountry {
+		c, ok := ByCode(code)
+		if !ok || c.InternetUsers == 0 {
+			continue
+		}
+		out = append(out, PenetrationPoint{
+			Code:         code,
+			Region:       c.Region,
+			GDPPerCapita: c.GDPPerCapita,
+			GPR:          float64(users) / float64(c.InternetUsers),
+			IPR:          c.IPR(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}

@@ -1,0 +1,229 @@
+package gplusapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// ErrNotFound is returned for profiles that do not exist.
+var ErrNotFound = errors.New("gplusapi: profile not found")
+
+// Client talks to a gplusd instance. It retries transient failures (429
+// and 5xx) with exponential backoff and honors Retry-After hints. A
+// Client is safe for concurrent use.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8041".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+	// CrawlerID identifies the crawl worker ("machine") to the service's
+	// per-client rate limiter, standing in for the distinct source IPs of
+	// the paper's 11 crawl machines.
+	CrawlerID string
+	// MaxRetries bounds retry attempts per request (default 5).
+	MaxRetries int
+	// BackoffBase is the first retry delay (default 50ms); it doubles per
+	// attempt with jitter.
+	BackoffBase time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 5
+}
+
+func (c *Client) backoffBase() time.Duration {
+	if c.BackoffBase > 0 {
+		return c.BackoffBase
+	}
+	return 50 * time.Millisecond
+}
+
+// FetchProfile retrieves the public profile page of a user.
+func (c *Client) FetchProfile(ctx context.Context, id string) (*ProfileDoc, error) {
+	var doc ProfileDoc
+	path := "/people/" + url.PathEscape(id)
+	if err := c.getJSON(ctx, path, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// FetchProfileHTML retrieves the profile as an HTML page and scrapes it,
+// exercising the same path as the paper's crawler (which parsed the
+// public profile pages rather than a JSON API).
+func (c *Client) FetchProfileHTML(ctx context.Context, id string) (*ProfileDoc, error) {
+	path := "/people/" + url.PathEscape(id) + "?alt=html"
+	var doc *ProfileDoc
+	err := c.withRetries(ctx, func() error {
+		body, err := c.tryGetRaw(ctx, path)
+		if err != nil {
+			return err
+		}
+		doc, err = ParseProfileHTML(body)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// FetchCircle retrieves one page of a user's circle list. An empty
+// pageToken requests the first page; limit <= 0 uses the server default.
+func (c *Client) FetchCircle(ctx context.Context, id string, dir CircleDir, pageToken string, limit int) (*CirclePage, error) {
+	path := "/people/" + url.PathEscape(id) + "/circles/" + string(dir)
+	q := url.Values{}
+	if pageToken != "" {
+		q.Set("pageToken", pageToken)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page CirclePage
+	if err := c.getJSON(ctx, path, &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// FetchSeed retrieves the id of a well-known popular user to seed a
+// crawl from.
+func (c *Client) FetchSeed(ctx context.Context) (string, error) {
+	var doc SeedDoc
+	if err := c.getJSON(ctx, "/seed", &doc); err != nil {
+		return "", err
+	}
+	return doc.ID, nil
+}
+
+// FetchStats retrieves the server's ground-truth summary.
+func (c *Client) FetchStats(ctx context.Context) (*StatsDoc, error) {
+	var doc StatsDoc
+	if err := c.getJSON(ctx, "/stats", &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	return c.withRetries(ctx, func() error { return c.tryGetJSON(ctx, path, out) })
+}
+
+// withRetries runs fn with exponential backoff and jitter, honoring
+// Retry-After hints surfaced through retryAfterError.
+func (c *Client) withRetries(ctx context.Context, fn func() error) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
+		if attempt > 0 {
+			delay := c.backoffBase() << (attempt - 1)
+			// Full jitter keeps concurrent workers from synchronizing.
+			delay = time.Duration(rand.Int64N(int64(delay)) + int64(delay)/2)
+			if hinted, ok := lastErr.(*retryAfterError); ok && hinted.after > delay {
+				delay = hinted.after
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if !isRetryable(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("gplusapi: giving up after %d attempts: %w", c.maxRetries()+1, lastErr)
+}
+
+type retryAfterError struct {
+	status int
+	after  time.Duration
+}
+
+// Error describes the retryable status and its hint.
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("gplusapi: server status %d (retry after %v)", e.status, e.after)
+}
+
+func isRetryable(err error) bool {
+	var ra *retryAfterError
+	return errors.As(err, &ra)
+}
+
+func (c *Client) tryGetJSON(ctx context.Context, path string, out any) error {
+	return c.doGet(ctx, path, func(body io.Reader) error {
+		return json.NewDecoder(body).Decode(out)
+	})
+}
+
+// tryGetRaw performs one GET and returns the whole response body.
+func (c *Client) tryGetRaw(ctx context.Context, path string) ([]byte, error) {
+	var raw []byte
+	err := c.doGet(ctx, path, func(body io.Reader) error {
+		var err error
+		raw, err = io.ReadAll(body)
+		return err
+	})
+	return raw, err
+}
+
+// doGet performs one GET and hands a 200 body to consume; other statuses
+// map to the client's error taxonomy.
+func (c *Client) doGet(ctx context.Context, path string, consume func(io.Reader) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	if c.CrawlerID != "" {
+		req.Header.Set("X-Crawler-Id", c.CrawlerID)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body) // drain for connection reuse
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return consume(resp.Body)
+	case resp.StatusCode == http.StatusNotFound:
+		return ErrNotFound
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		after := time.Duration(0)
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.ParseFloat(v, 64); err == nil {
+				after = time.Duration(secs * float64(time.Second))
+			}
+		}
+		return &retryAfterError{status: resp.StatusCode, after: after}
+	default:
+		return fmt.Errorf("gplusapi: unexpected status %d for %s", resp.StatusCode, path)
+	}
+}

@@ -1,0 +1,189 @@
+package gplusapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestClient(ts *httptest.Server) *Client {
+	return &Client{
+		BaseURL:     ts.URL,
+		HTTPClient:  ts.Client(),
+		CrawlerID:   "test-worker",
+		BackoffBase: time.Millisecond,
+		MaxRetries:  3,
+	}
+}
+
+func TestClientFetchEndpoints(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /people/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get("X-Crawler-Id"); got != "test-worker" {
+			t.Errorf("crawler id header = %q", got)
+		}
+		w.Write([]byte(`{"id":"u1","name":"n","fields":["name"],"inCircleCount":3,"outCircleCount":4}`))
+	})
+	mux.HandleFunc("GET /people/{id}/circles/{dir}", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("pageToken") == "" {
+			w.Write([]byte(`{"ids":["a","b"],"nextPageToken":"2"}`))
+			return
+		}
+		w.Write([]byte(`{"ids":["c"]}`))
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"users":7,"edges":9}`))
+	})
+	mux.HandleFunc("GET /seed", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"id":"top"}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := newTestClient(ts)
+	ctx := context.Background()
+
+	doc, err := c.FetchProfile(ctx, "u1")
+	if err != nil || doc.ID != "u1" || doc.InCircleCount != 3 {
+		t.Fatalf("FetchProfile = %+v, %v", doc, err)
+	}
+	page, err := c.FetchCircle(ctx, "u1", CircleOut, "", 10)
+	if err != nil || len(page.IDs) != 2 || page.NextPageToken != "2" {
+		t.Fatalf("FetchCircle = %+v, %v", page, err)
+	}
+	page, err = c.FetchCircle(ctx, "u1", CircleIn, "2", 0)
+	if err != nil || len(page.IDs) != 1 || page.NextPageToken != "" {
+		t.Fatalf("FetchCircle page 2 = %+v, %v", page, err)
+	}
+	st, err := c.FetchStats(ctx)
+	if err != nil || st.Users != 7 || st.Edges != 9 {
+		t.Fatalf("FetchStats = %+v, %v", st, err)
+	}
+	seed, err := c.FetchSeed(ctx)
+	if err != nil || seed != "top" {
+		t.Fatalf("FetchSeed = %q, %v", seed, err)
+	}
+}
+
+func TestClientRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0.001")
+			http.Error(w, "flaky", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"id":"u","name":"n","inCircleCount":0,"outCircleCount":0}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	doc, err := c.FetchProfile(context.Background(), "u")
+	if err != nil {
+		t.Fatalf("FetchProfile: %v", err)
+	}
+	if doc.ID != "u" || calls.Load() != 3 {
+		t.Fatalf("doc=%+v calls=%d", doc, calls.Load())
+	}
+}
+
+func TestClientGivesUpAfterMaxRetries(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "always down", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	_, err := c.FetchProfile(context.Background(), "u")
+	if err == nil {
+		t.Fatal("expected failure after retries")
+	}
+	if got := calls.Load(); got != int32(c.MaxRetries)+1 {
+		t.Errorf("server saw %d calls, want %d", got, c.MaxRetries+1)
+	}
+}
+
+func TestClientNotFoundIsTerminal(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	_, err := c.FetchProfile(context.Background(), "nope")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("404 retried: %d calls", calls.Load())
+	}
+}
+
+func TestClientUnexpectedStatusIsTerminal(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "teapot", http.StatusTeapot)
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	_, err := c.FetchProfile(context.Background(), "u")
+	if err == nil || errors.Is(err, ErrNotFound) || isRetryable(err) {
+		t.Fatalf("err = %v, want terminal non-404 error", err)
+	}
+}
+
+func TestClientContextCancelDuringBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "slow down", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.FetchProfile(ctx, "u")
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation ignored Retry-After sleep: %v", elapsed)
+	}
+}
+
+func TestClientFetchProfileHTMLParsesAndRetries(t *testing.T) {
+	var calls atomic.Int32
+	page := RenderProfileHTML(&ProfileDoc{ID: "u9", Name: "nine", Fields: []string{"name"}})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("alt") != "html" {
+			t.Errorf("missing alt=html: %s", r.URL)
+		}
+		if calls.Add(1) == 1 {
+			http.Error(w, "hiccup", http.StatusInternalServerError)
+			return
+		}
+		w.Write(page)
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	doc, err := c.FetchProfileHTML(context.Background(), "u9")
+	if err != nil {
+		t.Fatalf("FetchProfileHTML: %v", err)
+	}
+	if doc.ID != "u9" || doc.Name != "nine" {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2 (one retry)", calls.Load())
+	}
+}
+
+func TestClientDefaults(t *testing.T) {
+	c := &Client{}
+	if c.httpClient() == nil || c.maxRetries() != 5 || c.backoffBase() != 50*time.Millisecond {
+		t.Error("defaults not applied")
+	}
+}

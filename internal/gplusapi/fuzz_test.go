@@ -1,0 +1,63 @@
+package gplusapi
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseProfileHTML checks that arbitrary markup never panics the
+// scraper and that valid renderings always round trip.
+func FuzzParseProfileHTML(f *testing.F) {
+	p := samplePublicProfile()
+	doc := FromProfile("1seed", &p)
+	f.Add(string(RenderProfileHTML(&doc)))
+	f.Add("")
+	f.Add("<html><body></body></html>")
+	f.Add(`<div id="profile" data-id="x" data-in="1" data-out="2"><h1 class="name">n</h1></body>`)
+	f.Add(`<div id="profile" data-id=`)
+	f.Fuzz(func(t *testing.T, page string) {
+		got, err := ParseProfileHTML([]byte(page))
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		// Anything accepted must re-render and re-parse identically
+		// (canonical-form idempotence).
+		again, err := ParseProfileHTML(RenderProfileHTML(got))
+		if err != nil {
+			t.Fatalf("re-parse of rendered doc failed: %v", err)
+		}
+		if got.ID != again.ID || got.Name != again.Name || len(got.Fields) != len(again.Fields) {
+			t.Fatalf("not idempotent:\n first %+v\n again %+v", got, again)
+		}
+	})
+}
+
+// FuzzToProfile checks the wire-to-model conversion tolerates arbitrary
+// field codes and labels.
+func FuzzToProfile(f *testing.F) {
+	f.Add("name", "Male", "Single", "IT")
+	f.Add("", "", "", "")
+	f.Add("work_contact", "Blorp", "Whatever", "zz")
+	f.Fuzz(func(t *testing.T, field, gender, rel, occ string) {
+		doc := ProfileDoc{
+			ID:           "1x",
+			Name:         "n",
+			Fields:       []string{field},
+			Gender:       gender,
+			Relationship: rel,
+			Occupation:   occ,
+		}
+		p := doc.ToProfile()
+		// Unknown inputs must degrade to zero values, never panic.
+		if p.Public.Count() > 1 {
+			t.Fatalf("one field code produced %d public attrs", p.Public.Count())
+		}
+		_ = p.IsTelUser()
+		// Round-tripping the parsed profile must be stable.
+		back := FromProfile(doc.ID, &p)
+		p2 := back.ToProfile()
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("profile round trip unstable:\n %+v\n %+v", p, p2)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package gplusapi
+
+import (
+	"fmt"
+	"html"
+	"strconv"
+	"strings"
+)
+
+// The live Google+ exposed profiles as HTML pages — the paper's crawler
+// made "HTTP requests to publicly available user profile pages" and
+// scraped them. gplusd can serve this HTML view (?alt=html) and the
+// client can parse it, exercising the scrape path end to end. The markup
+// is a compact, microdata-style document; RenderProfileHTML and
+// ParseProfileHTML are exact inverses for valid profiles.
+
+// attrEscape escapes a string for use inside a double-quoted attribute.
+// Beyond the standard HTML escapes it encodes '=', so that no rendered
+// value can ever contain an attribute-marker pattern (name=") — the
+// property the scraper's anchored attribute search relies on.
+func attrEscape(s string) string {
+	return strings.ReplaceAll(html.EscapeString(s), "=", "&#61;")
+}
+
+// RenderProfileHTML renders the public profile page markup.
+func RenderProfileHTML(doc *ProfileDoc) []byte {
+	var b strings.Builder
+	b.Grow(512)
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>")
+	b.WriteString(html.EscapeString(doc.Name))
+	b.WriteString(" - Google+</title></head>\n<body>\n")
+	fmt.Fprintf(&b, "<div id=\"profile\" data-id=\"%s\" data-in=\"%d\" data-out=\"%d\">\n",
+		attrEscape(doc.ID), doc.InCircleCount, doc.OutCircleCount)
+	fmt.Fprintf(&b, "<h1 class=\"name\">%s</h1>\n", html.EscapeString(doc.Name))
+	if doc.Gender != "" {
+		fmt.Fprintf(&b, "<span class=\"gender\">%s</span>\n", html.EscapeString(doc.Gender))
+	}
+	if doc.Relationship != "" {
+		fmt.Fprintf(&b, "<span class=\"relationship\">%s</span>\n", html.EscapeString(doc.Relationship))
+	}
+	if doc.Place != nil {
+		fmt.Fprintf(&b, "<div class=\"place\" data-lat=\"%g\" data-lon=\"%g\" data-country=\"%s\">%s</div>\n",
+			doc.Place.Lat, doc.Place.Lon, attrEscape(doc.Place.Country), html.EscapeString(doc.Place.Name))
+	}
+	if len(doc.PlacesLived) > 0 {
+		b.WriteString("<ul class=\"places\">\n")
+		for _, place := range doc.PlacesLived {
+			fmt.Fprintf(&b, "<li>%s</li>\n", html.EscapeString(place))
+		}
+		b.WriteString("</ul>\n")
+	}
+	if doc.Occupation != "" {
+		fmt.Fprintf(&b, "<span class=\"occupation\" data-code=\"%s\"></span>\n", attrEscape(doc.Occupation))
+	}
+	b.WriteString("<ul class=\"fields\">\n")
+	for _, f := range doc.Fields {
+		fmt.Fprintf(&b, "<li>%s</li>\n", html.EscapeString(f))
+	}
+	b.WriteString("</ul>\n</div>\n</body></html>\n")
+	return []byte(b.String())
+}
+
+// ParseProfileHTML extracts a ProfileDoc from profile-page markup
+// produced by RenderProfileHTML. It fails loudly on markup that lacks
+// the profile container or mandatory attributes.
+func ParseProfileHTML(page []byte) (*ProfileDoc, error) {
+	s := string(page)
+	// The profile container nests other divs (the place marker), so its
+	// extent runs to the end of the body rather than the first </div>.
+	root, err := sliceBetween(s, "<div id=\"profile\"", "</body>")
+	if err != nil {
+		return nil, fmt.Errorf("gplusapi: profile container: %w", err)
+	}
+	doc := &ProfileDoc{}
+	if doc.ID, err = attrValue(root, "data-id"); err != nil {
+		return nil, err
+	}
+	if doc.ID == "" {
+		return nil, fmt.Errorf("gplusapi: empty profile id")
+	}
+	inRaw, err := attrValue(root, "data-in")
+	if err != nil {
+		return nil, err
+	}
+	outRaw, err := attrValue(root, "data-out")
+	if err != nil {
+		return nil, err
+	}
+	if doc.InCircleCount, err = strconv.Atoi(inRaw); err != nil {
+		return nil, fmt.Errorf("gplusapi: bad in-count %q", inRaw)
+	}
+	if doc.OutCircleCount, err = strconv.Atoi(outRaw); err != nil {
+		return nil, fmt.Errorf("gplusapi: bad out-count %q", outRaw)
+	}
+
+	name, err := textOf(root, "<h1 class=\"name\">", "</h1>")
+	if err != nil {
+		return nil, err
+	}
+	doc.Name = html.UnescapeString(name)
+
+	if g, err := textOf(root, "<span class=\"gender\">", "</span>"); err == nil {
+		doc.Gender = html.UnescapeString(g)
+	}
+	if r, err := textOf(root, "<span class=\"relationship\">", "</span>"); err == nil {
+		doc.Relationship = html.UnescapeString(r)
+	}
+	if placeTag, err := sliceBetween(root, "<div class=\"place\"", "</div>"); err == nil {
+		place := &PlaceDoc{}
+		latRaw, err := attrValue(placeTag, "data-lat")
+		if err != nil {
+			return nil, err
+		}
+		lonRaw, err := attrValue(placeTag, "data-lon")
+		if err != nil {
+			return nil, err
+		}
+		if place.Lat, err = strconv.ParseFloat(latRaw, 64); err != nil {
+			return nil, fmt.Errorf("gplusapi: bad latitude %q", latRaw)
+		}
+		if place.Lon, err = strconv.ParseFloat(lonRaw, 64); err != nil {
+			return nil, fmt.Errorf("gplusapi: bad longitude %q", lonRaw)
+		}
+		if place.Country, err = attrValue(placeTag, "data-country"); err != nil {
+			return nil, err
+		}
+		if i := strings.IndexByte(placeTag, '>'); i >= 0 {
+			place.Name = html.UnescapeString(placeTag[i+1:])
+		}
+		doc.Place = place
+	}
+	if list, err := sliceBetween(root, "<ul class=\"places\">", "</ul>"); err == nil {
+		doc.PlacesLived = listItems(list)
+	}
+	if occTag, err := sliceBetween(root, "<span class=\"occupation\"", "</span>"); err == nil {
+		if doc.Occupation, err = attrValue(occTag, "data-code"); err != nil {
+			return nil, err
+		}
+	}
+
+	if list, err := sliceBetween(root, "<ul class=\"fields\">", "</ul>"); err == nil {
+		doc.Fields = listItems(list)
+	}
+	return doc, nil
+}
+
+// listItems extracts the unescaped text of every <li> in a list slice.
+func listItems(list string) []string {
+	var out []string
+	rest := list
+	for {
+		item, err := sliceBetween(rest, "<li>", "</li>")
+		if err != nil {
+			break
+		}
+		out = append(out, html.UnescapeString(item))
+		idx := strings.Index(rest, "</li>")
+		rest = rest[idx+len("</li>"):]
+	}
+	return out
+}
+
+// sliceBetween returns the text between the first occurrence of open
+// and the following occurrence of close (exclusive).
+func sliceBetween(s, open, close string) (string, error) {
+	i := strings.Index(s, open)
+	if i < 0 {
+		return "", fmt.Errorf("marker %q not found", open)
+	}
+	rest := s[i+len(open):]
+	j := strings.Index(rest, close)
+	if j < 0 {
+		return "", fmt.Errorf("closing %q not found", close)
+	}
+	return rest[:j], nil
+}
+
+// attrValue extracts a double-quoted attribute value from a tag slice.
+// The marker is anchored on a leading space so that attribute-like text
+// inside a value cannot match: rendered values are HTML-escaped, so the
+// raw '"' required by the marker can never occur within a value. The
+// returned value is unescaped.
+func attrValue(tag, name string) (string, error) {
+	marker := " " + name + "=\""
+	i := strings.Index(tag, marker)
+	if i < 0 {
+		return "", fmt.Errorf("gplusapi: attribute %q not found", name)
+	}
+	rest := tag[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", fmt.Errorf("gplusapi: attribute %q unterminated", name)
+	}
+	return html.UnescapeString(rest[:j]), nil
+}
+
+// textOf returns the text content between an opening tag and its close.
+func textOf(s, open, close string) (string, error) {
+	return sliceBetween(s, open, close)
+}

@@ -1,0 +1,139 @@
+package gplusapi
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"gplus/internal/profile"
+)
+
+func TestHTMLRoundTrip(t *testing.T) {
+	p := samplePublicProfile()
+	doc := FromProfile("10000000000000000042X", &p)
+	page := RenderProfileHTML(&doc)
+	got, err := ParseProfileHTML(page)
+	if err != nil {
+		t.Fatalf("ParseProfileHTML: %v", err)
+	}
+	if !reflect.DeepEqual(got, &doc) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, &doc)
+	}
+}
+
+func TestHTMLEscaping(t *testing.T) {
+	doc := ProfileDoc{
+		ID:     "1x",
+		Name:   `<script>alert("pwn")</script> & more`,
+		Fields: []string{"name"},
+		Place:  &PlaceDoc{Name: `City "with" <quotes> & ampersands`, Lat: 1.5, Lon: -2.25, Country: "US"},
+	}
+	page := RenderProfileHTML(&doc)
+	if containsRaw(page, "<script>") {
+		t.Fatal("unescaped script tag in output")
+	}
+	got, err := ParseProfileHTML(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != doc.Name {
+		t.Errorf("name = %q, want %q", got.Name, doc.Name)
+	}
+	if got.Place == nil || got.Place.Name != doc.Place.Name {
+		t.Errorf("place = %+v, want %+v", got.Place, doc.Place)
+	}
+}
+
+func containsRaw(page []byte, s string) bool {
+	// the title/h1 would carry the escaped form; any raw occurrence is a bug
+	return indexOf(page, s) >= 0
+}
+
+func indexOf(b []byte, s string) int {
+	for i := 0; i+len(s) <= len(b); i++ {
+		if string(b[i:i+len(s)]) == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestHTMLMinimalProfile(t *testing.T) {
+	// An uncrawled/minimal profile: name only.
+	doc := ProfileDoc{ID: "1y", Name: "user-1", Fields: []string{"name"}}
+	got, err := ParseProfileHTML(RenderProfileHTML(&doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, &doc) {
+		t.Fatalf("minimal round trip: %+v vs %+v", got, &doc)
+	}
+}
+
+func TestParseProfileHTMLRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"<html><body>nothing here</body></html>",
+		`<div id="profile" data-id="x"`, // unterminated
+		`<div id="profile" data-in="5" data-out="5"><h1 class="name">n</h1></body>`, // no id
+		`<div id="profile" data-id="x" data-in="NaN" data-out="5"><h1 class="name">n</h1></body>`,
+		`<div id="profile" data-id="" data-in="5" data-out="5"><h1 class="name">n</h1></body>`,
+	}
+	for i, c := range cases {
+		if _, err := ParseProfileHTML([]byte(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestHTMLPropertyRoundTrip(t *testing.T) {
+	genders := []profile.Gender{profile.GenderUnknown, profile.GenderMale, profile.GenderFemale, profile.GenderOther}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^99))
+		p := profile.Profile{
+			Name:              randomText(rng),
+			Gender:            genders[rng.IntN(len(genders))],
+			Relationship:      profile.Relationship(rng.IntN(int(profile.NumRelationships))),
+			Occupation:        profile.Occupation(rng.IntN(int(profile.NumOccupations))),
+			DeclaredInDegree:  rng.IntN(1_000_000),
+			DeclaredOutDegree: rng.IntN(10_000),
+		}
+		p.Public = p.Public.With(profile.AttrName)
+		for _, a := range profile.AllAttrs() {
+			if rng.Float64() < 0.4 {
+				p.Public = p.Public.With(a)
+			}
+		}
+		if p.Public.Has(profile.AttrPlacesLived) {
+			for n := rng.IntN(3); len(p.PlacesLived) < n; {
+				p.PlacesLived = append(p.PlacesLived, randomText(rng))
+			}
+			p.Place = randomText(rng)
+			p.PlacesLived = append(p.PlacesLived, p.Place)
+			p.Loc.Lat = rng.Float64()*180 - 90
+			p.Loc.Lon = rng.Float64()*360 - 180
+			p.CountryCode = "BR"
+		}
+		doc := FromProfile("1234567890123456789012", &p)
+		got, err := ParseProfileHTML(RenderProfileHTML(&doc))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, &doc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomText draws printable text including HTML-hostile characters.
+func randomText(rng *rand.Rand) string {
+	alphabet := []rune(`abcXYZ 0123<>&"'éñ中`)
+	n := 1 + rng.IntN(20)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alphabet[rng.IntN(len(alphabet))]
+	}
+	return string(out)
+}

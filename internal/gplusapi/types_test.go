@@ -1,0 +1,129 @@
+package gplusapi
+
+import (
+	"reflect"
+	"testing"
+
+	"gplus/internal/geo"
+	"gplus/internal/profile"
+)
+
+func samplePublicProfile() profile.Profile {
+	p := profile.Profile{
+		Name:              "user-0000042",
+		Gender:            profile.GenderFemale,
+		Relationship:      profile.RelComplicated,
+		PlacesLived:       []string{"Rio de Janeiro", "Brazil"},
+		Place:             "Brazil",
+		Loc:               geo.Point{Lat: -19.9, Lon: -43.9},
+		CountryCode:       "BR",
+		Occupation:        profile.Blogger,
+		DeclaredInDegree:  15000,
+		DeclaredOutDegree: 120,
+	}
+	p.Public = p.Public.
+		With(profile.AttrName).
+		With(profile.AttrGender).
+		With(profile.AttrRelationship).
+		With(profile.AttrPlacesLived).
+		With(profile.AttrOccupation).
+		With(profile.AttrWorkContact)
+	return p
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	p := samplePublicProfile()
+	doc := FromProfile("10000000000000000042X", &p)
+	got := doc.ToProfile()
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestFromProfileHidesPrivateFields(t *testing.T) {
+	p := samplePublicProfile()
+	// Withdraw gender and places lived from the public set; the values
+	// stay in the struct (the service knows them) but must not serialize.
+	p.Public = p.Public.Without(profile.AttrGender).Without(profile.AttrPlacesLived)
+	doc := FromProfile("id", &p)
+	if doc.Gender != "" {
+		t.Errorf("private gender leaked: %q", doc.Gender)
+	}
+	if doc.Place != nil {
+		t.Errorf("private place leaked: %+v", doc.Place)
+	}
+	for _, f := range doc.Fields {
+		if f == profile.AttrGender.WireCode() || f == profile.AttrPlacesLived.WireCode() {
+			t.Errorf("private field %q listed", f)
+		}
+	}
+}
+
+func TestFromProfileFieldCodes(t *testing.T) {
+	p := samplePublicProfile()
+	doc := FromProfile("id", &p)
+	want := map[string]bool{
+		"name": true, "gender": true, "relationship": true,
+		"places_lived": true, "occupation": true, "work_contact": true,
+	}
+	if len(doc.Fields) != len(want) {
+		t.Fatalf("fields = %v", doc.Fields)
+	}
+	for _, f := range doc.Fields {
+		if !want[f] {
+			t.Errorf("unexpected field code %q", f)
+		}
+	}
+}
+
+func TestToProfileUnknownCodesIgnored(t *testing.T) {
+	doc := ProfileDoc{
+		ID:     "x",
+		Name:   "n",
+		Fields: []string{"name", "hovercraft", "gender"},
+		Gender: "Blorp",
+	}
+	p := doc.ToProfile()
+	if p.Public.Count() != 2 {
+		t.Errorf("public count = %d, want 2", p.Public.Count())
+	}
+	if p.Gender != profile.GenderUnknown {
+		t.Errorf("unknown gender label parsed to %v", p.Gender)
+	}
+}
+
+func TestWireCodeRoundTrip(t *testing.T) {
+	for _, a := range profile.AllAttrs() {
+		code := a.WireCode()
+		if code == "" {
+			t.Fatalf("attr %v has no wire code", a)
+		}
+		back, ok := profile.AttrFromWireCode(code)
+		if !ok || back != a {
+			t.Fatalf("wire code %q round trips to %v,%v", code, back, ok)
+		}
+	}
+	if _, ok := profile.AttrFromWireCode("bogus"); ok {
+		t.Error("bogus code resolved")
+	}
+}
+
+func TestParseLabels(t *testing.T) {
+	if profile.ParseGender("Male") != profile.GenderMale {
+		t.Error("Male did not parse")
+	}
+	if profile.ParseGender("") != profile.GenderUnknown {
+		t.Error("empty gender should be unknown")
+	}
+	for _, r := range profile.Relationships() {
+		if profile.ParseRelationship(r.String()) != r {
+			t.Errorf("relationship %v does not round trip", r)
+		}
+	}
+	if profile.ParseOccupation("IT") != profile.IT {
+		t.Error("IT did not parse")
+	}
+	if profile.ParseOccupation("zz") != profile.OccupationOther {
+		t.Error("unknown occupation should map to Other")
+	}
+}

@@ -1,0 +1,66 @@
+package gplusd
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// EvolvingServer serves a *sequence* of content snapshots, advancing to
+// the next one after a fixed number of requests. It models the situation
+// the paper's crawl actually faced: data collection ran for 45 days
+// (Nov 11 – Dec 27, 2011) while the service grew from ~43M to 62M
+// registered users, so early responses and late responses describe
+// different graphs.
+//
+// Ids must be stable across snapshots (growth.Snapshot.ServableUsers
+// guarantees this); a user fetched in epoch 0 can then be referenced by
+// circle lists served from epoch 3.
+type EvolvingServer struct {
+	snapshots []*Server
+	// advanceEvery counts requests between epoch advances.
+	advanceEvery int64
+	requests     atomic.Int64
+
+	mu    sync.RWMutex
+	epoch int
+}
+
+// NewEvolving builds an evolving server over the content snapshots; each
+// snapshot is served with the same options. advanceEvery requests move
+// the service one epoch forward (it stays at the last snapshot once
+// reached).
+func NewEvolving(snapshots []Content, opts Options, advanceEvery int) *EvolvingServer {
+	servers := make([]*Server, len(snapshots))
+	for i, c := range snapshots {
+		servers[i] = NewContent(c, opts)
+	}
+	if advanceEvery <= 0 {
+		advanceEvery = 1000
+	}
+	return &EvolvingServer{snapshots: servers, advanceEvery: int64(advanceEvery)}
+}
+
+// Epoch returns the currently served snapshot index.
+func (e *EvolvingServer) Epoch() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch
+}
+
+// ServeHTTP implements http.Handler: requests are counted and delegated
+// to the snapshot current at arrival time.
+func (e *EvolvingServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := e.requests.Add(1)
+	target := int(n / e.advanceEvery)
+	if target > len(e.snapshots)-1 {
+		target = len(e.snapshots) - 1
+	}
+	e.mu.Lock()
+	if target > e.epoch {
+		e.epoch = target
+	}
+	current := e.snapshots[e.epoch]
+	e.mu.Unlock()
+	current.ServeHTTP(w, r)
+}

@@ -1,0 +1,353 @@
+// Package gplusd is the Google+ service simulator: an HTTP server that
+// exposes a synthetic universe the way the live service exposed itself to
+// the paper's crawler — public profile pages and paginated in-/out-circle
+// lists capped at 10,000 entries (§2.2) — plus per-client rate limiting
+// and injectable transient faults for crawler hardening.
+package gplusd
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gplus/internal/gplusapi"
+	"gplus/internal/graph"
+	"gplus/internal/profile"
+	"gplus/internal/synth"
+)
+
+// Options configures the service simulator.
+type Options struct {
+	// CircleCap truncates every served circle list, like the live
+	// service's 10,000-user limit. Zero means the default of 10,000;
+	// negative disables the cap.
+	CircleCap int
+	// PageSize is the default (and maximum) number of ids per circle
+	// page. Zero means 1,000.
+	PageSize int
+	// RatePerSecond enables a token-bucket rate limit per crawler
+	// identity when positive. BurstSize defaults to RatePerSecond.
+	RatePerSecond float64
+	BurstSize     float64
+	// FaultRate injects random 503 responses with this probability, for
+	// testing crawler retry behaviour.
+	FaultRate float64
+	// FaultSeed makes fault injection deterministic.
+	FaultSeed uint64
+	// OmitGeocode strips the resolved country from served place markers,
+	// leaving only the free-text name and map coordinates — the view the
+	// paper's crawler actually had, forcing the analysis side to run its
+	// own place resolution (§4: "extracted the coordinates ... and
+	// translated the coordinates into a valid country identifier").
+	OmitGeocode bool
+}
+
+func (o Options) circleCap() int {
+	switch {
+	case o.CircleCap == 0:
+		return 10_000
+	case o.CircleCap < 0:
+		return int(^uint(0) >> 1)
+	default:
+		return o.CircleCap
+	}
+}
+
+func (o Options) pageSize() int {
+	if o.PageSize <= 0 {
+		return 1000
+	}
+	return o.PageSize
+}
+
+// Content is what a Server exposes: parallel columns of user ids and
+// public profiles plus the circle graph. synth.Universe and any
+// dataset-shaped source can be served by filling this struct.
+type Content struct {
+	IDs      []string
+	Profiles []profile.Profile
+	Graph    *graph.Graph
+}
+
+// Server serves a synthetic universe. It implements http.Handler and is
+// safe for concurrent use.
+type Server struct {
+	content Content
+	opts    Options
+	index   map[string]graph.NodeID
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	faultRNG *rand.Rand
+	buckets  map[string]*bucket
+
+	stats struct {
+		sync.Mutex
+		ProfileRequests int64
+		CircleRequests  int64
+		RateLimited     int64
+		FaultsInjected  int64
+	}
+}
+
+// New builds a server over a synthetic universe.
+func New(u *synth.Universe, opts Options) *Server {
+	return NewContent(Content{IDs: u.IDs, Profiles: u.Profiles, Graph: u.Graph}, opts)
+}
+
+// NewContent builds a server over arbitrary content — a growth-model
+// snapshot, a previously collected dataset, or a hand-built world.
+func NewContent(c Content, opts Options) *Server {
+	s := &Server{
+		content:  c,
+		opts:     opts,
+		index:    make(map[string]graph.NodeID, len(c.IDs)),
+		faultRNG: rand.New(rand.NewPCG(opts.FaultSeed, opts.FaultSeed^0xdead10cc)),
+		buckets:  make(map[string]*bucket),
+	}
+	for i, id := range c.IDs {
+		s.index[id] = graph.NodeID(i)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /people/{id}", s.handleProfile)
+	mux.HandleFunc("GET /people/{id}/circles/{dir}", s.handleCircles)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /seed", s.handleSeed)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.injectFault() {
+		s.stats.Lock()
+		s.stats.FaultsInjected++
+		s.stats.Unlock()
+		w.Header().Set("Retry-After", "0.05")
+		http.Error(w, "transient backend error", http.StatusServiceUnavailable)
+		return
+	}
+	if !s.allow(clientKey(r)) {
+		s.stats.Lock()
+		s.stats.RateLimited++
+		s.stats.Unlock()
+		w.Header().Set("Retry-After", "0.2")
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// RequestStats returns a snapshot of the request counters.
+func (s *Server) RequestStats() (profiles, circles, limited, faults int64) {
+	s.stats.Lock()
+	defer s.stats.Unlock()
+	return s.stats.ProfileRequests, s.stats.CircleRequests, s.stats.RateLimited, s.stats.FaultsInjected
+}
+
+func (s *Server) injectFault() bool {
+	if s.opts.FaultRate <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faultRNG.Float64() < s.opts.FaultRate
+}
+
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Crawler-Id"); id != "" {
+		return id
+	}
+	host := r.RemoteAddr
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	return host
+}
+
+// bucket is a token bucket replenished on demand.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func (s *Server) allow(key string) bool {
+	if s.opts.RatePerSecond <= 0 {
+		return true
+	}
+	burst := s.opts.BurstSize
+	if burst <= 0 {
+		burst = s.opts.RatePerSecond
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[key]
+	if !ok {
+		b = &bucket{tokens: burst, last: now}
+		s.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * s.opts.RatePerSecond
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	node, ok := s.index[r.PathValue("id")]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.stats.Lock()
+	s.stats.ProfileRequests++
+	s.stats.Unlock()
+	doc := gplusapi.FromProfile(s.content.IDs[node], &s.content.Profiles[node])
+	if s.opts.OmitGeocode && doc.Place != nil {
+		place := *doc.Place
+		place.Country = ""
+		doc.Place = &place
+	}
+	// The live service served profile pages as HTML; the scrape path is
+	// available via ?alt=html (or an HTML-preferring Accept header).
+	if r.URL.Query().Get("alt") == "html" || acceptsHTMLOnly(r) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(gplusapi.RenderProfileHTML(&doc)) //nolint:errcheck — best effort to a dead client
+		return
+	}
+	writeJSON(w, &doc)
+}
+
+// acceptsHTMLOnly reports whether the request prefers HTML and does not
+// accept JSON (a browser-style Accept header).
+func acceptsHTMLOnly(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/html") && !strings.Contains(accept, "application/json")
+}
+
+func (s *Server) handleCircles(w http.ResponseWriter, r *http.Request) {
+	node, ok := s.index[r.PathValue("id")]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	var adj []graph.NodeID
+	switch gplusapi.CircleDir(r.PathValue("dir")) {
+	case gplusapi.CircleIn:
+		adj = s.content.Graph.In(node)
+	case gplusapi.CircleOut:
+		adj = s.content.Graph.Out(node)
+	default:
+		http.Error(w, "unknown circle direction", http.StatusBadRequest)
+		return
+	}
+	s.stats.Lock()
+	s.stats.CircleRequests++
+	s.stats.Unlock()
+
+	// The service silently truncates huge circle lists at the cap; the
+	// profile page's counters still show the full totals (§2.2).
+	if cap := s.opts.circleCap(); len(adj) > cap {
+		adj = adj[:cap]
+	}
+
+	offset := 0
+	if tok := r.URL.Query().Get("pageToken"); tok != "" {
+		v, err := strconv.Atoi(tok)
+		if err != nil || v < 0 || v > len(adj) {
+			http.Error(w, "invalid page token", http.StatusBadRequest)
+			return
+		}
+		offset = v
+	}
+	limit := s.opts.pageSize()
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			http.Error(w, "invalid limit", http.StatusBadRequest)
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+
+	end := offset + limit
+	if end > len(adj) {
+		end = len(adj)
+	}
+	page := gplusapi.CirclePage{IDs: make([]string, 0, end-offset)}
+	for _, v := range adj[offset:end] {
+		page.IDs = append(page.IDs, s.content.IDs[v])
+	}
+	if end < len(adj) {
+		page.NextPageToken = strconv.Itoa(end)
+	}
+	writeJSON(w, &page)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, &gplusapi.StatsDoc{
+		Users: len(s.content.IDs),
+		Edges: s.content.Graph.NumEdges(),
+	})
+}
+
+// handleSeed returns the id of the most-followed user: a well-known
+// starting point for crawls, standing in for the paper's use of Mark
+// Zuckerberg's profile as the BFS seed.
+func (s *Server) handleSeed(w http.ResponseWriter, _ *http.Request) {
+	top := graph.TopByInDegree(s.content.Graph, 1)
+	if len(top) == 0 {
+		http.NotFound(w, nil)
+		return
+	}
+	writeJSON(w, &gplusapi.SeedDoc{ID: s.content.IDs[top[0]]})
+}
+
+// MetricsDoc is the operational-counter document served at /metrics —
+// observability for long crawls (the paper's ran for 45 days).
+type MetricsDoc struct {
+	ProfileRequests int64 `json:"profileRequests"`
+	CircleRequests  int64 `json:"circleRequests"`
+	RateLimited     int64 `json:"rateLimited"`
+	FaultsInjected  int64 `json:"faultsInjected"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	p, c, l, f := s.RequestStats()
+	writeJSON(w, &MetricsDoc{
+		ProfileRequests: p,
+		CircleRequests:  c,
+		RateLimited:     l,
+		FaultsInjected:  f,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The connection is gone; nothing useful to do beyond logging at
+		// a higher layer. Encoding of our own types cannot fail.
+		_ = err
+	}
+}
+
+// String describes the server configuration, for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("gplusd{users=%d edges=%d cap=%d page=%d rate=%g fault=%g}",
+		len(s.content.IDs), s.content.Graph.NumEdges(),
+		s.opts.circleCap(), s.opts.pageSize(), s.opts.RatePerSecond, s.opts.FaultRate)
+}

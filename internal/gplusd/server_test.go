@@ -1,0 +1,347 @@
+package gplusd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"gplus/internal/gplusapi"
+	"gplus/internal/graph"
+	"gplus/internal/synth"
+)
+
+var (
+	serverUniverseOnce sync.Once
+	serverUniverseVal  *synth.Universe
+)
+
+func serverUniverse(t *testing.T) *synth.Universe {
+	t.Helper()
+	serverUniverseOnce.Do(func() {
+		cfg := synth.DefaultConfig(4_000)
+		cfg.Seed = 99
+		u, err := synth.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		serverUniverseVal = u
+	})
+	return serverUniverseVal
+}
+
+func startServer(t *testing.T, opts Options) (*Server, *gplusapi.Client) {
+	t.Helper()
+	srv := New(serverUniverse(t), opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, &gplusapi.Client{BaseURL: ts.URL, HTTPClient: ts.Client(), BackoffBase: time.Millisecond}
+}
+
+func TestServeProfile(t *testing.T) {
+	u := serverUniverse(t)
+	_, client := startServer(t, Options{})
+	ctx := context.Background()
+
+	doc, err := client.FetchProfile(ctx, u.IDs[0])
+	if err != nil {
+		t.Fatalf("FetchProfile: %v", err)
+	}
+	if doc.ID != u.IDs[0] || doc.Name != u.Profiles[0].Name {
+		t.Errorf("doc = %+v", doc)
+	}
+	if doc.InCircleCount != u.Graph.InDegree(0) || doc.OutCircleCount != u.Graph.OutDegree(0) {
+		t.Errorf("declared degrees %d/%d, want %d/%d",
+			doc.InCircleCount, doc.OutCircleCount, u.Graph.InDegree(0), u.Graph.OutDegree(0))
+	}
+	got := doc.ToProfile()
+	if got.Public != u.Profiles[0].Public {
+		t.Errorf("public set %v, want %v", got.Public, u.Profiles[0].Public)
+	}
+}
+
+func TestServeProfileNotFound(t *testing.T) {
+	_, client := startServer(t, Options{})
+	_, err := client.FetchProfile(context.Background(), "does-not-exist")
+	if !errors.Is(err, gplusapi.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+// fetchAllCircle pages through a full circle list.
+func fetchAllCircle(t *testing.T, client *gplusapi.Client, id string, dir gplusapi.CircleDir, limit int) []string {
+	t.Helper()
+	var ids []string
+	token := ""
+	for {
+		page, err := client.FetchCircle(context.Background(), id, dir, token, limit)
+		if err != nil {
+			t.Fatalf("FetchCircle: %v", err)
+		}
+		ids = append(ids, page.IDs...)
+		if page.NextPageToken == "" {
+			return ids
+		}
+		token = page.NextPageToken
+	}
+}
+
+func TestServeCirclesPagination(t *testing.T) {
+	u := serverUniverse(t)
+	_, client := startServer(t, Options{PageSize: 7})
+
+	// Find a node with a decently sized out list.
+	var node graph.NodeID
+	for i := 0; i < u.NumUsers(); i++ {
+		if u.Graph.OutDegree(graph.NodeID(i)) >= 20 {
+			node = graph.NodeID(i)
+			break
+		}
+	}
+	ids := fetchAllCircle(t, client, u.IDs[node], gplusapi.CircleOut, 0)
+	want := u.Graph.Out(node)
+	if len(ids) != len(want) {
+		t.Fatalf("got %d ids, want %d", len(ids), len(want))
+	}
+	for i, id := range ids {
+		if id != u.IDs[want[i]] {
+			t.Fatalf("id[%d] = %q, want %q", i, id, u.IDs[want[i]])
+		}
+	}
+
+	inIDs := fetchAllCircle(t, client, u.IDs[node], gplusapi.CircleIn, 3)
+	if len(inIDs) != u.Graph.InDegree(node) {
+		t.Fatalf("in list %d, want %d", len(inIDs), u.Graph.InDegree(node))
+	}
+}
+
+func TestCircleCapTruncatesSilently(t *testing.T) {
+	u := serverUniverse(t)
+	_, client := startServer(t, Options{CircleCap: 5})
+
+	var node graph.NodeID
+	for i := 0; i < u.NumUsers(); i++ {
+		if u.Graph.OutDegree(graph.NodeID(i)) > 5 {
+			node = graph.NodeID(i)
+			break
+		}
+	}
+	ids := fetchAllCircle(t, client, u.IDs[node], gplusapi.CircleOut, 0)
+	if len(ids) != 5 {
+		t.Fatalf("capped list has %d ids, want 5", len(ids))
+	}
+	// The profile page still declares the full count — the lost-edge
+	// estimation signal of §2.2.
+	doc, err := client.FetchProfile(context.Background(), u.IDs[node])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.OutCircleCount != u.Graph.OutDegree(node) {
+		t.Errorf("declared %d, want full %d", doc.OutCircleCount, u.Graph.OutDegree(node))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	u := serverUniverse(t)
+	srv := New(u, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cases := []string{
+		"/people/" + u.IDs[0] + "/circles/sideways",
+		"/people/" + u.IDs[0] + "/circles/out?pageToken=-1",
+		"/people/" + u.IDs[0] + "/circles/out?pageToken=notanumber",
+		"/people/" + u.IDs[0] + "/circles/out?limit=0",
+		"/people/" + u.IDs[0] + "/circles/out?limit=x",
+	}
+	for _, path := range cases {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s -> %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	u := serverUniverse(t)
+	_, client := startServer(t, Options{})
+	stats, err := client.FetchStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Users != u.NumUsers() || stats.Edges != u.Graph.NumEdges() {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	u := serverUniverse(t)
+	srv := New(u, Options{RatePerSecond: 5, BurstSize: 5})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(crawler string) int {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/people/"+u.IDs[0], nil)
+		req.Header.Set("X-Crawler-Id", crawler)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Exhaust worker A's bucket.
+	limited := false
+	for i := 0; i < 20; i++ {
+		if get("worker-a") == http.StatusTooManyRequests {
+			limited = true
+			break
+		}
+	}
+	if !limited {
+		t.Fatal("worker A was never rate limited")
+	}
+	// A different identity has its own bucket, like the paper's separate
+	// crawl machines.
+	if code := get("worker-b"); code != http.StatusOK {
+		t.Fatalf("worker B got %d, want 200", code)
+	}
+	if _, _, limitedCount, _ := srv.RequestStats(); limitedCount == 0 {
+		t.Error("rate-limited counter not incremented")
+	}
+}
+
+func TestClientRetriesRateLimit(t *testing.T) {
+	u := serverUniverse(t)
+	_, client := startServer(t, Options{RatePerSecond: 30, BurstSize: 2})
+	client.CrawlerID = "retry-worker"
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// Many sequential fetches: the client must absorb 429s via backoff.
+	for i := 0; i < 12; i++ {
+		if _, err := client.FetchProfile(ctx, u.IDs[i]); err != nil {
+			t.Fatalf("fetch %d failed despite retries: %v", i, err)
+		}
+	}
+}
+
+func TestFaultInjectionAndRecovery(t *testing.T) {
+	u := serverUniverse(t)
+	srv, client := startServer(t, Options{FaultRate: 0.3, FaultSeed: 7})
+	client.CrawlerID = "fault-worker"
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		if _, err := client.FetchProfile(ctx, u.IDs[i]); err != nil {
+			t.Fatalf("fetch %d failed despite retries: %v", i, err)
+		}
+	}
+	if _, _, _, faults := srv.RequestStats(); faults == 0 {
+		t.Error("no faults were injected at FaultRate 0.3")
+	}
+}
+
+func TestServeProfileHTML(t *testing.T) {
+	u := serverUniverse(t)
+	_, client := startServer(t, Options{})
+	ctx := context.Background()
+
+	// The scrape path must see exactly what the JSON path sees.
+	for i := 0; i < 50; i++ {
+		jsonDoc, err := client.FetchProfile(ctx, u.IDs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		htmlDoc, err := client.FetchProfileHTML(ctx, u.IDs[i])
+		if err != nil {
+			t.Fatalf("FetchProfileHTML(%s): %v", u.IDs[i], err)
+		}
+		if !profilesEqual(jsonDoc, htmlDoc) {
+			t.Fatalf("HTML scrape diverges for %s:\n json %+v\n html %+v", u.IDs[i], jsonDoc, htmlDoc)
+		}
+	}
+}
+
+func profilesEqual(a, b *gplusapi.ProfileDoc) bool {
+	if a.ID != b.ID || a.Name != b.Name || a.Gender != b.Gender ||
+		a.Relationship != b.Relationship || a.Occupation != b.Occupation ||
+		a.InCircleCount != b.InCircleCount || a.OutCircleCount != b.OutCircleCount {
+		return false
+	}
+	if len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for i := range a.Fields {
+		if a.Fields[i] != b.Fields[i] {
+			return false
+		}
+	}
+	if (a.Place == nil) != (b.Place == nil) {
+		return false
+	}
+	if a.Place != nil && *a.Place != *b.Place {
+		return false
+	}
+	return true
+}
+
+func TestAcceptHeaderSelectsHTML(t *testing.T) {
+	u := serverUniverse(t)
+	srv := New(u, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/people/"+u.IDs[0], nil)
+	req.Header.Set("Accept", "text/html")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Errorf("Content-Type = %q, want HTML", ct)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	u := serverUniverse(t)
+	srv := New(u, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Generate some traffic first.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/people/" + u.IDs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc MetricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.ProfileRequests < 3 {
+		t.Errorf("metrics = %+v, want >= 3 profile requests", doc)
+	}
+}
+
+func TestServerString(t *testing.T) {
+	srv := New(serverUniverse(t), Options{})
+	if s := srv.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

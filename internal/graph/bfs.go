@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"context"
+	"math/rand/v2"
+	"sync"
+)
+
+// Direction selects how BFS traverses edges.
+type Direction int
+
+const (
+	// Directed follows out-edges only, matching shortest paths in the
+	// directed social graph G.
+	Directed Direction = iota
+	// Undirected follows edges in both directions, matching the paper's
+	// "undirected version" of G.
+	Undirected
+)
+
+// String names the traversal direction.
+func (d Direction) String() string {
+	if d == Undirected {
+		return "undirected"
+	}
+	return "directed"
+}
+
+// BFSDistances returns the hop distance from src to every node, or -1 for
+// unreachable nodes. The dist slice may be passed in to avoid allocation;
+// if it is nil or too short a new slice is allocated.
+func BFSDistances(g *Graph, src NodeID, dir Direction, dist []int32) []int32 {
+	n := g.NumNodes()
+	if cap(dist) < n {
+		dist = make([]int32, n)
+	}
+	dist = dist[:n]
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]NodeID, 0, 1024)
+	queue = append(queue, src)
+	dist[src] = 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.Out(u) {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+		if dir == Undirected {
+			for _, v := range g.In(u) {
+				if dist[v] < 0 {
+					dist[v] = du + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// PathLengthDist is an estimated distribution of pairwise hop distances.
+type PathLengthDist struct {
+	// Counts[h] is the number of sampled (source, node) pairs at distance h.
+	Counts []int64
+	// Sources is the number of BFS sources actually used.
+	Sources int
+	// Reachable is the total number of reachable pairs counted.
+	Reachable int64
+}
+
+// Probability returns the fraction of reachable pairs at each hop count,
+// i.e. the series plotted in Figure 5.
+func (p *PathLengthDist) Probability() []float64 {
+	out := make([]float64, len(p.Counts))
+	if p.Reachable == 0 {
+		return out
+	}
+	for i, c := range p.Counts {
+		out[i] = float64(c) / float64(p.Reachable)
+	}
+	return out
+}
+
+// Mean returns the average path length over sampled reachable pairs.
+func (p *PathLengthDist) Mean() float64 {
+	if p.Reachable == 0 {
+		return 0
+	}
+	var sum float64
+	for h, c := range p.Counts {
+		sum += float64(h) * float64(c)
+	}
+	return sum / float64(p.Reachable)
+}
+
+// Mode returns the most common path length (the paper reports mode 6
+// directed, 5 undirected). Distance 0 (source to itself) is excluded.
+func (p *PathLengthDist) Mode() int {
+	best, bestCount := 0, int64(-1)
+	for h, c := range p.Counts {
+		if h == 0 {
+			continue
+		}
+		if c > bestCount {
+			best, bestCount = h, c
+		}
+	}
+	return best
+}
+
+// MaxObserved returns the largest distance seen in the sample, a lower
+// bound on the diameter.
+func (p *PathLengthDist) MaxObserved() int {
+	for h := len(p.Counts) - 1; h >= 0; h-- {
+		if p.Counts[h] > 0 {
+			return h
+		}
+	}
+	return 0
+}
+
+// PathLengthOptions controls SamplePathLengths.
+type PathLengthOptions struct {
+	// MinSources and MaxSources bound the number of BFS sources. The paper
+	// started with 2,000 sources and grew to 10,000, stopping once the
+	// distribution no longer changed.
+	MinSources int
+	MaxSources int
+	// Tolerance is the maximum L-infinity change between the normalized
+	// distributions of consecutive batches that counts as converged.
+	Tolerance float64
+	// BatchSize is the number of sources added per convergence check.
+	BatchSize int
+	// Parallelism runs BFS sources on this many goroutines. Results are
+	// identical for any value: sources are pre-drawn from Rand in order
+	// and histograms merge by summation.
+	Parallelism int
+	// Rand supplies source sampling. Required.
+	Rand *rand.Rand
+}
+
+func (o *PathLengthOptions) setDefaults() {
+	if o.MinSources <= 0 {
+		o.MinSources = 64
+	}
+	if o.MaxSources <= 0 {
+		o.MaxSources = 1024
+	}
+	if o.MaxSources < o.MinSources {
+		o.MaxSources = o.MinSources
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-3
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 32
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
+}
+
+// SamplePathLengths estimates the pairwise hop-distance distribution by
+// running full BFS from randomly sampled sources, the procedure of §3.3.5.
+// It stops early once the distribution stabilizes or ctx is cancelled
+// (returning the estimate so far). The result is independent of
+// Parallelism: sources are drawn up-front in a fixed order and per-batch
+// histograms merge by summation.
+func SamplePathLengths(ctx context.Context, g *Graph, dir Direction, opt PathLengthOptions) *PathLengthDist {
+	opt.setDefaults()
+	n := g.NumNodes()
+	res := &PathLengthDist{}
+	if n == 0 {
+		return res
+	}
+	sources := make([]NodeID, opt.MaxSources)
+	for i := range sources {
+		sources[i] = NodeID(opt.Rand.IntN(n))
+	}
+
+	var prevProb []float64
+	scratch := make([][]int32, opt.Parallelism)
+	for res.Sources < opt.MaxSources {
+		batch := opt.BatchSize
+		if res.Sources+batch > opt.MaxSources {
+			batch = opt.MaxSources - res.Sources
+		}
+		if ctx.Err() != nil {
+			return res
+		}
+		counts := bfsBatch(ctx, g, dir, sources[res.Sources:res.Sources+batch], scratch)
+		for h, c := range counts {
+			for h >= len(res.Counts) {
+				res.Counts = append(res.Counts, 0)
+			}
+			res.Counts[h] += c
+			res.Reachable += c
+		}
+		res.Sources += batch
+
+		prob := res.Probability()
+		if res.Sources >= opt.MinSources && prevProb != nil && linfDelta(prevProb, prob) < opt.Tolerance {
+			break
+		}
+		prevProb = prob
+	}
+	return res
+}
+
+// bfsBatch runs BFS from each source, fanned out over len(scratch)
+// goroutines, and returns the summed distance histogram. Each worker
+// reuses a distance slice between sources.
+func bfsBatch(ctx context.Context, g *Graph, dir Direction, sources []NodeID, scratch [][]int32) []int64 {
+	workers := len(scratch)
+	if workers <= 1 || len(sources) < 2 {
+		return bfsBatchSeq(ctx, g, dir, sources, &scratch[0])
+	}
+	partial := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Strided assignment keeps the partition deterministic.
+			var mine []NodeID
+			for i := w; i < len(sources); i += workers {
+				mine = append(mine, sources[i])
+			}
+			partial[w] = bfsBatchSeq(ctx, g, dir, mine, &scratch[w])
+		}(w)
+	}
+	wg.Wait()
+	var out []int64
+	for _, p := range partial {
+		for h, c := range p {
+			for h >= len(out) {
+				out = append(out, 0)
+			}
+			out[h] += c
+		}
+	}
+	return out
+}
+
+func bfsBatchSeq(ctx context.Context, g *Graph, dir Direction, sources []NodeID, dist *[]int32) []int64 {
+	var counts []int64
+	for _, src := range sources {
+		if ctx.Err() != nil {
+			return counts
+		}
+		*dist = BFSDistances(g, src, dir, *dist)
+		for _, d := range *dist {
+			if d < 0 {
+				continue
+			}
+			for int(d) >= len(counts) {
+				counts = append(counts, 0)
+			}
+			counts[d]++
+		}
+	}
+	return counts
+}
+
+func linfDelta(a, b []float64) float64 {
+	var max float64
+	long := a
+	if len(b) > len(long) {
+		long = b
+	}
+	for i := range long {
+		var av, bv float64
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		d := av - bv
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DoubleSweepDiameter returns a lower bound on the diameter (longest
+// shortest path) using repeated double sweeps: BFS from a node, then BFS
+// again from the farthest node found. For directed graphs the second sweep
+// runs backwards over in-edges, the standard directed variant, so that a
+// path ending at the far node is measured end to end. sweeps controls how
+// many restarts are tried from random nodes.
+func DoubleSweepDiameter(g *Graph, dir Direction, sweeps int, rng *rand.Rand) int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	if sweeps <= 0 {
+		sweeps = 4
+	}
+	best := 0
+	var dist []int32
+	for s := 0; s < sweeps; s++ {
+		src := NodeID(rng.IntN(n))
+		for hop := 0; hop < 2; hop++ {
+			if dir == Directed && hop == 1 {
+				dist = bfsReverse(g, src, dist)
+			} else {
+				dist = BFSDistances(g, src, dir, dist)
+			}
+			far, farD := src, int32(0)
+			for v, d := range dist {
+				if d > farD {
+					far, farD = NodeID(v), d
+				}
+			}
+			if int(farD) > best {
+				best = int(farD)
+			}
+			src = far
+		}
+	}
+	return best
+}
+
+// bfsReverse is BFSDistances over the transpose graph (in-edges).
+func bfsReverse(g *Graph, src NodeID, dist []int32) []int32 {
+	n := g.NumNodes()
+	if cap(dist) < n {
+		dist = make([]int32, n)
+	}
+	dist = dist[:n]
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]NodeID, 0, 1024)
+	queue = append(queue, src)
+	dist[src] = 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.In(u) {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

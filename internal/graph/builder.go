@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and freezes them into an immutable Graph.
+// The zero value is ready to use. Builder is not safe for concurrent use.
+type Builder struct {
+	n     int
+	edges []edge
+}
+
+type edge struct{ from, to NodeID }
+
+// NewBuilder returns a Builder pre-sized for n nodes and capacity for
+// edgeHint edges. Both arguments are hints; the builder grows as needed.
+func NewBuilder(n int, edgeHint int) *Builder {
+	return &Builder{n: n, edges: make([]edge, 0, edgeHint)}
+}
+
+// EnsureNode grows the node count so that id is a valid node.
+func (b *Builder) EnsureNode(id NodeID) {
+	if int(id) >= b.n {
+		b.n = int(id) + 1
+	}
+}
+
+// NumNodes returns the current node count.
+func (b *Builder) NumNodes() int { return b.n }
+
+// NumEdges returns the number of edges added so far (duplicates included).
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// AddEdge records the directed edge u->v, growing the node count to cover
+// both endpoints. Self-loops and duplicates are accepted here and removed
+// by Build: the Google+ crawl data model has no self-circles and each user
+// appears in another user's circle list at most once.
+func (b *Builder) AddEdge(u, v NodeID) {
+	b.EnsureNode(u)
+	b.EnsureNode(v)
+	b.edges = append(b.edges, edge{u, v})
+}
+
+// Build freezes the accumulated edges into an immutable Graph, discarding
+// self-loops and duplicate edges. The Builder may be reused afterwards.
+func (b *Builder) Build() *Graph {
+	// Sort by (from, to) so duplicates are adjacent and CSR rows come out
+	// sorted, then dedup in place.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].from != b.edges[j].from {
+			return b.edges[i].from < b.edges[j].from
+		}
+		return b.edges[i].to < b.edges[j].to
+	})
+	kept := b.edges[:0]
+	for _, e := range b.edges {
+		if e.from == e.to {
+			continue
+		}
+		if len(kept) > 0 && kept[len(kept)-1] == e {
+			continue
+		}
+		kept = append(kept, e)
+	}
+
+	n := b.n
+	g := &Graph{
+		outOff: make([]int64, n+1),
+		outAdj: make([]NodeID, len(kept)),
+		inOff:  make([]int64, n+1),
+		inAdj:  make([]NodeID, len(kept)),
+	}
+
+	// Forward CSR straight from the sorted edge list.
+	for _, e := range kept {
+		g.outOff[e.from+1]++
+	}
+	for u := 0; u < n; u++ {
+		g.outOff[u+1] += g.outOff[u]
+	}
+	cursor := make([]int64, n)
+	for _, e := range kept {
+		g.outAdj[g.outOff[e.from]+cursor[e.from]] = e.to
+		cursor[e.from]++
+	}
+
+	// Reverse CSR by counting sort on destination; rows come out sorted by
+	// source because the edge list is already source-ordered.
+	for _, e := range kept {
+		g.inOff[e.to+1]++
+	}
+	for u := 0; u < n; u++ {
+		g.inOff[u+1] += g.inOff[u]
+	}
+	for i := range cursor {
+		cursor[i] = 0
+	}
+	for _, e := range kept {
+		g.inAdj[g.inOff[e.to]+cursor[e.to]] = e.from
+		cursor[e.to]++
+	}
+	return g
+}
+
+// FromEdges is a convenience that builds a graph with n nodes from an edge
+// list given as (from, to) pairs. It panics if the list has odd length.
+func FromEdges(n int, pairs ...NodeID) *Graph {
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("graph: FromEdges needs an even number of ids, got %d", len(pairs)))
+	}
+	b := NewBuilder(n, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		b.AddEdge(pairs[i], pairs[i+1])
+	}
+	if b.n < n {
+		b.n = n
+	}
+	return b.Build()
+}

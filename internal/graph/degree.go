@@ -1,0 +1,105 @@
+package graph
+
+// InDegrees returns the in-degree of every node.
+func InDegrees(g *Graph) []int {
+	n := g.NumNodes()
+	out := make([]int, n)
+	for u := 0; u < n; u++ {
+		out[u] = g.InDegree(NodeID(u))
+	}
+	return out
+}
+
+// OutDegrees returns the out-degree of every node.
+func OutDegrees(g *Graph) []int {
+	n := g.NumNodes()
+	out := make([]int, n)
+	for u := 0; u < n; u++ {
+		out[u] = g.OutDegree(NodeID(u))
+	}
+	return out
+}
+
+// TopByInDegree returns the k nodes with the largest in-degree, in
+// descending order, breaking ties by node id. This ranking drives Table 1
+// ("how many circles these users are added to by others").
+func TopByInDegree(g *Graph, k int) []NodeID {
+	return topBy(g.NumNodes(), k, func(u NodeID) int { return g.InDegree(u) })
+}
+
+// TopByOutDegree returns the k nodes with the largest out-degree, in
+// descending order, breaking ties by node id.
+func TopByOutDegree(g *Graph, k int) []NodeID {
+	return topBy(g.NumNodes(), k, func(u NodeID) int { return g.OutDegree(u) })
+}
+
+// topBy keeps a size-k min-heap over all nodes, O(n log k).
+func topBy(n, k int, deg func(NodeID) int) []NodeID {
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	// heap of (degree, node) with the smallest on top; ties prefer keeping
+	// the smaller node id, so a larger id is "smaller" in heap order.
+	type entry struct {
+		d int
+		u NodeID
+	}
+	less := func(a, b entry) bool {
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		return a.u > b.u
+	}
+	h := make([]entry, 0, k)
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(h) && less(h[l], h[smallest]) {
+				smallest = l
+			}
+			if r < len(h) && less(h[r], h[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			h[i], h[smallest] = h[smallest], h[i]
+			i = smallest
+		}
+	}
+	up := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				return
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	for u := 0; u < n; u++ {
+		e := entry{deg(NodeID(u)), NodeID(u)}
+		if len(h) < k {
+			h = append(h, e)
+			up(len(h) - 1)
+			continue
+		}
+		if less(h[0], e) {
+			h[0] = e
+			down(0)
+		}
+	}
+	// Pop everything; results come out ascending, so reverse.
+	out := make([]NodeID, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = h[0].u
+		h[0] = h[len(h)-1]
+		h = h[:len(h)-1]
+		down(0)
+	}
+	return out
+}

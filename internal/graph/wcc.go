@@ -1,0 +1,76 @@
+package graph
+
+// WCCResult describes the weakly connected components of a graph.
+type WCCResult struct {
+	// Comp maps each node to its component index in [0, Count). Component
+	// indices are assigned in order of first appearance.
+	Comp []int32
+	// Sizes holds the node count of each component.
+	Sizes []int32
+	// Count is the number of components.
+	Count int
+}
+
+// GiantSize returns the size of the largest weak component.
+func (r *WCCResult) GiantSize() int {
+	max := int32(0)
+	for _, s := range r.Sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return int(max)
+}
+
+// WCC computes weakly connected components with a union-find structure
+// (path halving + union by size). A bidirectional snowball crawl such as
+// the paper's yields a single WCC; isolated or uncrawled users show up as
+// additional components.
+func WCC(g *Graph) *WCCResult {
+	n := g.NumNodes()
+	parent := make([]int32, n)
+	size := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+		size[i] = 1
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(NodeID(u)) {
+			union(int32(u), int32(v))
+		}
+	}
+
+	comp := make([]int32, n)
+	var sizes []int32
+	label := make(map[int32]int32, 16)
+	for u := 0; u < n; u++ {
+		r := find(int32(u))
+		id, ok := label[r]
+		if !ok {
+			id = int32(len(sizes))
+			label[r] = id
+			sizes = append(sizes, 0)
+		}
+		comp[u] = id
+		sizes[id]++
+	}
+	return &WCCResult{Comp: comp, Sizes: sizes, Count: len(sizes)}
+}

@@ -1,0 +1,308 @@
+// Package growth simulates the adoption dynamics the paper's concluding
+// section proposes to study: "measuring the speed at which a new social
+// network service grows and whether we can predict the phase transitions
+// in the growth sparks ... by collecting multiple snapshots of the
+// Google+ topology" (§7).
+//
+// The simulation reproduces the service's two launch regimes (§2.1): a
+// viral invitation-only field trial in which every new user arrives
+// through an existing contact, followed by open sign-up with
+// advertising-driven arrivals. Edge creation follows the densification
+// law of Leskovec et al. (the paper's reference [28]): edge count grows
+// superlinearly in node count, and average path lengths shrink as the
+// network densifies.
+package growth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"gplus/internal/graph"
+	"gplus/internal/profile"
+	"gplus/internal/stats"
+)
+
+// Phase labels the two launch regimes of §2.1.
+type Phase int
+
+// The launch phases.
+const (
+	// FieldTrial is the invitation-only period (June-September 2011):
+	// growth is viral, every newcomer arrives with a social tie to the
+	// inviter.
+	FieldTrial Phase = iota
+	// OpenSignup is the post-September period: anyone may join; many
+	// newcomers arrive with no prior tie.
+	OpenSignup
+)
+
+// String names the launch phase.
+func (p Phase) String() string {
+	if p == OpenSignup {
+		return "open-signup"
+	}
+	return "field-trial"
+}
+
+// Config controls the growth simulation.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// SeedUsers is the size of the initial invitee cohort.
+	SeedUsers int
+	// Epochs is the number of snapshots; InvitationEpochs of them belong
+	// to the field trial.
+	Epochs           int
+	InvitationEpochs int
+	// ViralRate is the expected number of successful invitations per
+	// user per field-trial epoch (multiplicative growth).
+	ViralRate float64
+	// SignupRate is the fractional growth per open-signup epoch.
+	SignupRate float64
+	// BaseDegree is the number of edges a newcomer creates when the
+	// network is at its seed size.
+	BaseDegree float64
+	// DensificationExponent is the Leskovec exponent a in E ∝ N^a; a
+	// newcomer's edge count scales with N^(a-1) so the aggregate obeys
+	// the law. Values in (1, 2); the literature reports 1.1-1.7.
+	DensificationExponent float64
+	// MaxUsers caps the simulation.
+	MaxUsers int
+}
+
+// DefaultConfig returns a configuration that compresses Google+'s first
+// year into 12 epochs: 5 field-trial epochs of viral doubling, then open
+// sign-up.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  2011,
+		SeedUsers:             500,
+		Epochs:                12,
+		InvitationEpochs:      5,
+		ViralRate:             0.9,
+		SignupRate:            0.45,
+		BaseDegree:            4,
+		DensificationExponent: 1.35,
+		MaxUsers:              500_000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SeedUsers < 2:
+		return fmt.Errorf("growth: SeedUsers = %d, need >= 2", c.SeedUsers)
+	case c.Epochs < 2:
+		return fmt.Errorf("growth: Epochs = %d, need >= 2", c.Epochs)
+	case c.InvitationEpochs < 1 || c.InvitationEpochs >= c.Epochs:
+		return fmt.Errorf("growth: InvitationEpochs = %d, need in [1, Epochs)", c.InvitationEpochs)
+	case c.ViralRate <= 0 || c.SignupRate <= 0:
+		return errors.New("growth: growth rates must be positive")
+	case c.BaseDegree < 1:
+		return fmt.Errorf("growth: BaseDegree = %v, need >= 1", c.BaseDegree)
+	case c.DensificationExponent < 1 || c.DensificationExponent > 2:
+		return fmt.Errorf("growth: DensificationExponent = %v, need in [1, 2]", c.DensificationExponent)
+	case c.MaxUsers < c.SeedUsers:
+		return fmt.Errorf("growth: MaxUsers = %d below SeedUsers", c.MaxUsers)
+	}
+	return nil
+}
+
+// Snapshot is one topology observation, like the repeated crawls the
+// paper proposes.
+type Snapshot struct {
+	Epoch    int
+	Phase    Phase
+	Users    int
+	Edges    int64
+	NewUsers int
+	// Graph is the frozen topology at this epoch.
+	Graph *graph.Graph
+}
+
+// Simulate runs the growth model and returns one snapshot per epoch.
+// The simulation is deterministic in the configuration.
+func Simulate(cfg Config) ([]Snapshot, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5851f42d4c957f2d))
+
+	// Mutable adjacency; nodes identified by index.
+	out := make([][]graph.NodeID, 0, cfg.SeedUsers*4)
+	degreeSum := 0.0
+
+	addEdge := func(u, v graph.NodeID) {
+		if u == v {
+			return
+		}
+		for _, w := range out[u] {
+			if w == v {
+				return
+			}
+		}
+		out[u] = append(out[u], v)
+		degreeSum++
+	}
+
+	// Preferential endpoint: pick an endpoint of a random existing edge
+	// (classic PA without weight arrays), falling back to uniform.
+	pickPA := func() graph.NodeID {
+		if degreeSum == 0 {
+			return graph.NodeID(rng.IntN(len(out)))
+		}
+		for tries := 0; tries < 8; tries++ {
+			u := graph.NodeID(rng.IntN(len(out)))
+			if len(out[u]) > 0 {
+				return out[u][rng.IntN(len(out[u]))]
+			}
+		}
+		return graph.NodeID(rng.IntN(len(out)))
+	}
+
+	// join adds a newcomer with the densification-scaled edge budget;
+	// inviter < 0 means an unsolicited open-signup arrival.
+	join := func(inviter int) {
+		id := graph.NodeID(len(out))
+		out = append(out, nil)
+		scale := math.Pow(float64(len(out))/float64(cfg.SeedUsers), cfg.DensificationExponent-1)
+		budget := int(cfg.BaseDegree*scale + rng.Float64())
+		if inviter >= 0 {
+			// The invitation is a guaranteed mutual tie.
+			addEdge(id, graph.NodeID(inviter))
+			addEdge(graph.NodeID(inviter), id)
+			budget--
+		}
+		for e := 0; e < budget; e++ {
+			v := pickPA()
+			addEdge(id, v)
+			// Early-adopter ties reciprocate often.
+			if rng.Float64() < 0.4 {
+				addEdge(v, id)
+			}
+		}
+	}
+
+	// Seed cohort: a sparse random graph among the first invitees.
+	for i := 0; i < cfg.SeedUsers; i++ {
+		out = append(out, nil)
+	}
+	for i := 0; i < cfg.SeedUsers; i++ {
+		for e := 0; e < int(cfg.BaseDegree/2)+1; e++ {
+			addEdge(graph.NodeID(i), graph.NodeID(rng.IntN(cfg.SeedUsers)))
+		}
+	}
+
+	snapshots := make([]Snapshot, 0, cfg.Epochs)
+	freeze := func(epoch, newUsers int, phase Phase) {
+		var edges int
+		b := graph.NewBuilder(len(out), int(degreeSum))
+		for u, adj := range out {
+			for _, v := range adj {
+				b.AddEdge(graph.NodeID(u), v)
+				edges++
+			}
+		}
+		g := b.Build()
+		snapshots = append(snapshots, Snapshot{
+			Epoch:    epoch,
+			Phase:    phase,
+			Users:    g.NumNodes(),
+			Edges:    g.NumEdges(),
+			NewUsers: newUsers,
+			Graph:    g,
+		})
+	}
+
+	freeze(0, cfg.SeedUsers, FieldTrial)
+	for epoch := 1; epoch < cfg.Epochs; epoch++ {
+		phase := FieldTrial
+		var arrivals int
+		if epoch <= cfg.InvitationEpochs {
+			// Viral: each user succeeds in inviting ViralRate newcomers
+			// in expectation.
+			arrivals = int(float64(len(out)) * cfg.ViralRate)
+		} else {
+			phase = OpenSignup
+			arrivals = int(float64(len(out)) * cfg.SignupRate)
+		}
+		for a := 0; a < arrivals && len(out) < cfg.MaxUsers; a++ {
+			if phase == FieldTrial || rng.Float64() < 0.3 {
+				// Invited (or socially referred): attach to a random
+				// existing user as inviter.
+				join(rng.IntN(len(out)))
+			} else {
+				join(-1)
+			}
+		}
+		freeze(epoch, arrivals, phase)
+	}
+	return snapshots, nil
+}
+
+// Users renders the snapshot as servable columns — opaque ids and
+// minimal public profiles (name and declared circle counts only, since
+// the growth model tracks topology rather than attributes). Together
+// with the snapshot's Graph this is everything gplusd needs to serve the
+// epoch, so the §7 "repeated snapshots" plan can run through the real
+// crawl pipeline.
+func (s *Snapshot) ServableUsers() ([]string, []profile.Profile) {
+	ids := make([]string, s.Users)
+	profiles := make([]profile.Profile, s.Users)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("2%020d", snapshotID(uint64(s.Epoch), uint64(i)))
+		profiles[i] = profile.Profile{
+			Name:              fmt.Sprintf("wave%02d-user-%07d", s.Epoch, i),
+			Public:            profile.AttrSet(0).With(profile.AttrName),
+			DeclaredInDegree:  s.Graph.InDegree(graph.NodeID(i)),
+			DeclaredOutDegree: s.Graph.OutDegree(graph.NodeID(i)),
+		}
+	}
+	return ids, profiles
+}
+
+// snapshotID mixes epoch and index into a stable opaque identifier.
+// Users keep the same id across epochs (node indices are stable: the
+// growth model only appends), so successive crawls can be joined.
+func snapshotID(_, i uint64) uint64 {
+	x := i*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DensificationFit fits the Leskovec power law E = c * N^a over the
+// snapshots and returns the exponent with its R².
+func DensificationFit(snaps []Snapshot) (stats.LinearFit, error) {
+	xs := make([]float64, 0, len(snaps))
+	ys := make([]float64, 0, len(snaps))
+	for _, s := range snaps {
+		if s.Users > 0 && s.Edges > 0 {
+			xs = append(xs, math.Log(float64(s.Users)))
+			ys = append(ys, math.Log(float64(s.Edges)))
+		}
+	}
+	return stats.LinearRegression(xs, ys)
+}
+
+// TippingPoint returns the epoch at which relative growth changes most
+// sharply — the phase transition the paper hopes to detect. ok is false
+// when there are too few epochs.
+func TippingPoint(snaps []Snapshot) (epoch int, ok bool) {
+	if len(snaps) < 3 {
+		return 0, false
+	}
+	rates := make([]float64, 0, len(snaps)-1)
+	for i := 1; i < len(snaps); i++ {
+		rates = append(rates, float64(snaps[i].Users)/float64(snaps[i-1].Users))
+	}
+	best, bestDelta := 1, 0.0
+	for i := 1; i < len(rates); i++ {
+		if d := math.Abs(rates[i] - rates[i-1]); d > bestDelta {
+			best, bestDelta = i+1, d
+		}
+	}
+	return snaps[best].Epoch, true
+}

@@ -1,0 +1,176 @@
+package growth
+
+import (
+	"context"
+	"math/rand/v2"
+	"reflect"
+	"sync"
+	"testing"
+
+	"gplus/internal/graph"
+)
+
+var (
+	growOnce sync.Once
+	growVal  []Snapshot
+)
+
+func snapshots(t *testing.T) []Snapshot {
+	t.Helper()
+	growOnce.Do(func() {
+		snaps, err := Simulate(DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		growVal = snaps
+	})
+	return growVal
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.SeedUsers = 1 },
+		func(c *Config) { c.Epochs = 1 },
+		func(c *Config) { c.InvitationEpochs = 0 },
+		func(c *Config) { c.InvitationEpochs = c.Epochs },
+		func(c *Config) { c.ViralRate = 0 },
+		func(c *Config) { c.SignupRate = -1 },
+		func(c *Config) { c.BaseDegree = 0 },
+		func(c *Config) { c.DensificationExponent = 0.9 },
+		func(c *Config) { c.DensificationExponent = 2.5 },
+		func(c *Config) { c.MaxUsers = 1 },
+	}
+	for i, mutate := range mutations {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+		if _, err := Simulate(c); err == nil {
+			t.Errorf("Simulate accepted invalid config (mutation %d)", i)
+		}
+	}
+}
+
+func TestSimulateShape(t *testing.T) {
+	snaps := snapshots(t)
+	cfg := DefaultConfig()
+	if len(snaps) != cfg.Epochs {
+		t.Fatalf("got %d snapshots, want %d", len(snaps), cfg.Epochs)
+	}
+	for i, s := range snaps {
+		if s.Epoch != i {
+			t.Errorf("snapshot %d has epoch %d", i, s.Epoch)
+		}
+		if s.Graph == nil || s.Graph.NumNodes() != s.Users || s.Graph.NumEdges() != s.Edges {
+			t.Fatalf("snapshot %d inconsistent: %+v", i, s)
+		}
+		if i > 0 && s.Users <= snaps[i-1].Users {
+			t.Errorf("users did not grow at epoch %d: %d -> %d", i, snaps[i-1].Users, s.Users)
+		}
+		wantPhase := FieldTrial
+		if i > cfg.InvitationEpochs {
+			wantPhase = OpenSignup
+		}
+		if s.Phase != wantPhase {
+			t.Errorf("epoch %d phase = %v, want %v", i, s.Phase, wantPhase)
+		}
+	}
+	final := snaps[len(snaps)-1]
+	if final.Users < 10*cfg.SeedUsers {
+		t.Errorf("network only reached %d users from %d seeds", final.Users, cfg.SeedUsers)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 6
+	cfg.MaxUsers = 50_000
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Graph, b[i].Graph) {
+			t.Fatalf("snapshot %d differs across identical configs", i)
+		}
+	}
+}
+
+func TestDensificationLaw(t *testing.T) {
+	snaps := snapshots(t)
+	fit, err := DensificationFit(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leskovec: superlinear edge growth, exponent in (1, 2).
+	if fit.Slope <= 1.0 || fit.Slope >= 2.0 {
+		t.Errorf("densification exponent = %.3f, want in (1, 2)", fit.Slope)
+	}
+	if fit.R2 < 0.97 {
+		t.Errorf("densification fit R2 = %.3f, want >= 0.97", fit.R2)
+	}
+	// The configured exponent should approximately come back out.
+	want := DefaultConfig().DensificationExponent
+	if fit.Slope < want-0.2 || fit.Slope > want+0.3 {
+		t.Errorf("exponent = %.3f, configured %.2f", fit.Slope, want)
+	}
+}
+
+func TestShrinkingPathLength(t *testing.T) {
+	// Leskovec's companion observation (and the paper's conjecture that
+	// Google+'s long 5.9-hop paths reflect its youth): as the network
+	// densifies, average path length falls.
+	snaps := snapshots(t)
+	early := snaps[2]
+	late := snaps[len(snaps)-1]
+	mean := func(s Snapshot) float64 {
+		rng := rand.New(rand.NewPCG(5, 5))
+		dist := graph.SamplePathLengths(context.Background(), s.Graph, graph.Undirected,
+			graph.PathLengthOptions{MinSources: 32, MaxSources: 64, Rand: rng})
+		return dist.Mean()
+	}
+	e, l := mean(early), mean(late)
+	if l >= e {
+		t.Errorf("path length grew while densifying: epoch2 %.2f -> final %.2f", e, l)
+	}
+}
+
+func TestTippingPointAtOpenSignup(t *testing.T) {
+	snaps := snapshots(t)
+	epoch, ok := TippingPoint(snaps)
+	if !ok {
+		t.Fatal("no tipping point found")
+	}
+	// The sharpest change in relative growth must land on the regime
+	// switch (within one epoch).
+	want := DefaultConfig().InvitationEpochs + 1
+	if epoch < want-1 || epoch > want+1 {
+		t.Errorf("tipping point at epoch %d, want ~%d (open-signup switch)", epoch, want)
+	}
+	if _, ok := TippingPoint(snaps[:2]); ok {
+		t.Error("tipping point detected with too few snapshots")
+	}
+}
+
+func TestGrowthRatesByPhase(t *testing.T) {
+	snaps := snapshots(t)
+	cfg := DefaultConfig()
+	// Field-trial epochs grow faster (viral doubling-ish) than
+	// open-signup epochs.
+	viral := float64(snaps[cfg.InvitationEpochs].Users) / float64(snaps[cfg.InvitationEpochs-1].Users)
+	open := float64(snaps[len(snaps)-1].Users) / float64(snaps[len(snaps)-2].Users)
+	if viral <= open {
+		t.Errorf("viral growth %.2fx should exceed open-signup growth %.2fx", viral, open)
+	}
+	if viral < 1.5 {
+		t.Errorf("viral epoch growth = %.2fx, want >= 1.5x", viral)
+	}
+}

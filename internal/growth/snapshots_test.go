@@ -1,0 +1,96 @@
+package growth
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"gplus/internal/crawler"
+	"gplus/internal/dataset"
+	"gplus/internal/gplusd"
+)
+
+// TestSnapshotSeriesThroughCrawlPipeline runs the §7 plan end to end:
+// serve successive growth snapshots over HTTP, crawl each with the
+// paper's crawler, and measure the densification law from the *crawled*
+// datasets rather than from ground truth.
+func TestSnapshotSeriesThroughCrawlPipeline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 7
+	cfg.SeedUsers = 300
+	cfg.MaxUsers = 30_000
+	snaps, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crawled := make([]Snapshot, 0, len(snaps))
+	for _, snap := range snaps[2:] { // skip the tiny bootstrap epochs
+		ids, profiles := snap.ServableUsers()
+		srv := gplusd.NewContent(gplusd.Content{IDs: ids, Profiles: profiles, Graph: snap.Graph}, gplusd.Options{})
+		ts := httptest.NewServer(srv)
+
+		res, err := crawler.Crawl(context.Background(), crawler.Config{
+			BaseURL: ts.URL,
+			Seeds:   []string{ids[0]}, // a founding invitee: always well connected
+			Workers: 6,
+			FetchIn: true, FetchOut: true,
+		})
+		ts.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := dataset.FromCrawl(res)
+		crawled = append(crawled, Snapshot{
+			Epoch: snap.Epoch,
+			Users: ds.NumUsers(),
+			Edges: ds.Graph.NumEdges(),
+			Graph: ds.Graph,
+		})
+
+		// A full crawl of a connected snapshot recovers it exactly.
+		if ds.NumUsers() != snap.Users || ds.Graph.NumEdges() != snap.Edges {
+			t.Fatalf("epoch %d: crawled %d users / %d edges, truth %d / %d",
+				snap.Epoch, ds.NumUsers(), ds.Graph.NumEdges(), snap.Users, snap.Edges)
+		}
+	}
+
+	fit, err := DensificationFit(crawled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope <= 1.0 || fit.Slope >= 2.0 {
+		t.Errorf("crawled densification exponent = %.3f, want superlinear", fit.Slope)
+	}
+	truthFit, err := DensificationFit(snaps[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-truthFit.Slope) > 0.05 {
+		t.Errorf("crawled exponent %.3f deviates from ground truth %.3f", fit.Slope, truthFit.Slope)
+	}
+}
+
+func TestSnapshotUsersStableAcrossEpochs(t *testing.T) {
+	snaps := snapshots(t)
+	a, _ := snaps[3].ServableUsers()
+	b, _ := snaps[5].ServableUsers()
+	if len(b) <= len(a) {
+		t.Fatalf("later snapshot not larger: %d vs %d", len(b), len(a))
+	}
+	// The growth model only appends users, so ids must be stable
+	// prefixes across epochs (enabling longitudinal joins).
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("user %d changed id across epochs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	seen := map[string]bool{}
+	for _, id := range b {
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}

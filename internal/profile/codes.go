@@ -1,0 +1,72 @@
+package profile
+
+// Wire codes: stable machine-readable identifiers used by the gplusd
+// service API and the crawler. They are deliberately decoupled from the
+// human-readable String() labels, which follow the paper's table text.
+
+var attrCodes = [NumAttrs]string{
+	"name", "gender", "education", "places_lived", "employment", "phrase",
+	"other_profiles", "occupation", "contributor_to", "introduction",
+	"other_names", "relationship", "bragging_rights", "recommended_links",
+	"looking_for", "work_contact", "home_contact",
+}
+
+// WireCode returns the attribute's stable API identifier.
+func (a Attr) WireCode() string {
+	if a < NumAttrs {
+		return attrCodes[a]
+	}
+	return ""
+}
+
+var attrByCode = func() map[string]Attr {
+	m := make(map[string]Attr, NumAttrs)
+	for i := Attr(0); i < NumAttrs; i++ {
+		m[attrCodes[i]] = i
+	}
+	return m
+}()
+
+// AttrFromWireCode resolves an API identifier back to an attribute.
+func AttrFromWireCode(code string) (Attr, bool) {
+	a, ok := attrByCode[code]
+	return a, ok
+}
+
+var genderByLabel = map[string]Gender{
+	"Male": GenderMale, "Female": GenderFemale, "Other": GenderOther,
+}
+
+// ParseGender resolves a gender label as served by the API; unknown or
+// empty labels map to GenderUnknown.
+func ParseGender(label string) Gender {
+	return genderByLabel[label]
+}
+
+var relationshipByLabel = func() map[string]Relationship {
+	m := make(map[string]Relationship, NumRelationships)
+	for _, r := range Relationships() {
+		m[r.String()] = r
+	}
+	return m
+}()
+
+// ParseRelationship resolves a relationship label as served by the API;
+// unknown or empty labels map to RelUnknown.
+func ParseRelationship(label string) Relationship {
+	return relationshipByLabel[label]
+}
+
+var occupationByCode = func() map[string]Occupation {
+	m := make(map[string]Occupation, NumOccupations)
+	for o := OccupationOther; o < NumOccupations; o++ {
+		m[o.Code()] = o
+	}
+	return m
+}()
+
+// ParseOccupation resolves a Table 5 occupation code; unknown codes map
+// to OccupationOther.
+func ParseOccupation(code string) Occupation {
+	return occupationByCode[code]
+}

@@ -1,0 +1,63 @@
+package profile
+
+import "testing"
+
+func TestWireCodesRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range AllAttrs() {
+		code := a.WireCode()
+		if code == "" || seen[code] {
+			t.Fatalf("bad or duplicate wire code %q for %v", code, a)
+		}
+		seen[code] = true
+		back, ok := AttrFromWireCode(code)
+		if !ok || back != a {
+			t.Fatalf("code %q resolved to %v,%v", code, back, ok)
+		}
+	}
+	if Attr(200).WireCode() != "" {
+		t.Error("out-of-range attr should have empty wire code")
+	}
+	if _, ok := AttrFromWireCode("no-such-code"); ok {
+		t.Error("unknown wire code resolved")
+	}
+}
+
+func TestParsers(t *testing.T) {
+	if ParseGender("Female") != GenderFemale || ParseGender("junk") != GenderUnknown {
+		t.Error("ParseGender misbehaves")
+	}
+	for _, r := range Relationships() {
+		if ParseRelationship(r.String()) != r {
+			t.Errorf("relationship %v does not round trip", r)
+		}
+	}
+	if ParseRelationship("") != RelUnknown {
+		t.Error("empty relationship should be unknown")
+	}
+	for o := OccupationOther; o < NumOccupations; o++ {
+		if ParseOccupation(o.Code()) != o {
+			t.Errorf("occupation %v does not round trip", o)
+		}
+	}
+	if ParseOccupation("xx") != OccupationOther {
+		t.Error("unknown occupation should map to Other")
+	}
+}
+
+func TestOccupationStrings(t *testing.T) {
+	if IT.String() != "Information Technology Person" {
+		t.Errorf("IT long name = %q", IT.String())
+	}
+	if Occupation(250).String() != "unknown" {
+		t.Errorf("out-of-range occupation = %q", Occupation(250).String())
+	}
+	seen := map[string]bool{}
+	for o := OccupationOther; o < NumOccupations; o++ {
+		name := o.String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Errorf("bad or duplicate occupation name %q", name)
+		}
+		seen[name] = true
+	}
+}

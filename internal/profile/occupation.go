@@ -1,0 +1,65 @@
+package profile
+
+// Occupation is the coded occupation-job title of Table 5.
+type Occupation uint8
+
+// Occupation codes from Table 5 plus Astronaut (Table 1's Ron Garan) and
+// OccupationOther for the general population.
+const (
+	OccupationOther Occupation = iota
+	Comedian
+	Musician
+	IT
+	Businessman
+	Model
+	Actor
+	Socialite
+	TVHost
+	Journalist
+	Blogger
+	Economist
+	Artist
+	Politician
+	Photographer
+	Writer
+	Astronaut
+	NumOccupations // sentinel
+)
+
+var occupationCodes = [NumOccupations]string{
+	"--", "Co", "Mu", "IT", "Bu", "Mo", "Ac", "So", "TV", "Jo", "Bl",
+	"Ec", "Ar", "Po", "Ph", "Wr", "As",
+}
+
+var occupationNames = [NumOccupations]string{
+	"Other", "Comedian", "Musician", "Information Technology Person",
+	"Businessman", "Model", "Actor", "Socialite", "Television Host",
+	"Journalist", "Blogger", "Economist", "Artist", "Politician",
+	"Photographer", "Writer", "Astronaut",
+}
+
+// Code returns the two-letter code used in Table 5 ("--" for Other).
+func (o Occupation) Code() string {
+	if o < NumOccupations {
+		return occupationCodes[o]
+	}
+	return "??"
+}
+
+// String returns the long name of the occupation.
+func (o Occupation) String() string {
+	if o < NumOccupations {
+		return occupationNames[o]
+	}
+	return "unknown"
+}
+
+// CelebrityOccupations lists the occupations that appear among top users
+// in Tables 1 and 5.
+func CelebrityOccupations() []Occupation {
+	out := make([]Occupation, 0, NumOccupations-1)
+	for o := Comedian; o < NumOccupations; o++ {
+		out = append(out, o)
+	}
+	return out
+}

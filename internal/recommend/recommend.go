@@ -1,0 +1,263 @@
+// Package recommend implements the friend-recommendation implication of
+// §6: "it may make sense to recommend domestic users and their content
+// for those countries that have high degree of self-loop such as Brazil
+// and India. However, it may be of more interest to the users to
+// recommend foreign users and content to those in Germany and United
+// Kingdom due to their low fraction of self-loops."
+//
+// The recommender scores candidates by common mutual friends (the
+// friends-of-friends signal), optionally restricted to the user's own
+// country, and is evaluated by held-out link prediction: remove a sample
+// of mutual ties, recommend, and measure how often the removed tie is
+// recovered in the top-k.
+package recommend
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"gplus/internal/dataset"
+	"gplus/internal/graph"
+)
+
+// Mode selects the candidate pool.
+type Mode int
+
+// Candidate pools.
+const (
+	// Global considers every friend-of-friend.
+	Global Mode = iota
+	// Domestic considers only friends-of-friends in the user's own
+	// country (users without a disclosed country fall back to Global).
+	Domestic
+)
+
+// String names the candidate pool.
+func (m Mode) String() string {
+	if m == Domestic {
+		return "domestic"
+	}
+	return "global"
+}
+
+// Recommender scores friend candidates over a mutual-tie graph.
+type Recommender struct {
+	// mutual[u] lists u's mutual contacts (u->v and v->u both present),
+	// sorted.
+	mutual  [][]graph.NodeID
+	country []string
+}
+
+// New builds a recommender from a dataset. The friendship signal is the
+// mutual subgraph: circles relations confirmed from both sides, the
+// paper's proxy for genuine social ties.
+func New(ds *dataset.Dataset) *Recommender {
+	return newFromGraph(ds.Graph, countriesOf(ds))
+}
+
+func countriesOf(ds *dataset.Dataset) []string {
+	out := make([]string, ds.NumUsers())
+	for i := range ds.Profiles {
+		if ds.Profiles[i].HasLocation() {
+			out[i] = ds.Profiles[i].CountryCode
+		}
+	}
+	return out
+}
+
+func newFromGraph(g *graph.Graph, country []string) *Recommender {
+	n := g.NumNodes()
+	r := &Recommender{mutual: make([][]graph.NodeID, n), country: country}
+	for u := 0; u < n; u++ {
+		out, in := g.Out(graph.NodeID(u)), g.In(graph.NodeID(u))
+		// Sorted intersection of out and in lists.
+		var mutual []graph.NodeID
+		i, j := 0, 0
+		for i < len(out) && j < len(in) {
+			switch {
+			case out[i] < in[j]:
+				i++
+			case out[i] > in[j]:
+				j++
+			default:
+				mutual = append(mutual, out[i])
+				i++
+				j++
+			}
+		}
+		r.mutual[u] = mutual
+	}
+	return r
+}
+
+// Recommendation is one scored candidate.
+type Recommendation struct {
+	User graph.NodeID
+	// Score is the number of common mutual friends.
+	Score int
+}
+
+// Recommend returns up to k candidates for user u, scored by common
+// mutual friends, best first (ties broken by node id for determinism).
+func (r *Recommender) Recommend(u graph.NodeID, k int, mode Mode) []Recommendation {
+	if k <= 0 {
+		return nil
+	}
+	counts := make(map[graph.NodeID]int)
+	for _, friend := range r.mutual[u] {
+		for _, fof := range r.mutual[friend] {
+			if fof == u {
+				continue
+			}
+			counts[fof]++
+		}
+	}
+	// Remove existing friends and apply the candidate-pool filter.
+	for _, friend := range r.mutual[u] {
+		delete(counts, friend)
+	}
+	if mode == Domestic && r.country[u] != "" {
+		for v := range counts {
+			if r.country[v] != r.country[u] {
+				delete(counts, v)
+			}
+		}
+	}
+	out := make([]Recommendation, 0, len(counts))
+	for v, score := range counts {
+		out = append(out, Recommendation{User: v, Score: score})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].User < out[b].User
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// EvalResult summarizes a held-out link-prediction run.
+type EvalResult struct {
+	Mode Mode
+	// Trials is how many held-out ties were tested.
+	Trials int
+	// Hits is how many reappeared in the top-k recommendations.
+	Hits int
+	// K is the recommendation list length.
+	K int
+}
+
+// HitRate returns Hits/Trials.
+func (e EvalResult) HitRate() float64 {
+	if e.Trials == 0 {
+		return 0
+	}
+	return float64(e.Hits) / float64(e.Trials)
+}
+
+// EvalOptions controls Evaluate.
+type EvalOptions struct {
+	// Holdout is the number of mutual ties to remove and predict.
+	Holdout int
+	// K is the recommendation list length (default 10).
+	K int
+	// Seed drives the holdout sampling.
+	Seed uint64
+	// Countries restricts evaluation to users of these countries (empty =
+	// everyone), enabling the §6 per-country comparison.
+	Countries []string
+	// LocatedOnly restricts held-out ties to pairs where both users
+	// disclose a country. This isolates the cross-border effect of the
+	// Domestic mode from the (much larger) effect of partners with
+	// private locations.
+	LocatedOnly bool
+}
+
+// Evaluate removes a sample of mutual ties from the dataset's graph,
+// rebuilds the recommender on the remaining graph, and measures how
+// often each removed tie is recovered in the top-k for its user.
+func Evaluate(ds *dataset.Dataset, mode Mode, opts EvalOptions) (EvalResult, error) {
+	if opts.Holdout <= 0 {
+		return EvalResult{}, fmt.Errorf("recommend: Holdout must be positive")
+	}
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x1f83d9abfb41bd6b))
+
+	wanted := map[string]bool{}
+	for _, c := range opts.Countries {
+		wanted[c] = true
+	}
+	country := countriesOf(ds)
+
+	// Candidate ties: mutual pairs whose endpoints both keep at least two
+	// other mutual friends (otherwise the signal cannot exist), with the
+	// source matching the country filter.
+	full := newFromGraph(ds.Graph, country)
+	type tie struct{ u, v graph.NodeID }
+	var candidates []tie
+	for u := 0; u < ds.NumUsers(); u++ {
+		if len(wanted) > 0 && !wanted[country[u]] {
+			continue
+		}
+		if len(full.mutual[u]) < 3 {
+			continue
+		}
+		for _, v := range full.mutual[u] {
+			if graph.NodeID(u) >= v || len(full.mutual[v]) < 3 {
+				continue
+			}
+			if opts.LocatedOnly && (country[u] == "" || country[v] == "") {
+				continue
+			}
+			candidates = append(candidates, tie{graph.NodeID(u), v})
+		}
+	}
+	if len(candidates) == 0 {
+		return EvalResult{}, fmt.Errorf("recommend: no eligible mutual ties")
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if len(candidates) > opts.Holdout {
+		candidates = candidates[:opts.Holdout]
+	}
+	held := make(map[tie]bool, len(candidates))
+	for _, t := range candidates {
+		held[t] = true
+	}
+
+	// Training graph: the original minus held-out ties (both directions).
+	b := graph.NewBuilder(ds.NumUsers(), int(ds.Graph.NumEdges()))
+	for u := 0; u < ds.NumUsers(); u++ {
+		for _, v := range ds.Graph.Out(graph.NodeID(u)) {
+			a, z := graph.NodeID(u), v
+			if a > z {
+				a, z = z, a
+			}
+			if held[tie{a, z}] {
+				continue
+			}
+			b.AddEdge(graph.NodeID(u), v)
+		}
+	}
+	b.EnsureNode(graph.NodeID(ds.NumUsers() - 1))
+	trained := newFromGraph(b.Build(), country)
+
+	res := EvalResult{Mode: mode, K: opts.K}
+	for _, t := range candidates {
+		res.Trials++
+		for _, rec := range trained.Recommend(t.u, opts.K, mode) {
+			if rec.User == t.v {
+				res.Hits++
+				break
+			}
+		}
+	}
+	return res, nil
+}

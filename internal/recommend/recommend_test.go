@@ -1,0 +1,176 @@
+package recommend
+
+import (
+	"sync"
+	"testing"
+
+	"gplus/internal/dataset"
+	"gplus/internal/graph"
+	"gplus/internal/profile"
+	"gplus/internal/synth"
+)
+
+var (
+	recOnce sync.Once
+	recDS   *dataset.Dataset
+)
+
+func testDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	recOnce.Do(func() {
+		u, err := synth.Generate(synth.DefaultConfig(20_000))
+		if err != nil {
+			panic(err)
+		}
+		recDS = dataset.FromUniverse(u)
+	})
+	return recDS
+}
+
+// tinyDataset builds a hand-crafted world: a mutual triangle {0,1,2}
+// plus mutual tie 2-3, so 3 is a friend-of-friend of 0 and 1.
+func tinyDataset(t *testing.T, countries []string) *dataset.Dataset {
+	t.Helper()
+	g := graph.FromEdges(5,
+		0, 1, 1, 0,
+		0, 2, 2, 0,
+		1, 2, 2, 1,
+		2, 3, 3, 2,
+	)
+	ds := &dataset.Dataset{
+		Graph:    g,
+		Profiles: make([]profile.Profile, 5),
+		IDs:      []string{"a", "b", "c", "d", "e"},
+		Crawled:  []bool{true, true, true, true, true},
+	}
+	for i, c := range countries {
+		if c != "" {
+			ds.Profiles[i].Public = ds.Profiles[i].Public.With(profile.AttrPlacesLived)
+			ds.Profiles[i].CountryCode = c
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRecommendCommonFriends(t *testing.T) {
+	ds := tinyDataset(t, nil)
+	r := New(ds)
+	recs := r.Recommend(0, 5, Global)
+	// 0's mutual friends: {1, 2}. FoFs: via 1 -> {0,2}; via 2 -> {0,1,3}.
+	// After removing self and existing friends, only 3 remains (score 1).
+	if len(recs) != 1 || recs[0].User != 3 || recs[0].Score != 1 {
+		t.Fatalf("recs = %+v, want [{3 1}]", recs)
+	}
+	// Node 4 is isolated: no recommendations.
+	if got := r.Recommend(4, 5, Global); len(got) != 0 {
+		t.Fatalf("isolated node got %+v", got)
+	}
+	if got := r.Recommend(0, 0, Global); got != nil {
+		t.Fatalf("k=0 got %+v", got)
+	}
+}
+
+func TestRecommendDomesticFilter(t *testing.T) {
+	// 3 lives abroad: a domestic-only recommendation for 0 excludes it.
+	ds := tinyDataset(t, []string{"US", "US", "US", "BR", ""})
+	r := New(ds)
+	if got := r.Recommend(0, 5, Domestic); len(got) != 0 {
+		t.Fatalf("domestic recs = %+v, want none (candidate is foreign)", got)
+	}
+	if got := r.Recommend(0, 5, Global); len(got) != 1 {
+		t.Fatalf("global recs = %+v, want the foreign candidate", got)
+	}
+	// A user without a disclosed country falls back to the global pool.
+	ds2 := tinyDataset(t, []string{"", "US", "US", "BR", ""})
+	if got := New(ds2).Recommend(0, 5, Domestic); len(got) != 1 {
+		t.Fatalf("undisclosed-country user got %+v, want global behavior", got)
+	}
+}
+
+func TestRecommendDeterministicOrdering(t *testing.T) {
+	ds := testDataset(t)
+	r := New(ds)
+	a := r.Recommend(100, 10, Global)
+	b := r.Recommend(100, 10, Global)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic ordering at %d", i)
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Score > a[i-1].Score {
+			t.Fatalf("not sorted by score: %+v", a)
+		}
+	}
+}
+
+func TestEvaluateRecoversHeldOutTies(t *testing.T) {
+	ds := testDataset(t)
+	res, err := Evaluate(ds, Global, EvalOptions{Holdout: 400, K: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials == 0 {
+		t.Fatal("no trials ran")
+	}
+	// Common-neighbor link prediction on a community-structured graph
+	// must far outperform chance (which is ~k/N ≈ 0.0005 here).
+	if hr := res.HitRate(); hr < 0.15 {
+		t.Errorf("global hit rate = %.3f, want >= 0.15", hr)
+	}
+}
+
+// TestSection6DomesticRecommendation verifies the paper's implication:
+// restricting recommendations to domestic candidates sharply improves
+// precision for inward-looking countries (most real ties are domestic,
+// so the restriction prunes noise), while for outward-looking GB/CA —
+// whose ties often cross the border to the US — the benefit largely
+// evaporates. Located pairs only, so the comparison isolates the
+// cross-border effect from private-location partners.
+func TestSection6DomesticRecommendation(t *testing.T) {
+	ds := testDataset(t)
+	run := func(mode Mode, countries []string) float64 {
+		res, err := Evaluate(ds, mode, EvalOptions{
+			Holdout: 400, K: 10, Seed: 17, Countries: countries, LocatedOnly: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.HitRate()
+	}
+
+	inward := []string{"BR", "IN"}
+	outward := []string{"GB", "CA"}
+
+	inwardGain := run(Domestic, inward) - run(Global, inward)
+	outwardGain := run(Domestic, outward) - run(Global, outward)
+	if inwardGain <= 0 {
+		t.Errorf("domestic restriction should help inward-looking countries, gain = %.3f", inwardGain)
+	}
+	if inwardGain <= outwardGain+0.02 {
+		t.Errorf("domestic gain: inward %.3f should clearly exceed outward %.3f; §6 implication not reproduced",
+			inwardGain, outwardGain)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	ds := testDataset(t)
+	if _, err := Evaluate(ds, Global, EvalOptions{Holdout: 0}); err == nil {
+		t.Error("zero holdout accepted")
+	}
+	if _, err := Evaluate(ds, Global, EvalOptions{Holdout: 10, Countries: []string{"ZZ"}}); err == nil {
+		t.Error("empty candidate set accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Global.String() != "global" || Domestic.String() != "domestic" {
+		t.Error("mode labels wrong")
+	}
+}

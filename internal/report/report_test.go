@@ -1,0 +1,193 @@
+package report
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"gplus/internal/core"
+	"gplus/internal/dataset"
+	"gplus/internal/stats"
+	"gplus/internal/synth"
+)
+
+var (
+	repOnce  sync.Once
+	repStudy *core.Study
+)
+
+func study(t *testing.T) *core.Study {
+	t.Helper()
+	repOnce.Do(func() {
+		u, err := synth.Generate(synth.DefaultConfig(8_000))
+		if err != nil {
+			panic(err)
+		}
+		repStudy = core.New(dataset.FromUniverse(u), core.Options{
+			Seed: 3, PathSources: 32, ClusteringSample: 4_000, PairSample: 4_000,
+		})
+	})
+	return repStudy
+}
+
+func render(t *testing.T, fn func(*strings.Builder)) string {
+	t.Helper()
+	var sb strings.Builder
+	fn(&sb)
+	out := sb.String()
+	if out == "" {
+		t.Fatal("renderer produced no output")
+	}
+	return out
+}
+
+func TestTableRenderers(t *testing.T) {
+	s := study(t)
+	out := render(t, func(sb *strings.Builder) { Table1(sb, s.TopUsers(20)) })
+	if !strings.Contains(out, "Table 1") || strings.Count(out, "\n") < 21 {
+		t.Errorf("Table 1 output malformed:\n%s", out)
+	}
+
+	out = render(t, func(sb *strings.Builder) { Table2(sb, s.AttributeTable()) })
+	if !strings.Contains(out, "Gender") || !strings.Contains(out, "Places lived") {
+		t.Errorf("Table 2 missing attributes:\n%s", out)
+	}
+
+	out = render(t, func(sb *strings.Builder) { Table3(sb, s.TelUsers()) })
+	for _, want := range []string{"Single", "United States", "India", "Tel-users"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 missing %q", want)
+		}
+	}
+
+	ctx := context.Background()
+	rows := []core.TopologyRow{s.Topology(ctx)}
+	out = render(t, func(sb *strings.Builder) { Table4(sb, rows) })
+	if !strings.Contains(out, "Google+") {
+		t.Errorf("Table 4 missing network row:\n%s", out)
+	}
+
+	out = render(t, func(sb *strings.Builder) { Table5(sb, s.TopOccupationsByCountry(10)) })
+	if !strings.Contains(out, "Jaccard") || !strings.Contains(out, "Brazil") {
+		t.Errorf("Table 5 malformed:\n%s", out)
+	}
+}
+
+func TestFigureRenderers(t *testing.T) {
+	s := study(t)
+	ctx := context.Background()
+
+	render(t, func(sb *strings.Builder) { Fig2(sb, s.FieldsShared()) })
+
+	dd, err := s.Degrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(t, func(sb *strings.Builder) { Fig3(sb, dd) })
+	if !strings.Contains(out, "alpha=") {
+		t.Errorf("Fig3 missing fit:\n%s", out)
+	}
+
+	render(t, func(sb *strings.Builder) { Fig4(sb, s.Reciprocity(), s.Clustering(), s.SCC()) })
+	render(t, func(sb *strings.Builder) { Fig5(sb, s.PathLengths(ctx)) })
+
+	out = render(t, func(sb *strings.Builder) { Fig6(sb, s.TopCountries(10)) })
+	if !strings.Contains(out, "United States") {
+		t.Errorf("Fig6 missing US:\n%s", out)
+	}
+
+	render(t, func(sb *strings.Builder) { Fig7(sb, s.Penetration()) })
+	render(t, func(sb *strings.Builder) { Fig8(sb, s.FieldsByCountry(nil)) })
+	render(t, func(sb *strings.Builder) { Fig9(sb, s.PathMiles(), s.AveragePathMiles()) })
+
+	out = render(t, func(sb *strings.Builder) { Fig10(sb, s.CountryLinks()) })
+	if strings.Count(out, "\n") < 11 {
+		t.Errorf("Fig10 matrix truncated:\n%s", out)
+	}
+
+	render(t, func(sb *strings.Builder) { LostEdges(sb, s.LostEdges(10_000)) })
+
+	out = render(t, func(sb *strings.Builder) { Connectivity(sb, s.WCC(), s.SCC()) })
+	if !strings.Contains(out, "WCC") || !strings.Contains(out, "SCC") {
+		t.Errorf("connectivity line malformed: %q", out)
+	}
+
+	out = render(t, func(sb *strings.Builder) { CountryStructures(sb, s.CountryStructures()) })
+	if !strings.Contains(out, "Reciprocity") || strings.Count(out, "\n") < 11 {
+		t.Errorf("country structures malformed:\n%s", out)
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	s := study(t)
+	var sb strings.Builder
+	if err := Markdown(context.Background(), &sb, s); err != nil {
+		t.Fatalf("Markdown: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# Google+ reproduction report",
+		"## Audit against the published findings",
+		"checks passed",
+		"## Table 2",
+		"| Gender |",
+		"## Table 5",
+		"Fig 4(a): global reciprocity",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// Markdown tables must be well-formed: every table line has pipes.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "| ") && !strings.HasSuffix(line, "|") {
+			t.Errorf("broken table row: %q", line)
+		}
+	}
+}
+
+func TestWritePlotData(t *testing.T) {
+	s := study(t)
+	dir := t.TempDir()
+	if err := WritePlotData(context.Background(), dir, s); err != nil {
+		t.Fatalf("WritePlotData: %v", err)
+	}
+	for _, name := range []string{
+		"fig2_all.dat", "fig2_tel.dat", "fig3_in.dat", "fig3_out.dat",
+		"fig4a_rr.dat", "fig4b_cc.dat", "fig4c_scc.dat",
+		"fig5_directed.dat", "fig5_undirected.dat", "fig6_countries.dat",
+		"fig8_US.dat", "fig8_DE.dat",
+		"fig9a_friends.dat", "fig9a_reciprocal.dat", "fig9a_random.dat",
+		"fig10_matrix.dat", "plots.gp",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing %s: %v", name, err)
+			continue
+		}
+		if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 2 {
+			t.Errorf("%s has fewer than 2 lines", name)
+		}
+	}
+}
+
+func TestSeriesEmptyAndSampling(t *testing.T) {
+	var sb strings.Builder
+	Series(&sb, "empty", nil, 5)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("empty series: %q", sb.String())
+	}
+	pts := make([]stats.Point, 100)
+	for i := range pts {
+		pts[i] = stats.Point{X: float64(i), Y: 1 - float64(i)/100}
+	}
+	sb.Reset()
+	Series(&sb, "big", pts, 10)
+	lines := strings.Count(sb.String(), "\n")
+	if lines > 14 {
+		t.Errorf("series not downsampled: %d lines", lines)
+	}
+}

@@ -1,0 +1,161 @@
+package sampling
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"gplus/internal/graph"
+	"gplus/internal/synth"
+)
+
+var (
+	sampOnce sync.Once
+	sampG    *graph.Graph
+	sampSeed graph.NodeID
+)
+
+func sampleGraph(t *testing.T) (*graph.Graph, graph.NodeID) {
+	t.Helper()
+	sampOnce.Do(func() {
+		u, err := synth.Generate(synth.DefaultConfig(20_000))
+		if err != nil {
+			panic(err)
+		}
+		sampG = u.Graph
+		sampSeed = graph.TopByInDegree(u.Graph, 1)[0]
+	})
+	return sampG, sampSeed
+}
+
+func TestUndirectedDegree(t *testing.T) {
+	// 0<->1 mutual, 0->2 one-way.
+	g := graph.FromEdges(3, 0, 1, 1, 0, 0, 2)
+	cases := []struct {
+		u    graph.NodeID
+		want int
+	}{
+		{0, 2}, // neighbors {1, 2}
+		{1, 1}, // neighbor {0}
+		{2, 1}, // neighbor {0}
+	}
+	for _, c := range cases {
+		if got := undirectedDegree(g, c.u); got != c.want {
+			t.Errorf("undirectedDegree(%d) = %d, want %d", c.u, got, c.want)
+		}
+	}
+}
+
+func TestSampleSizesAndDistinctness(t *testing.T) {
+	g, seed := sampleGraph(t)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, m := range []Method{BFS, RandomWalk, MetropolisHastings, Uniform} {
+		got := Sample(g, m, seed, 500, rng)
+		if len(got) != 500 {
+			t.Errorf("%v returned %d nodes, want 500", m, len(got))
+		}
+		seen := map[graph.NodeID]bool{}
+		for _, v := range got {
+			if seen[v] {
+				t.Errorf("%v returned duplicate node %d", m, v)
+				break
+			}
+			seen[v] = true
+		}
+	}
+	if got := Sample(g, BFS, seed, 0, rng); got != nil {
+		t.Errorf("n=0 should return nil, got %d", len(got))
+	}
+	// n beyond the graph clamps.
+	tiny := graph.FromEdges(3, 0, 1, 1, 2, 2, 0)
+	if got := Sample(tiny, Uniform, 0, 99, rng); len(got) != 3 {
+		t.Errorf("clamped sample = %d, want 3", len(got))
+	}
+}
+
+func TestBFSSampleIsBreadthFirst(t *testing.T) {
+	// star: 0 -> {1..4}, then 1 -> 5.
+	g := graph.FromEdges(6, 0, 1, 0, 2, 0, 3, 0, 4, 1, 5)
+	got := Sample(g, BFS, 0, 6, nil)
+	if got[0] != 0 {
+		t.Fatalf("BFS must start at the seed, got %v", got)
+	}
+	// Node 5 (two hops) must come after all one-hop nodes.
+	pos := map[graph.NodeID]int{}
+	for i, v := range got {
+		pos[v] = i
+	}
+	for _, oneHop := range []graph.NodeID{1, 2, 3, 4} {
+		if pos[5] < pos[oneHop] {
+			t.Errorf("two-hop node sampled before one-hop: %v", got)
+		}
+	}
+}
+
+func TestWalkAbsorbedAtIsolatedNode(t *testing.T) {
+	g := graph.FromEdges(3, 0, 1) // node 2 isolated
+	got := Sample(g, RandomWalk, 2, 3, rand.New(rand.NewPCG(1, 2)))
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("walk from isolated node = %v, want [2]", got)
+	}
+}
+
+// TestBFSBiasReproduced is the §2.2 methodology experiment: a budgeted
+// BFS over-samples high-degree nodes, a plain random walk even more so,
+// while Metropolis-Hastings re-weighting removes most of the bias.
+func TestBFSBiasReproduced(t *testing.T) {
+	g, seed := sampleGraph(t)
+	rng := rand.New(rand.NewPCG(7, 8))
+	const n = 2_000
+
+	bfs := MeasureBias(g, BFS, seed, n, rng)
+	rw := MeasureBias(g, RandomWalk, seed, n, rng)
+	mh := MeasureBias(g, MetropolisHastings, seed, n, rng)
+	uni := MeasureBias(g, Uniform, seed, n, rng)
+
+	if bfs.Inflation < 1.2 {
+		t.Errorf("BFS inflation = %.2f, expected clear hub bias (> 1.2)", bfs.Inflation)
+	}
+	if rw.Inflation < 1.2 {
+		t.Errorf("random-walk inflation = %.2f, expected clear hub bias", rw.Inflation)
+	}
+	if uni.Inflation < 0.85 || uni.Inflation > 1.15 {
+		t.Errorf("uniform inflation = %.2f, want ~1", uni.Inflation)
+	}
+	// MH must sit far closer to unbiased than BFS.
+	mhErr := abs(mh.Inflation - 1)
+	bfsErr := abs(bfs.Inflation - 1)
+	if mhErr >= bfsErr {
+		t.Errorf("MH |bias| %.2f should be below BFS |bias| %.2f", mhErr, bfsErr)
+	}
+	if mh.Inflation > 1.6 {
+		t.Errorf("MH inflation = %.2f, want near 1", mh.Inflation)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestMethodString(t *testing.T) {
+	for m, want := range map[Method]string{
+		BFS: "BFS", RandomWalk: "random-walk",
+		MetropolisHastings: "Metropolis-Hastings", Uniform: "uniform",
+		Method(9): "unknown",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestMeasureBiasEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0, 0).Build()
+	rep := MeasureBias(g, Uniform, 0, 10, rand.New(rand.NewPCG(1, 1)))
+	if rep.SampleSize != 0 || rep.Inflation != 0 {
+		t.Errorf("empty graph report = %+v", rep)
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson product-moment correlation coefficient of
+// the paired samples. It errors on mismatched lengths, fewer than two
+// pairs, or zero variance in either variable.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: x and y lengths differ")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0, errors.New("stats: need at least two pairs")
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the Spearman rank correlation coefficient of the
+// paired samples, computed as the Pearson correlation of the ranks (with
+// ties assigned their average rank).
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: x and y lengths differ")
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks assigns 1-based average ranks, handling ties.
+func ranks(vals []float64) []float64 {
+	n := len(vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && vals[idx[j]] == vals[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j).
+		avg := (float64(i+1) + float64(j)) / 2
+		for k := i; k < j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j
+	}
+	return out
+}

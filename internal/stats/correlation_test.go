@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("r = %v, want 1", r)
+	}
+	// Perfect negative.
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single pair accepted")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+func TestPearsonIndependent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 20_000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.03 {
+		t.Errorf("independent samples correlate at %v", r)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform gives rho = 1.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x) // nonlinear but monotone
+	}
+	rho, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("rho = %v, want 1", rho)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 3}
+	rho, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("rho with ties = %v, want 1", rho)
+	}
+}
+
+func TestRanksAverageTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCorrelationPropertyBoundsAndSymmetry(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^77))
+		n := 3 + rng.IntN(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			ys[i] = rng.NormFloat64()*5 + xs[i]*0.3
+		}
+		r1, err1 := Pearson(xs, ys)
+		r2, err2 := Pearson(ys, xs)
+		if err1 != nil || err2 != nil {
+			return true // degenerate draw; nothing to check
+		}
+		if math.Abs(r1-r2) > 1e-9 || r1 < -1-1e-9 || r1 > 1+1e-9 {
+			return false
+		}
+		rho, err := Spearman(xs, ys)
+		return err == nil && rho >= -1-1e-9 && rho <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

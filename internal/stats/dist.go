@@ -1,0 +1,141 @@
+// Package stats provides the statistical machinery of the study:
+// empirical CDF/CCDF curves, log-log power-law fitting, summary
+// statistics, Jaccard similarity, and sampling helpers.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is one (x, y) pair of an empirical curve.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// CCDF returns the complementary cumulative distribution function of the
+// samples: for each distinct value x, the fraction of samples strictly
+// greater than or equal to x is plotted at x, i.e. P(X >= x). The input
+// slice is not modified. Points come out sorted by X ascending.
+func CCDF(samples []float64) []Point {
+	return ccdfFrom(sortedCopy(samples))
+}
+
+// CCDFInts is CCDF for integer-valued samples such as node degrees.
+func CCDFInts(samples []int) []Point {
+	vals := make([]float64, len(samples))
+	for i, s := range samples {
+		vals[i] = float64(s)
+	}
+	sort.Float64s(vals)
+	return ccdfFrom(vals)
+}
+
+func ccdfFrom(sorted []float64) []Point {
+	n := len(sorted)
+	if n == 0 {
+		return nil
+	}
+	var pts []Point
+	for i := 0; i < n; {
+		j := i
+		for j < n && sorted[j] == sorted[i] {
+			j++
+		}
+		// P(X >= sorted[i]) = (n - i) / n.
+		pts = append(pts, Point{X: sorted[i], Y: float64(n-i) / float64(n)})
+		i = j
+	}
+	return pts
+}
+
+// CDF returns the empirical cumulative distribution function: for each
+// distinct value x, P(X <= x). Points come out sorted by X ascending.
+func CDF(samples []float64) []Point {
+	sorted := sortedCopy(samples)
+	n := len(sorted)
+	if n == 0 {
+		return nil
+	}
+	var pts []Point
+	for i := 0; i < n; {
+		j := i
+		for j < n && sorted[j] == sorted[i] {
+			j++
+		}
+		pts = append(pts, Point{X: sorted[i], Y: float64(j) / float64(n)})
+		i = j
+	}
+	return pts
+}
+
+// CCDFAt evaluates P(X >= x) directly from samples.
+func CCDFAt(samples []float64, x float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	count := 0
+	for _, s := range samples {
+		if s >= x {
+			count++
+		}
+	}
+	return float64(count) / float64(len(samples))
+}
+
+// CDFAt evaluates P(X <= x) directly from samples.
+func CDFAt(samples []float64, x float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	count := 0
+	for _, s := range samples {
+		if s <= x {
+			count++
+		}
+	}
+	return float64(count) / float64(len(samples))
+}
+
+// KSDistance returns the Kolmogorov-Smirnov distance between the empirical
+// CDFs of two sample sets: the maximum absolute difference between them.
+// Tests use it to compare measured distributions against calibration
+// targets.
+func KSDistance(a, b []float64) float64 {
+	sa, sb := sortedCopy(a), sortedCopy(b)
+	if len(sa) == 0 || len(sb) == 0 {
+		return 1
+	}
+	var (
+		i, j int
+		max  float64
+	)
+	for i < len(sa) && j < len(sb) {
+		var x float64
+		if sa[i] <= sb[j] {
+			x = sa[i]
+		} else {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] <= x {
+			i++
+		}
+		for j < len(sb) && sb[j] <= x {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if d := math.Abs(fa - fb); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func sortedCopy(samples []float64) []float64 {
+	out := make([]float64, len(samples))
+	copy(out, samples)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCCDFBasic(t *testing.T) {
+	pts := CCDF([]float64{1, 2, 2, 3})
+	want := []Point{{1, 1.0}, {2, 0.75}, {3, 0.25}}
+	if len(pts) != len(want) {
+		t.Fatalf("got %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("pts[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestCCDFEmpty(t *testing.T) {
+	if pts := CCDF(nil); pts != nil {
+		t.Fatalf("CCDF(nil) = %v", pts)
+	}
+	if pts := CDF(nil); pts != nil {
+		t.Fatalf("CDF(nil) = %v", pts)
+	}
+}
+
+func TestCDFBasic(t *testing.T) {
+	pts := CDF([]float64{1, 2, 2, 3})
+	want := []Point{{1, 0.25}, {2, 0.75}, {3, 1.0}}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("pts[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestCCDFInts(t *testing.T) {
+	pts := CCDFInts([]int{0, 5, 5, 10})
+	if pts[0] != (Point{0, 1.0}) {
+		t.Errorf("first point %v", pts[0])
+	}
+	if pts[len(pts)-1] != (Point{10, 0.25}) {
+		t.Errorf("last point %v", pts[len(pts)-1])
+	}
+}
+
+func TestCCDFAtCDFAt(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if got := CCDFAt(s, 3); got != 0.5 {
+		t.Errorf("CCDFAt(3) = %v, want 0.5", got)
+	}
+	if got := CDFAt(s, 2); got != 0.5 {
+		t.Errorf("CDFAt(2) = %v, want 0.5", got)
+	}
+	if got := CCDFAt(nil, 1); got != 0 {
+		t.Errorf("CCDFAt(nil) = %v", got)
+	}
+}
+
+func TestCCDFPropertyMonotoneAndBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Filter NaN which has no place in empirical curves.
+		var samples []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				samples = append(samples, v)
+			}
+		}
+		pts := CCDF(samples)
+		prevX := math.Inf(-1)
+		prevY := math.Inf(1)
+		for _, p := range pts {
+			if p.X <= prevX {
+				return false // strictly increasing X
+			}
+			if p.Y > prevY || p.Y <= 0 || p.Y > 1 {
+				return false // non-increasing Y in (0,1]
+			}
+			prevX, prevY = p.X, p.Y
+		}
+		// First point must be at the minimum with Y == 1.
+		if len(pts) > 0 && pts[0].Y != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPropertyComplementsCCDF(t *testing.T) {
+	// For any threshold x: P(X <= x) + P(X > x) == 1, i.e.
+	// CDFAt(x) == 1 - CCDFAt(nextafter(x)).
+	rng := rand.New(rand.NewPCG(7, 7))
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = math.Round(rng.Float64()*10) / 2
+	}
+	for _, x := range []float64{0, 1, 2.5, 5, 9} {
+		lhs := CDFAt(samples, x)
+		rhs := 1 - CCDFAt(samples, math.Nextafter(x, math.Inf(1)))
+		if math.Abs(lhs-rhs) > 1e-12 {
+			t.Errorf("x=%v: CDF %v vs 1-CCDF %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KSDistance(a, a); d != 0 {
+		t.Errorf("KS(a,a) = %v, want 0", d)
+	}
+	b := []float64{101, 102, 103}
+	if d := KSDistance(a, b); d != 1 {
+		t.Errorf("KS of disjoint supports = %v, want 1", d)
+	}
+	if d := KSDistance(nil, a); d != 1 {
+		t.Errorf("KS with empty = %v, want 1", d)
+	}
+}
+
+func TestKSDistancePropertySymmetricBounded(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var ca, cb []float64
+		for _, v := range a {
+			if !math.IsNaN(v) {
+				ca = append(ca, v)
+			}
+		}
+		for _, v := range b {
+			if !math.IsNaN(v) {
+				cb = append(cb, v)
+			}
+		}
+		d1, d2 := KSDistance(ca, cb), KSDistance(cb, ca)
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package stream
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"gplus/internal/dataset"
+	"gplus/internal/graph"
+	"gplus/internal/synth"
+)
+
+var (
+	streamOnce sync.Once
+	streamDS   *dataset.Dataset
+	streamRes  *Result
+)
+
+func fixtures(t *testing.T) (*dataset.Dataset, *Result) {
+	t.Helper()
+	streamOnce.Do(func() {
+		u, err := synth.Generate(synth.DefaultConfig(20_000))
+		if err != nil {
+			panic(err)
+		}
+		streamDS = dataset.FromUniverse(u)
+		streamRes, err = Simulate(streamDS, DefaultConfig(30_000))
+		if err != nil {
+			panic(err)
+		}
+	})
+	return streamDS, streamRes
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(10).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Posts = 0 },
+		func(c *Config) { c.ActivityAlpha = 0 },
+		func(c *Config) { c.PublicShare = -0.1 },
+		func(c *Config) { c.ResharePerExposure = 2 },
+		func(c *Config) { c.PlusOnePerExposure = -1 },
+		func(c *Config) { c.MaxDepth = 0 },
+		func(c *Config) { c.MaxAudience = 0 },
+	}
+	for i, mutate := range mutations {
+		c := DefaultConfig(10)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	_, res := fixtures(t)
+	if len(res.Posts) != 30_000 {
+		t.Fatalf("got %d posts", len(res.Posts))
+	}
+	var public, circles int
+	for _, p := range res.Posts {
+		switch p.Visibility {
+		case Public:
+			public++
+		case Circles:
+			circles++
+			if p.Reshares != 0 {
+				t.Fatal("circles-limited post was reshared")
+			}
+		}
+		if p.Exposures < 0 || p.PlusOnes > p.Exposures {
+			t.Fatalf("inconsistent post: %+v", p)
+		}
+		if p.Depth > DefaultConfig(1).MaxDepth {
+			t.Fatalf("depth %d beyond cap", p.Depth)
+		}
+	}
+	if public == 0 || circles == 0 {
+		t.Fatalf("degenerate visibility mix: %d public, %d circles", public, circles)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	ds, _ := fixtures(t)
+	cfg := DefaultConfig(2_000)
+	a, err := Simulate(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Posts, b.Posts) {
+		t.Error("posts differ across identical configs")
+	}
+}
+
+func TestPublicPostsReachFurther(t *testing.T) {
+	_, res := fixtures(t)
+	reach := res.ReachByVisibility()
+	if reach[Public] <= reach[Circles] {
+		t.Errorf("public reach %.1f should exceed circles reach %.1f",
+			reach[Public], reach[Circles])
+	}
+	// Circles posts reach mutual followers only: strictly fewer than the
+	// full follower audience on average, and well below public reach.
+	if reach[Public] < 1.5*reach[Circles] {
+		t.Errorf("public/circles reach ratio %.2f, want >= 1.5",
+			reach[Public]/reach[Circles])
+	}
+}
+
+func TestProlificConcentration(t *testing.T) {
+	_, res := fixtures(t)
+	top1 := res.Concentration(1)
+	top10 := res.Concentration(10)
+	if top1 < 0.05 {
+		t.Errorf("top-1%% of posters produced only %.1f%% of posts; want heavy concentration", 100*top1)
+	}
+	if top10 <= top1 || top10 > 1 {
+		t.Errorf("top10=%v top1=%v", top10, top1)
+	}
+	if got := res.Concentration(100); got < 0.999 {
+		t.Errorf("top-100%% concentration = %v, want 1", got)
+	}
+}
+
+func TestCascadeTail(t *testing.T) {
+	_, res := fixtures(t)
+	ccdf := res.CascadeSizeCCDF()
+	if len(ccdf) == 0 {
+		t.Fatal("no cascades formed; reshare rate too low for this graph")
+	}
+	max := ccdf[len(ccdf)-1].X
+	if max < 5 {
+		t.Errorf("largest cascade = %v reshares, want a heavy tail", max)
+	}
+	var deepest int
+	for _, p := range res.Posts {
+		if p.Depth > deepest {
+			deepest = p.Depth
+		}
+	}
+	if deepest < 2 {
+		t.Errorf("deepest cascade = %d hops, want multi-hop diffusion", deepest)
+	}
+}
+
+func TestPlusOneCCDF(t *testing.T) {
+	_, res := fixtures(t)
+	ccdf := res.PlusOneCCDF()
+	if len(ccdf) == 0 {
+		t.Fatal("empty +1 distribution")
+	}
+	if ccdf[0].Y != 1 {
+		t.Errorf("CCDF must start at 1, got %v", ccdf[0].Y)
+	}
+}
+
+func TestSimulateRejectsEmptyDataset(t *testing.T) {
+	empty := &dataset.Dataset{Graph: graph.NewBuilder(0, 0).Build()}
+	if _, err := Simulate(empty, DefaultConfig(5)); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestConcentrationEmpty(t *testing.T) {
+	r := &Result{}
+	if got := r.Concentration(1); got != 0 {
+		t.Errorf("empty concentration = %v", got)
+	}
+}

@@ -1,0 +1,184 @@
+// Package synth generates the synthetic Google+ universe that stands in
+// for the (now shut down) live service, plus baseline social graphs
+// calibrated to the comparison networks of Table 4.
+//
+// The generator is deterministic for a given Config (including Seed):
+// every experiment in the study can be re-run bit-for-bit.
+package synth
+
+import "fmt"
+
+// Config controls the synthetic universe. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	// Nodes is the number of users.
+	Nodes int
+	// Seed drives all randomness; equal configs generate equal universes.
+	Seed uint64
+
+	// OutDegreeAlpha is the CCDF tail exponent of the engaged users'
+	// out-degree draw (the paper fits 1.2 on the realized curve).
+	OutDegreeAlpha float64
+	// OutDegreeMin is the lower bound of the engaged out-degree draw;
+	// together with OutDegreeAlpha and CasualFraction it sets the mean
+	// degree (~16.4 in the paper).
+	OutDegreeMin float64
+	// OutDegreeCap is the service-imposed friend cap (5,000); only
+	// celebrities may exceed it (§3.3.1).
+	OutDegreeCap int
+	// CasualFraction is the share of users who only ever add a handful
+	// of contacts; they produce the flat head of the out-degree CCDF,
+	// the small strongly connected components of Figure 4(c), and most
+	// of the high-clustering low-degree population of Figure 4(b).
+	CasualFraction float64
+	// CasualDegreeMax bounds a casual user's organic out-degree.
+	CasualDegreeMax int
+
+	// InWeightAlpha is the tail exponent of the ordinary users'
+	// preferential-attachment attractiveness weights; it shapes the
+	// in-degree CCDF (paper: 1.3). OrdinaryWeightCap bounds it.
+	InWeightAlpha     float64
+	OrdinaryWeightCap float64
+
+	// CelebrityFraction is the share of users flagged as celebrities:
+	// their attractiveness continues the weight tail beyond
+	// OrdinaryWeightCap up to CelebrityWeightMax, they are exempt from
+	// the out-degree cap, and they almost never reciprocate.
+	CelebrityFraction  float64
+	CelebrityWeightMax float64
+
+	// CommunityMin and CommunityMax bound the size of the within-country
+	// communities that local picks are drawn from; tight communities are
+	// what produces realistic clustering coefficients.
+	CommunityMin int
+	CommunityMax int
+	// CommunityAffinity is the probability a local pick stays inside the
+	// user's own community rather than anywhere in the country.
+	CommunityAffinity float64
+
+	// Reciprocation probabilities by edge type. Edges to genuine social
+	// contacts (same-country "local" picks and friend-of-friend "triadic"
+	// picks) are added back often; one-way follows of popular users
+	// ("global" preferential picks) rarely; celebrities almost never
+	// respond regardless of how they were found. The split is what lets
+	// ordinary users keep high per-node RR (Figure 4a) while the global
+	// edge reciprocity stays near the paper's 32% (Table 4).
+	ReciprocationLocal     float64
+	ReciprocationTriadic   float64
+	ReciprocationGlobal    float64
+	ReciprocationCelebrity float64
+	// CasualResponse scales a casual user's probability of adding anyone
+	// back: inactive accounts rarely respond, which produces the small
+	// strongly connected components of Figure 4(c) and keeps global
+	// reciprocity below per-node RR.
+	CasualResponse float64
+
+	// SocialDegree is the out-degree pivot of the stub-type mix: users
+	// adding no more than this many contacts pick mostly local/triadic
+	// targets, while aggressive adders shift toward global preferential
+	// picks (which mostly go unreciprocated).
+	SocialDegree int
+	// PAShareMin and PAShareMax bound the preferential-attachment share
+	// of a user's out-stubs as out-degree grows from small to huge.
+	PAShareMin float64
+	PAShareMax float64
+	// TriadicShare is the portion of the non-preferential stubs that use
+	// triadic closure (friend-of-friend) rather than a same-country pick;
+	// it drives the clustering coefficient of Figure 4(b).
+	TriadicShare float64
+	// PADomestic is the probability a preferential pick targets the
+	// user's own country's stars instead of the worldwide pool; it keeps
+	// friend links geographically close (Figure 9) and country self-loop
+	// weights high (Figure 10), and differentiates the per-country top
+	// lists of Table 5.
+	PADomestic float64
+
+	// LocatedFraction is the share of users who publicly share "places
+	// lived" (paper: 26.75%).
+	LocatedFraction float64
+	// TelUserBase sets the baseline propensity to share phone-bearing
+	// contact info; the realized tel-user share lands near the paper's
+	// 0.26% after the per-country and demographic modifiers.
+	TelUserBase float64
+}
+
+// DefaultConfig returns the calibrated configuration used by the study's
+// experiments at a given node count.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:                  nodes,
+		Seed:                   2011,
+		OutDegreeAlpha:         1.2,
+		OutDegreeMin:           6.5,
+		OutDegreeCap:           5000,
+		CasualFraction:         0.50,
+		CasualDegreeMax:        20,
+		InWeightAlpha:          1.3,
+		OrdinaryWeightCap:      2000,
+		CelebrityFraction:      0.0006,
+		CelebrityWeightMax:     1e6,
+		CommunityMin:           10,
+		CommunityMax:           24,
+		CommunityAffinity:      0.88,
+		ReciprocationLocal:     0.40,
+		ReciprocationTriadic:   0.25,
+		ReciprocationGlobal:    0.01,
+		ReciprocationCelebrity: 0.01,
+		CasualResponse:         0.45,
+		SocialDegree:           10,
+		PAShareMin:             0.10,
+		PAShareMax:             0.98,
+		TriadicShare:           0.50,
+		PADomestic:             0.50,
+		LocatedFraction:        0.2675,
+		TelUserBase:            0.0001,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("synth: Nodes = %d, must be positive", c.Nodes)
+	case c.OutDegreeAlpha <= 1:
+		return fmt.Errorf("synth: OutDegreeAlpha = %v, must exceed 1", c.OutDegreeAlpha)
+	case c.OutDegreeMin < 1:
+		return fmt.Errorf("synth: OutDegreeMin = %v, must be >= 1", c.OutDegreeMin)
+	case c.OutDegreeCap < 1:
+		return fmt.Errorf("synth: OutDegreeCap = %d, must be >= 1", c.OutDegreeCap)
+	case !inUnit(c.CasualFraction):
+		return fmt.Errorf("synth: CasualFraction = %v, must be in [0,1]", c.CasualFraction)
+	case c.CasualDegreeMax < 1:
+		return fmt.Errorf("synth: CasualDegreeMax = %d, must be >= 1", c.CasualDegreeMax)
+	case c.InWeightAlpha <= 0:
+		return fmt.Errorf("synth: InWeightAlpha = %v, must be positive", c.InWeightAlpha)
+	case c.OrdinaryWeightCap <= 1:
+		return fmt.Errorf("synth: OrdinaryWeightCap = %v, must exceed 1", c.OrdinaryWeightCap)
+	case c.CelebrityFraction < 0 || c.CelebrityFraction > 1:
+		return fmt.Errorf("synth: CelebrityFraction = %v, must be in [0,1]", c.CelebrityFraction)
+	case c.CelebrityWeightMax <= c.OrdinaryWeightCap:
+		return fmt.Errorf("synth: CelebrityWeightMax = %v, must exceed OrdinaryWeightCap", c.CelebrityWeightMax)
+	case c.CommunityMin < 2 || c.CommunityMax < c.CommunityMin:
+		return fmt.Errorf("synth: community size bounds [%d, %d] invalid", c.CommunityMin, c.CommunityMax)
+	case !inUnit(c.CommunityAffinity):
+		return fmt.Errorf("synth: CommunityAffinity = %v, must be in [0,1]", c.CommunityAffinity)
+	case !inUnit(c.ReciprocationLocal) || !inUnit(c.ReciprocationTriadic) ||
+		!inUnit(c.ReciprocationGlobal) || !inUnit(c.ReciprocationCelebrity):
+		return fmt.Errorf("synth: reciprocation probabilities must be in [0,1]")
+	case !inUnit(c.CasualResponse):
+		return fmt.Errorf("synth: CasualResponse = %v, must be in [0,1]", c.CasualResponse)
+	case c.SocialDegree < 1:
+		return fmt.Errorf("synth: SocialDegree = %d, must be >= 1", c.SocialDegree)
+	case !inUnit(c.PAShareMin) || !inUnit(c.PAShareMax) || c.PAShareMin > c.PAShareMax:
+		return fmt.Errorf("synth: PAShare bounds [%v, %v] invalid", c.PAShareMin, c.PAShareMax)
+	case !inUnit(c.TriadicShare):
+		return fmt.Errorf("synth: TriadicShare = %v, must be in [0,1]", c.TriadicShare)
+	case !inUnit(c.PADomestic):
+		return fmt.Errorf("synth: PADomestic = %v, must be in [0,1]", c.PADomestic)
+	case !inUnit(c.LocatedFraction) || !inUnit(c.TelUserBase):
+		return fmt.Errorf("synth: LocatedFraction and TelUserBase must be in [0,1]")
+	}
+	return nil
+}
+
+func inUnit(v float64) bool { return v >= 0 && v <= 1 }

@@ -1,0 +1,191 @@
+package synth
+
+import (
+	"gplus/internal/geo"
+	"gplus/internal/profile"
+)
+
+// OtherCountry is the pseudo-code for located users whose country is
+// outside the 20-country reference table (Table 3's "Other" row).
+const OtherCountry = "XX"
+
+// countryWeight is one slot of the located-user country mixture.
+type countryWeight struct {
+	code   string
+	weight float64
+}
+
+// countryMixture reproduces the located-user country distribution: the
+// Figure-6 shares for the top ten, calibrated secondary weights for the
+// rest of the reference table (shaped so Figure 7(a)'s GPR ranking comes
+// out: India on top, Japan/Russia/China depressed), and a large "Other"
+// remainder matching Table 3's 40.5%.
+var countryMixture = []countryWeight{
+	{"US", 0.3138}, {"IN", 0.1671}, {"BR", 0.0576}, {"GB", 0.0335},
+	{"CA", 0.0230}, {"DE", 0.0205}, {"ID", 0.0190}, {"MX", 0.0170},
+	{"IT", 0.0160}, {"ES", 0.0150},
+	// Secondary table countries.
+	{"RU", 0.0080}, {"FR", 0.0110}, {"JP", 0.0060}, {"CN", 0.0070},
+	{"TH", 0.0110}, {"TW", 0.0100}, {"VN", 0.0120}, {"AR", 0.0095},
+	{"AU", 0.0105}, {"IR", 0.0060},
+	// Everything else in the world.
+	{OtherCountry, 0.2265},
+}
+
+// otherWorldCities scatters OtherCountry users across plausible
+// locations so path-mile analyses remain meaningful for them.
+var otherWorldCities = []geo.Point{
+	{Lat: 37.57, Lon: 126.98},  // Seoul
+	{Lat: 6.52, Lon: 3.38},     // Lagos
+	{Lat: 41.01, Lon: 28.98},   // Istanbul
+	{Lat: 52.23, Lon: 21.01},   // Warsaw
+	{Lat: 30.04, Lon: 31.24},   // Cairo
+	{Lat: 24.86, Lon: 67.01},   // Karachi
+	{Lat: 14.60, Lon: 120.98},  // Manila
+	{Lat: 50.45, Lon: 30.52},   // Kyiv
+	{Lat: 44.43, Lon: 26.10},   // Bucharest
+	{Lat: -33.45, Lon: -70.67}, // Santiago
+}
+
+// attrBase gives each optional attribute's baseline public-disclosure
+// probability, straight from Table 2 (name is always public; places
+// lived is governed separately by Config.LocatedFraction; the contact
+// fields by the tel-user model).
+var attrBase = map[profile.Attr]float64{
+	profile.AttrGender:           0.9767,
+	profile.AttrEducation:        0.2711,
+	profile.AttrEmployment:       0.2147,
+	profile.AttrPhrase:           0.1479,
+	profile.AttrOtherProfiles:    0.1348,
+	profile.AttrOccupation:       0.1327,
+	profile.AttrContributorTo:    0.1315,
+	profile.AttrIntroduction:     0.0780,
+	profile.AttrOtherNames:       0.0439,
+	profile.AttrRelationship:     0.0431,
+	profile.AttrBraggingRights:   0.0390,
+	profile.AttrRecommendedLinks: 0.0363,
+	profile.AttrLookingFor:       0.0274,
+}
+
+// countryOpenness shifts the per-user disclosure propensity (in logit
+// units) to reproduce Figure 8's ordering: Indonesia and Mexico most
+// open, Germany most conservative.
+var countryOpenness = map[string]float64{
+	"ID": 0.45, "MX": 0.35, "US": 0.15, "BR": 0.10, "GB": 0.05,
+	"ES": 0.00, "CA": -0.05, "IT": -0.10, "IN": -0.15, "DE": -0.55,
+}
+
+// countryTelShift adjusts the tel-user propensity per country (logit
+// units) so India's share of tel-users roughly doubles versus its share
+// of all users while the US share collapses (Table 3's Location block).
+var countryTelShift = map[string]float64{
+	"IN": 1.45, "US": -1.45, "GB": -0.55, "CA": -0.55, "BR": -0.25,
+}
+
+// genderShares is Table 3's all-users gender split among disclosers.
+var genderShares = []struct {
+	g profile.Gender
+	w float64
+}{
+	{profile.GenderMale, 0.6765},
+	{profile.GenderFemale, 0.3146},
+	{profile.GenderOther, 0.0089},
+}
+
+// relationshipShares is Table 3's all-users relationship split among
+// disclosers.
+var relationshipShares = []struct {
+	r profile.Relationship
+	w float64
+}{
+	{profile.RelSingle, 0.4282},
+	{profile.RelMarried, 0.2659},
+	{profile.RelInRelationship, 0.1980},
+	{profile.RelComplicated, 0.0316},
+	{profile.RelEngaged, 0.0439},
+	{profile.RelOpenRelationship, 0.0126},
+	{profile.RelWidowed, 0.0050},
+	{profile.RelDomesticPartnership, 0.0108},
+	{profile.RelCivilUnion, 0.0039},
+}
+
+// genderTelShift and relationshipTelShift bias tel-user propensity so
+// the tel-user column of Table 3 comes out: heavily male, heavily
+// single.
+var genderTelShift = map[profile.Gender]float64{
+	profile.GenderMale:   0.55,
+	profile.GenderFemale: -1.25,
+	profile.GenderOther:  0.60,
+}
+
+var relationshipTelShift = map[profile.Relationship]float64{
+	profile.RelSingle:              0.45,
+	profile.RelMarried:             -0.20,
+	profile.RelInRelationship:      -0.75,
+	profile.RelComplicated:         0.30,
+	profile.RelEngaged:             -0.40,
+	profile.RelOpenRelationship:    0.85,
+	profile.RelWidowed:             0.20,
+	profile.RelDomesticPartnership: -0.35,
+	profile.RelCivilUnion:          0.10,
+}
+
+// crossCountryAffinity encodes the transnational-friendship patterns
+// behind Figure 10: Anglosphere countries (GB, CA) form a large share of
+// their social ties with the US, European countries a smaller one, while
+// the US, Brazil, India and Indonesia stay inward looking. LocalAbroad
+// is the probability a genuine social pick crosses to Target; PADomestic
+// overrides the default domestic preferential share.
+var crossCountryAffinity = map[string]struct {
+	LocalAbroad float64
+	Target      string
+	PADomestic  float64
+}{
+	"GB": {LocalAbroad: 0.45, Target: "US", PADomestic: 0.10},
+	"CA": {LocalAbroad: 0.45, Target: "US", PADomestic: 0.10},
+	"DE": {LocalAbroad: 0.30, Target: "US", PADomestic: 0.20},
+	"ES": {LocalAbroad: 0.18, Target: "US", PADomestic: 0.30},
+	"IT": {LocalAbroad: 0.15, Target: "US", PADomestic: 0.30},
+	"MX": {LocalAbroad: 0.20, Target: "US", PADomestic: 0.30},
+}
+
+// celebrityOccupations gives per-country occupation priors for top
+// users, encoding Table 5's rows (US hubs skew IT/music, Brazil
+// comedians and bloggers, Italy journalists, Spain the only country
+// with politicians, ...).
+var celebrityOccupations = map[string][]struct {
+	o profile.Occupation
+	w float64
+}{
+	"US": {{profile.Musician, 0.24}, {profile.IT, 0.38}, {profile.Comedian, 0.08},
+		{profile.Businessman, 0.08}, {profile.Model, 0.10}, {profile.Actor, 0.12}},
+	"IN": {{profile.Musician, 0.27}, {profile.IT, 0.35}, {profile.Model, 0.18},
+		{profile.Socialite, 0.10}, {profile.Businessman, 0.10}},
+	"BR": {{profile.Comedian, 0.30}, {profile.Blogger, 0.20}, {profile.TVHost, 0.12},
+		{profile.Journalist, 0.12}, {profile.Writer, 0.08}, {profile.Artist, 0.08},
+		{profile.Musician, 0.10}},
+	"GB": {{profile.IT, 0.38}, {profile.Musician, 0.30}, {profile.Businessman, 0.12},
+		{profile.Model, 0.10}, {profile.Socialite, 0.10}},
+	"CA": {{profile.IT, 0.38}, {profile.Musician, 0.18}, {profile.Comedian, 0.18},
+		{profile.Actor, 0.16}, {profile.Businessman, 0.10}},
+	"DE": {{profile.Blogger, 0.30}, {profile.IT, 0.30}, {profile.Journalist, 0.20},
+		{profile.Economist, 0.10}, {profile.Musician, 0.10}},
+	"ID": {{profile.Musician, 0.20}, {profile.IT, 0.20}, {profile.Model, 0.20},
+		{profile.Socialite, 0.10}, {profile.Economist, 0.10}, {profile.Photographer, 0.10},
+		{profile.Journalist, 0.10}},
+	"MX": {{profile.Musician, 0.50}, {profile.Blogger, 0.20}, {profile.IT, 0.10},
+		{profile.Actor, 0.10}, {profile.Journalist, 0.10}},
+	"IT": {{profile.Journalist, 0.40}, {profile.IT, 0.40}, {profile.Musician, 0.20}},
+	"ES": {{profile.Journalist, 0.10}, {profile.Politician, 0.30}, {profile.IT, 0.30},
+		{profile.Musician, 0.30}},
+}
+
+// defaultCelebrityOccupations covers countries without a Table 5 row.
+var defaultCelebrityOccupations = []struct {
+	o profile.Occupation
+	w float64
+}{
+	{profile.Musician, 0.25}, {profile.IT, 0.30}, {profile.Actor, 0.12},
+	{profile.Blogger, 0.10}, {profile.Journalist, 0.09}, {profile.Model, 0.09},
+	{profile.Writer, 0.05},
+}

@@ -1,0 +1,330 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"gplus/internal/geo"
+	"gplus/internal/graph"
+	"gplus/internal/profile"
+	"gplus/internal/stats"
+)
+
+// Universe is a fully generated synthetic Google+ population: the ground
+// truth the service simulator serves and the crawler rediscovers.
+type Universe struct {
+	Config    Config
+	Graph     *graph.Graph
+	Profiles  []profile.Profile
+	IDs       []string
+	Celebrity []bool
+	// HomeCountry is every user's ground-truth country, including users
+	// who never disclose it. The edge generator uses it for geographic
+	// homophily; the service only ever exposes the public profile fields.
+	HomeCountry []string
+}
+
+// NumUsers returns the population size.
+func (u *Universe) NumUsers() int { return len(u.Profiles) }
+
+// Generate builds a universe from the configuration. Generation is
+// deterministic in the configuration (including Seed).
+func Generate(cfg Config) (*Universe, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	u := &Universe{Config: cfg}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+	u.generatePeople(rng)
+	u.generateEdges(rng)
+	return u, nil
+}
+
+// generatePeople fills Profiles, IDs and Celebrity.
+func (u *Universe) generatePeople(rng *rand.Rand) {
+	n := u.Config.Nodes
+	u.Profiles = make([]profile.Profile, n)
+	u.IDs = make([]string, n)
+	u.Celebrity = make([]bool, n)
+	u.HomeCountry = make([]string, n)
+
+	countryChooser := stats.NewWeightedChooser(mixtureWeights())
+	occupationChoosers := buildOccupationChoosers()
+
+	// Pre-solve each attribute's effective base rate so that averaging
+	// logistic(logit(base') + N(0, sigma)) over the population lands on
+	// the Table 2 target exactly.
+	adjBase := make(map[profile.Attr]float64, len(attrBase))
+	for a, target := range attrBase {
+		adjBase[a] = calibrateBase(target, opennessSigma)
+	}
+
+	for i := 0; i < n; i++ {
+		p := &u.Profiles[i]
+		u.IDs[i] = userID(u.Config.Seed, i)
+		u.Celebrity[i] = rng.Float64() < u.Config.CelebrityFraction
+
+		code := countryMixture[countryChooser.Choose(rng)].code
+		u.HomeCountry[i] = code
+		placeName, loc := samplePlace(code, rng)
+
+		// Per-user disclosure propensity in logit units, shifted by the
+		// country's openness culture (Figure 8). The wide sigma creates
+		// the heavy tail of very open users behind Figure 2.
+		openness := opennessSigma*rng.NormFloat64() + countryOpenness[code]
+
+		if u.Celebrity[i] {
+			p.Name = fmt.Sprintf("star-%07d", i)
+		} else {
+			p.Name = fmt.Sprintf("user-%07d", i)
+		}
+		p.Public = profile.AttrSet(0).With(profile.AttrName) // mandatory
+
+		// Restricted fields: values exist for everyone; disclosure is a
+		// separate decision.
+		gender := sampleGender(rng)
+		rel := sampleRelationship(rng)
+
+		if bernoulliLogit(rng, adjBase[profile.AttrGender], openness) {
+			p.Public = p.Public.With(profile.AttrGender)
+			p.Gender = gender
+		}
+		if bernoulliLogit(rng, adjBase[profile.AttrRelationship], openness) {
+			p.Public = p.Public.With(profile.AttrRelationship)
+			p.Relationship = rel
+		}
+		// Public figures overwhelmingly publish where they live; ordinary
+		// users disclose at the Table 2 rate. Without this, per-country
+		// top-user rankings (Table 5) would miss the very celebrities
+		// they are about.
+		locProb := u.Config.LocatedFraction
+		if u.Celebrity[i] {
+			locProb = 0.85
+		}
+		if rng.Float64() < locProb {
+			p.Public = p.Public.With(profile.AttrPlacesLived)
+			p.Loc = loc
+			p.CountryCode = code
+			p.Place = placeName
+			// Users may list every place they ever lived; the last entry
+			// is the current location (§4 extracts the last).
+			for rng.Float64() < 0.3 {
+				prev, _ := samplePlace(code, rng)
+				p.PlacesLived = append(p.PlacesLived, prev)
+				if len(p.PlacesLived) >= 3 {
+					break
+				}
+			}
+			p.PlacesLived = append(p.PlacesLived, placeName)
+		} else {
+			// The location still influences link formation (people know
+			// their neighbors whether or not they publish it); only the
+			// public fields are cleared.
+			p.Loc = loc
+		}
+
+		for _, a := range []profile.Attr{
+			profile.AttrEducation, profile.AttrEmployment, profile.AttrPhrase,
+			profile.AttrOtherProfiles, profile.AttrOccupation,
+			profile.AttrContributorTo, profile.AttrIntroduction,
+			profile.AttrOtherNames, profile.AttrBraggingRights,
+			profile.AttrRecommendedLinks, profile.AttrLookingFor,
+		} {
+			if bernoulliLogit(rng, adjBase[a], openness) {
+				p.Public = p.Public.With(a)
+			}
+		}
+
+		// Tel-users: risk takers who publish phone-bearing contact info.
+		// The propensity rises steeply with the user's general openness
+		// (so tel-users share more of everything, Figure 2) and is
+		// shifted by gender, relationship status and country (Table 3).
+		telShift := 1.8*openness + genderTelShift[gender] +
+			relationshipTelShift[rel] + countryTelShift[code]
+		if bernoulliLogit(rng, u.Config.TelUserBase, telShift) {
+			switch rng.IntN(3) {
+			case 0:
+				p.Public = p.Public.With(profile.AttrWorkContact)
+			case 1:
+				p.Public = p.Public.With(profile.AttrHomeContact)
+			default:
+				p.Public = p.Public.With(profile.AttrWorkContact).With(profile.AttrHomeContact)
+			}
+		}
+
+		if p.Public.Has(profile.AttrOccupation) || u.Celebrity[i] {
+			p.Public = p.Public.With(profile.AttrOccupation)
+			p.Occupation = sampleOccupation(code, u.Celebrity[i], occupationChoosers, rng)
+		}
+	}
+}
+
+// opennessSigma is the standard deviation of the per-user disclosure
+// propensity (logit units).
+const opennessSigma = 1.4
+
+// calibrateBase inverts the population-averaged disclosure probability:
+// it returns base' such that E[logistic(logit(base') + N(0, sigma))] =
+// target, via bisection over a fixed-grid Gaussian quadrature.
+func calibrateBase(target, sigma float64) float64 {
+	if target <= 0 || target >= 1 {
+		return target
+	}
+	const gridHalf = 30 // +-5 sigma in 1/6-sigma steps
+	realized := func(base float64) float64 {
+		logit := math.Log(base / (1 - base))
+		var sum, wsum float64
+		for i := -gridHalf; i <= gridHalf; i++ {
+			x := 5 * sigma * float64(i) / gridHalf
+			w := math.Exp(-x * x / (2 * sigma * sigma))
+			sum += w / (1 + math.Exp(-(logit + x)))
+			wsum += w
+		}
+		return sum / wsum
+	}
+	lo, hi := 1e-9, 1-1e-9
+	for iter := 0; iter < 80; iter++ {
+		mid := (lo + hi) / 2
+		if realized(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// mixtureWeights extracts the weight column of countryMixture.
+func mixtureWeights() []float64 {
+	w := make([]float64, len(countryMixture))
+	for i, c := range countryMixture {
+		w[i] = c.weight
+	}
+	return w
+}
+
+type occupationChooser struct {
+	chooser *stats.WeightedChooser
+	values  []profile.Occupation
+}
+
+func buildOccupationChoosers() map[string]occupationChooser {
+	m := make(map[string]occupationChooser, len(celebrityOccupations)+1)
+	for code, entries := range celebrityOccupations {
+		w := make([]float64, len(entries))
+		v := make([]profile.Occupation, len(entries))
+		for i, e := range entries {
+			w[i], v[i] = e.w, e.o
+		}
+		m[code] = occupationChooser{stats.NewWeightedChooser(w), v}
+	}
+	w := make([]float64, len(defaultCelebrityOccupations))
+	v := make([]profile.Occupation, len(defaultCelebrityOccupations))
+	for i, e := range defaultCelebrityOccupations {
+		w[i], v[i] = e.w, e.o
+	}
+	m[""] = occupationChooser{stats.NewWeightedChooser(w), v}
+	return m
+}
+
+func sampleOccupation(code string, celebrity bool, choosers map[string]occupationChooser, rng *rand.Rand) profile.Occupation {
+	if !celebrity && rng.Float64() < 0.80 {
+		return profile.OccupationOther
+	}
+	oc, ok := choosers[code]
+	if !ok {
+		oc = choosers[""]
+	}
+	return oc.values[oc.chooser.Choose(rng)]
+}
+
+func sampleGender(rng *rand.Rand) profile.Gender {
+	r := rng.Float64()
+	acc := 0.0
+	for _, gs := range genderShares {
+		acc += gs.w
+		if r < acc {
+			return gs.g
+		}
+	}
+	return profile.GenderOther
+}
+
+func sampleRelationship(rng *rand.Rand) profile.Relationship {
+	r := rng.Float64()
+	acc := 0.0
+	for _, rs := range relationshipShares {
+		acc += rs.w
+		if r < acc {
+			return rs.r
+		}
+	}
+	return profile.RelSingle
+}
+
+// samplePlace picks a gazetteer city of the country (or an other-world
+// city for OtherCountry) and returns its free-text name plus jittered
+// coordinates, so distances within a metro area are nonzero and the
+// place string resolves through the §4 geocoding pipeline.
+func samplePlace(code string, rng *rand.Rand) (string, geo.Point) {
+	var (
+		base geo.Point
+		name string
+	)
+	if code == OtherCountry {
+		base = otherWorldCities[rng.IntN(len(otherWorldCities))]
+		name = "Somewhere Else"
+	} else {
+		cities := geo.Cities(code)
+		if len(cities) == 0 {
+			if c, ok := geo.ByCode(code); ok {
+				base = c.Centroid
+				name = c.Name
+			}
+		} else {
+			city := cities[rng.IntN(len(cities))]
+			base = city.Loc
+			name = city.Name
+		}
+	}
+	base.Lat += rng.NormFloat64() * 0.5
+	base.Lon += rng.NormFloat64() * 0.5
+	if base.Lat > 89 {
+		base.Lat = 89
+	}
+	if base.Lat < -89 {
+		base.Lat = -89
+	}
+	return name, base
+}
+
+// bernoulliLogit draws true with probability logistic(logit(base) +
+// shift): a convenient way to modulate a base rate without leaving [0,1].
+func bernoulliLogit(rng *rand.Rand, base, shift float64) bool {
+	if base <= 0 {
+		return false
+	}
+	if base >= 1 {
+		return true
+	}
+	logit := math.Log(base/(1-base)) + shift
+	p := 1 / (1 + math.Exp(-logit))
+	return rng.Float64() < p
+}
+
+// userID derives the opaque 21-digit service identifier for node i,
+// mimicking Google+'s numeric profile IDs (which could not be enumerated,
+// §2.2). The mapping is deterministic per seed and collision-free with
+// overwhelming probability at study scales.
+func userID(seed uint64, i int) string {
+	x := splitmix64(seed + uint64(i)*0x9e3779b97f4a7c15)
+	return fmt.Sprintf("1%020d", x)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
