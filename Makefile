@@ -3,19 +3,23 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz verify examples report clean
+.PHONY: all build vet test race bench fuzz verify examples report clean
 
-all: build test
+# Default check path: the tier-1 verify (build + test) plus vet and the
+# race suite over the concurrent packages.
+all: build vet test race
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/crawler/ ./internal/gplusd/ ./internal/graph/
+	$(GO) test -race ./internal/obs/ ./internal/crawler/ ./internal/gplusd/ ./internal/graph/
 
 # One benchmark per table and figure, headline values as custom metrics.
 bench:

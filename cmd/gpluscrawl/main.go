@@ -1,15 +1,23 @@
 // Command gpluscrawl runs the paper's bidirectional BFS crawler against
 // a gplusd instance and writes the collected dataset to disk.
 //
+// With -metrics-addr it serves live crawler telemetry (/metrics in
+// Prometheus text, /debug/vars, /debug/pprof/) while the crawl runs, and
+// -progress emits a periodic structured progress line — the operational
+// view the paper's 45-day crawl depended on.
+//
 // Usage:
 //
-//	gpluscrawl -url http://127.0.0.1:8041 -out ./data -workers 11 -max 30000
+//	gpluscrawl -url http://127.0.0.1:8041 -out ./data -workers 11 -max 30000 \
+//	    -metrics-addr 127.0.0.1:8042 -progress 10s
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -18,24 +26,43 @@ import (
 	"gplus/internal/crawler"
 	"gplus/internal/dataset"
 	"gplus/internal/gplusapi"
+	"gplus/internal/obs"
 )
 
 func main() {
 	var (
-		url        = flag.String("url", "http://127.0.0.1:8041", "gplusd base URL")
-		out        = flag.String("out", "data", "output dataset directory")
-		seeds      = flag.String("seeds", "", "comma-separated seed ids (default: ask /seed)")
-		workers    = flag.Int("workers", 11, "concurrent crawl machines")
-		max        = flag.Int("max", 0, "profile budget (0 = crawl everything reachable)")
-		timeout    = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
-		checkpoint = flag.String("checkpoint", "", "write the raw crawl state to this file")
-		resume     = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
-		scrapeHTML = flag.Bool("html", false, "scrape HTML profile pages instead of the JSON API")
-		compress   = flag.Bool("compress", false, "gzip the dataset's profile column")
-		abortErrs  = flag.Int("abort-errors", 0, "stop after this many permanent fetch failures (0 = never)")
-		politeness = flag.Duration("politeness", 0, "pause between requests per worker (e.g. 50ms)")
+		url         = flag.String("url", "http://127.0.0.1:8041", "gplusd base URL")
+		out         = flag.String("out", "data", "output dataset directory")
+		seeds       = flag.String("seeds", "", "comma-separated seed ids (default: ask /seed)")
+		workers     = flag.Int("workers", 11, "concurrent crawl machines")
+		max         = flag.Int("max", 0, "profile budget (0 = crawl everything reachable)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+		checkpoint  = flag.String("checkpoint", "", "write the raw crawl state to this file")
+		resume      = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
+		scrapeHTML  = flag.Bool("html", false, "scrape HTML profile pages instead of the JSON API")
+		compress    = flag.Bool("compress", false, "gzip the dataset's profile column")
+		abortErrs   = flag.Int("abort-errors", 0, "stop after this many permanent fetch failures (0 = never)")
+		politeness  = flag.Duration("politeness", 0, "pause between requests per worker (e.g. 50ms)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while crawling (empty disables)")
+		progress    = flag.Duration("progress", 10*time.Second, "interval between progress lines (0 disables)")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		obs.PublishExpvar("gpluscrawl", reg)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		log.Printf("serving crawl metrics on http://%s/metrics", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obs.NewDebugMux(reg)); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -75,6 +102,8 @@ func main() {
 		AbortAfterErrors: *abortErrs,
 		Politeness:       *politeness,
 		Resume:           prev,
+		Metrics:          reg,
+		ProgressInterval: *progress,
 	})
 	if err != nil && res == nil {
 		log.Fatalf("crawl: %v", err)
@@ -82,9 +111,9 @@ func main() {
 	if err != nil {
 		log.Printf("crawl interrupted (%v); saving partial results", err)
 	}
-	log.Printf("crawled %d profiles (%d discovered), %d edge observations, %d pages, %d errors in %v",
+	log.Printf("crawled %d profiles (%d discovered), %d edge observations, %d pages, %d profile errors, %d circle errors in %v",
 		res.Stats.ProfilesCrawled, res.Stats.Discovered, res.Stats.EdgesObserved,
-		res.Stats.PagesFetched, res.Stats.ProfileErrors, res.Stats.Duration)
+		res.Stats.PagesFetched, res.Stats.ProfileErrors, res.Stats.CircleErrors, res.Stats.Duration)
 
 	if *checkpoint != "" {
 		if err := crawler.SaveCheckpoint(*checkpoint, res); err != nil {

@@ -3,6 +3,10 @@
 // (with the 10,000-entry cap), a /stats ground-truth endpoint, and a
 // /seed endpoint naming a popular user to start crawls from.
 //
+// Operational endpoints ride on the same listener: /metrics (Prometheus
+// text; ?format=json for the snapshot), /debug/vars (expvar), and the
+// /debug/pprof/ suite for go tool pprof.
+//
 // Usage:
 //
 //	gplusd -nodes 100000 -seed 2011 -addr :8041 -rate 500
@@ -16,6 +20,7 @@ import (
 	"time"
 
 	"gplus/internal/gplusd"
+	"gplus/internal/obs"
 	"gplus/internal/synth"
 )
 
@@ -41,17 +46,26 @@ func main() {
 	}
 	log.Printf("generated %d users, %d edges in %v", u.NumUsers(), u.Graph.NumEdges(), time.Since(start))
 
+	reg := obs.NewRegistry()
 	srv := gplusd.New(u, gplusd.Options{
 		CircleCap:     *circleCap,
 		PageSize:      *pageSize,
 		RatePerSecond: *rate,
 		FaultRate:     *faultRate,
 		FaultSeed:     *seed,
+		Metrics:       reg,
 	})
+	obs.PublishExpvar("gplusd", reg)
+
+	// The debug mux takes /metrics, /debug/vars, and /debug/pprof/; every
+	// other path falls through to the simulator itself.
+	root := obs.NewDebugMux(reg)
+	root.Handle("/", srv)
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("serving %s on http://%s", srv, ln.Addr())
-	log.Fatal(http.Serve(ln, srv))
+	log.Printf("serving %s on http://%s (metrics at /metrics, pprof at /debug/pprof/)", srv, ln.Addr())
+	log.Fatal(http.Serve(ln, root))
 }

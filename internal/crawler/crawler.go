@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gplus/internal/gplusapi"
+	"gplus/internal/obs"
 	"gplus/internal/profile"
 )
 
@@ -43,10 +44,12 @@ type Config struct {
 	// worker — the well-behaved pacing that let the paper's crawl run
 	// for 45 days without hammering the service. Zero disables it.
 	Politeness time.Duration
-	// AbortAfterErrors stops the crawl once this many profile or circle
-	// fetches have failed permanently (after retries), so a dead or
-	// hostile service does not grind through the whole frontier at
-	// retry pace. 0 disables the budget.
+	// AbortAfterErrors stops the crawl once this many fetches have failed
+	// permanently (after retries), so a dead or hostile service does not
+	// grind through the whole frontier at retry pace. The budget covers
+	// the *sum* of profile-fetch and circle-fetch failures — the split is
+	// reported separately in Stats.ProfileErrors and Stats.CircleErrors.
+	// 0 disables the budget.
 	AbortAfterErrors int
 	// ScrapeHTML fetches profile pages as HTML and scrapes them instead
 	// of using the JSON API — the path the paper's crawler actually
@@ -60,6 +63,19 @@ type Config struct {
 	// Resume are not refetched. MaxProfiles bounds only the *additional*
 	// profiles fetched in this session.
 	Resume *Result
+	// Metrics receives live crawl telemetry when non-nil: frontier and
+	// discovered gauges, profiles/pages/edges counters, the
+	// profile-vs-circle error split, and per-worker throughput counters.
+	// It is also handed to each worker's gplusapi.Client. nil disables
+	// all instrumentation at the cost of a pointer check per update.
+	Metrics *obs.Registry
+	// ProgressInterval emits one structured progress line (see Progress)
+	// this often while the crawl runs, plus a final line at completion.
+	// Zero disables progress reporting.
+	ProgressInterval time.Duration
+	// OnProgress receives each progress report. When nil (and
+	// ProgressInterval > 0) reports go to the standard logger.
+	OnProgress func(Progress)
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -90,11 +106,17 @@ type Edge struct {
 // Stats summarizes a crawl.
 type Stats struct {
 	ProfilesCrawled int
-	ProfileErrors   int
-	PagesFetched    int64
-	EdgesObserved   int64
-	Discovered      int
-	Duration        time.Duration
+	// ProfileErrors counts permanent profile-fetch failures;
+	// CircleErrors counts permanent circle-page-fetch failures. The two
+	// are tracked separately (a profile can be collected even when its
+	// circle lists are unreachable); Config.AbortAfterErrors budgets
+	// their sum.
+	ProfileErrors int
+	CircleErrors  int
+	PagesFetched  int64
+	EdgesObserved int64
+	Discovered    int
+	Duration      time.Duration
 }
 
 // Result is the raw output of a crawl, before graph construction.
@@ -125,7 +147,16 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	start := time.Now()
 
+	// Progress reporting needs live counters even when the caller did not
+	// pass a registry; a private one keeps the handles real.
+	reg := cfg.Metrics
+	if reg == nil && cfg.ProgressInterval > 0 {
+		reg = obs.NewRegistry()
+	}
+	tel := newTelemetry(reg, cfg.Workers)
+
 	sched := newScheduler(cfg.MaxProfiles)
+	sched.tel = tel
 	sched.errorBudget = cfg.AbortAfterErrors
 	if cfg.Resume != nil {
 		sched.preload(cfg.Resume)
@@ -134,15 +165,29 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 		sched.offer(seed)
 	}
 
+	var progressDone chan struct{}
+	var progressWG sync.WaitGroup
+	if cfg.ProgressInterval > 0 {
+		progressDone = make(chan struct{})
+		progressWG.Add(1)
+		go func() {
+			defer progressWG.Done()
+			tel.reportProgress(cfg.ProgressInterval, cfg.OnProgress, progressDone)
+		}()
+	}
+
 	workers := make([]*worker, cfg.Workers)
 	var wg sync.WaitGroup
 	for i := range workers {
 		w := &worker{
 			cfg:   cfg,
 			sched: sched,
+			tel:   tel,
+			self:  tel.workers[i],
 			client: &gplusapi.Client{
 				BaseURL:   cfg.BaseURL,
 				CrawlerID: fmt.Sprintf("machine-%02d", i),
+				Metrics:   cfg.Metrics,
 			},
 			profiles: make(map[string]profile.Profile),
 		}
@@ -157,6 +202,10 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 		}()
 	}
 	wg.Wait()
+	if progressDone != nil {
+		close(progressDone)
+		progressWG.Wait()
+	}
 
 	res := &Result{
 		Profiles:   make(map[string]profile.Profile),
@@ -174,7 +223,8 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		res.Edges = append(res.Edges, w.edges...)
 		res.Stats.PagesFetched += w.pages
-		res.Stats.ProfileErrors += w.errors
+		res.Stats.ProfileErrors += w.profileErrs
+		res.Stats.CircleErrors += w.circleErrs
 	}
 	res.Stats.ProfilesCrawled = len(res.Profiles)
 	res.Stats.EdgesObserved = int64(len(res.Edges))
@@ -183,20 +233,24 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 	if ctx.Err() != nil {
 		return res, ctx.Err()
 	}
-	if cfg.AbortAfterErrors > 0 && res.Stats.ProfileErrors >= cfg.AbortAfterErrors {
-		return res, fmt.Errorf("%w: %d failures", ErrTooManyErrors, res.Stats.ProfileErrors)
+	if total := res.Stats.ProfileErrors + res.Stats.CircleErrors; cfg.AbortAfterErrors > 0 && total >= cfg.AbortAfterErrors {
+		return res, fmt.Errorf("%w: %d failures (%d profile, %d circle)",
+			ErrTooManyErrors, total, res.Stats.ProfileErrors, res.Stats.CircleErrors)
 	}
 	return res, nil
 }
 
 type worker struct {
-	cfg      Config
-	sched    *scheduler
-	client   *gplusapi.Client
-	profiles map[string]profile.Profile
-	edges    []Edge
-	pages    int64
-	errors   int
+	cfg         Config
+	sched       *scheduler
+	tel         *telemetry
+	self        *obs.Counter // this worker's throughput series
+	client      *gplusapi.Client
+	profiles    map[string]profile.Profile
+	edges       []Edge
+	pages       int64
+	profileErrs int
+	circleErrs  int
 }
 
 func (w *worker) run(ctx context.Context) {
@@ -205,10 +259,10 @@ func (w *worker) run(ctx context.Context) {
 		if !ok {
 			return
 		}
-		before := w.errors
+		before := w.profileErrs + w.circleErrs
 		w.crawlOne(ctx, id)
-		if w.errors > before {
-			w.sched.recordErrors(w.errors - before)
+		if after := w.profileErrs + w.circleErrs; after > before {
+			w.sched.recordErrors(after - before)
 		}
 		w.sched.finish()
 	}
@@ -216,6 +270,11 @@ func (w *worker) run(ctx context.Context) {
 
 func (w *worker) crawlOne(ctx context.Context, id string) {
 	w.pause(ctx)
+	if ctx.Err() != nil {
+		// Cancelled while pausing: a fetch now is doomed and would count
+		// a phantom error against a crawl that was merely stopped.
+		return
+	}
 	var (
 		doc *gplusapi.ProfileDoc
 		err error
@@ -226,12 +285,18 @@ func (w *worker) crawlOne(ctx context.Context, id string) {
 		doc, err = w.client.FetchProfile(ctx, id)
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			return // cancelled mid-request, not a service failure
+		}
 		// Unreachable profiles (deleted accounts, persistent errors) are
 		// skipped; the crawl continues, as the paper's did.
-		w.errors++
+		w.profileErrs++
+		w.tel.profErrs.Inc()
 		return
 	}
 	w.profiles[id] = doc.ToProfile()
+	w.tel.profiles.Inc()
+	w.self.Inc()
 
 	if w.cfg.FetchOut {
 		w.fetchCircle(ctx, id, gplusapi.CircleOut)
@@ -256,12 +321,21 @@ func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.Circle
 	token := ""
 	for {
 		w.pause(ctx)
+		if ctx.Err() != nil {
+			return // cancelled: don't issue (and miscount) a doomed fetch
+		}
 		page, err := w.client.FetchCircle(ctx, id, dir, token, w.cfg.PageLimit)
 		if err != nil {
-			w.errors++
+			if ctx.Err() != nil {
+				return
+			}
+			w.circleErrs++
+			w.tel.circErrs.Inc()
 			return
 		}
 		w.pages++
+		w.tel.pages.Inc()
+		w.tel.edges.Add(int64(len(page.IDs)))
 		for _, other := range page.IDs {
 			if dir == gplusapi.CircleOut {
 				w.edges = append(w.edges, Edge{From: id, To: other})

@@ -3,7 +3,10 @@ package crawler
 import (
 	"context"
 	"errors"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +14,7 @@ import (
 	"gplus/internal/gplusd"
 	"gplus/internal/graph"
 	"gplus/internal/growth"
+	"gplus/internal/obs"
 	"gplus/internal/synth"
 )
 
@@ -434,4 +438,196 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// circleBreaker fails every circle-list request with a permanent
+// (non-retryable) status while letting profile fetches through.
+type circleBreaker struct{ inner http.Handler }
+
+func (c circleBreaker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.URL.Path, "/circles/") {
+		http.Error(w, "circles unavailable", http.StatusForbidden)
+		return
+	}
+	c.inner.ServeHTTP(w, r)
+}
+
+func TestCrawlTelemetry(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{CircleCap: -1})
+
+	reg := obs.NewRegistry()
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: url,
+		Seeds:   []string{seedID(u)},
+		Workers: 6,
+		FetchIn: true, FetchOut: true,
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The frontier drains completely on an unbounded crawl.
+	if got := reg.Gauge("crawler_frontier_depth").Value(); got != 0 {
+		t.Errorf("frontier gauge = %d at end of crawl, want 0", got)
+	}
+	// Live counters must agree with the final Stats.
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"crawler_profiles_crawled_total", reg.Counter("crawler_profiles_crawled_total").Value(), int64(res.Stats.ProfilesCrawled)},
+		{"crawler_pages_fetched_total", reg.Counter("crawler_pages_fetched_total").Value(), res.Stats.PagesFetched},
+		{"crawler_edges_observed_total", reg.Counter("crawler_edges_observed_total").Value(), res.Stats.EdgesObserved},
+		{"crawler_profile_errors_total", reg.Counter("crawler_profile_errors_total").Value(), int64(res.Stats.ProfileErrors)},
+		{"crawler_circle_errors_total", reg.Counter("crawler_circle_errors_total").Value(), int64(res.Stats.CircleErrors)},
+		{"crawler_discovered_users", reg.Gauge("crawler_discovered_users").Value(), int64(res.Stats.Discovered)},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d (Stats)", c.name, c.got, c.want)
+		}
+	}
+	// Per-worker throughput counters partition the total.
+	var perWorker int64
+	for i := 0; i < 6; i++ {
+		perWorker += reg.Counter(fmt.Sprintf(`crawler_worker_profiles_total{worker="machine-%02d"}`, i)).Value()
+	}
+	if perWorker != int64(res.Stats.ProfilesCrawled) {
+		t.Errorf("per-worker counters sum to %d, want %d", perWorker, res.Stats.ProfilesCrawled)
+	}
+	// The registry also carries the client's instrumentation.
+	snap := reg.Snapshot()
+	if snap.Counters[`gplusapi_responses_total{endpoint="profile",code="200"}`] == 0 {
+		t.Error("client status counters missing from shared registry")
+	}
+	if snap.Histograms[`gplusapi_request_seconds{endpoint="circle"}`].Count == 0 {
+		t.Error("client latency histogram missing from shared registry")
+	}
+}
+
+func TestCrawlErrorSplit(t *testing.T) {
+	u := crawlUniverse(t)
+	inner := gplusd.New(u, gplusd.Options{})
+	ts := httptest.NewServer(circleBreaker{inner: inner})
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: ts.URL,
+		// One missing seed forces a profile error alongside the injected
+		// circle failures.
+		Seeds:       []string{"no-such-user", seedID(u)},
+		Workers:     4,
+		MaxProfiles: 20,
+		FetchIn:     true, FetchOut: true,
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ProfileErrors != 1 {
+		t.Errorf("ProfileErrors = %d, want exactly the missing seed", res.Stats.ProfileErrors)
+	}
+	// Every crawled profile fails both of its circle fetches.
+	if want := int64(res.Stats.ProfilesCrawled * 2); int64(res.Stats.CircleErrors) != want {
+		t.Errorf("CircleErrors = %d, want %d (2 per crawled profile)", res.Stats.CircleErrors, want)
+	}
+	if res.Stats.CircleErrors == 0 || res.Stats.PagesFetched != 0 {
+		t.Errorf("stats = %+v: circle failures must not count pages", res.Stats)
+	}
+	if got := reg.Counter("crawler_circle_errors_total").Value(); got != int64(res.Stats.CircleErrors) {
+		t.Errorf("circle error counter = %d, want %d", got, res.Stats.CircleErrors)
+	}
+}
+
+func TestCrawlErrorBudgetCoversBothKinds(t *testing.T) {
+	u := crawlUniverse(t)
+	inner := gplusd.New(u, gplusd.Options{})
+	ts := httptest.NewServer(circleBreaker{inner: inner})
+	defer ts.Close()
+
+	// Profiles succeed, so only circle errors can exhaust the budget.
+	// Broken circles mean no discovery, so several seeds are needed to
+	// generate enough failures (two per crawled profile).
+	res, err := Crawl(context.Background(), Config{
+		BaseURL:          ts.URL,
+		Seeds:            []string{u.IDs[0], u.IDs[1], u.IDs[2], u.IDs[3]},
+		Workers:          2,
+		AbortAfterErrors: 4,
+		FetchIn:          true, FetchOut: true,
+	})
+	if !errors.Is(err, ErrTooManyErrors) {
+		t.Fatalf("err = %v, want ErrTooManyErrors from circle failures", err)
+	}
+	if res.Stats.ProfileErrors+res.Stats.CircleErrors < 4 {
+		t.Errorf("stats = %+v, want >= 4 total errors", res.Stats)
+	}
+}
+
+func TestCrawlCancellationDoesNotInflateErrors(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel while every worker sits in its politeness pause; the
+	// workers must not then issue (and miscount) doomed fetches.
+	go func() {
+		time.Sleep(75 * time.Millisecond)
+		cancel()
+	}()
+	res, err := Crawl(ctx, Config{
+		BaseURL:    url,
+		Seeds:      []string{seedID(u)},
+		Workers:    4,
+		Politeness: 40 * time.Millisecond,
+		FetchIn:    true, FetchOut: true,
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Stats.ProfileErrors != 0 || res.Stats.CircleErrors != 0 {
+		t.Errorf("cancelled crawl counted phantom errors: %+v", res.Stats)
+	}
+}
+
+func TestCrawlProgressReports(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+
+	var mu sync.Mutex
+	var reports []Progress
+	res, err := Crawl(context.Background(), Config{
+		BaseURL:     url,
+		Seeds:       []string{seedID(u)},
+		Workers:     4,
+		MaxProfiles: 200,
+		FetchIn:     true, FetchOut: true,
+		ProgressInterval: 5 * time.Millisecond,
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			reports = append(reports, p)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) == 0 {
+		t.Fatal("no progress reports emitted")
+	}
+	final := reports[len(reports)-1]
+	if final.Crawled != res.Stats.ProfilesCrawled {
+		t.Errorf("final progress crawled = %d, want %d", final.Crawled, res.Stats.ProfilesCrawled)
+	}
+	if final.Discovered != res.Stats.Discovered {
+		t.Errorf("final progress discovered = %d, want %d", final.Discovered, res.Stats.Discovered)
+	}
+	if line := final.String(); !strings.Contains(line, "crawled=") || !strings.Contains(line, "frontier=") {
+		t.Errorf("progress line missing fields: %q", line)
+	}
 }

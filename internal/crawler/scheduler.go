@@ -24,6 +24,16 @@ type scheduler struct {
 	errorBudget int
 	errorCount  int
 	closed      bool
+	// tel mirrors queue depth and discovered-set size into the frontier
+	// and discovered gauges (no-ops when telemetry is off).
+	tel *telemetry
+}
+
+// updateGauges publishes the live frontier depth and discovered count;
+// the caller must hold s.mu.
+func (s *scheduler) updateGauges() {
+	s.tel.frontier.Set(int64(len(s.queue)))
+	s.tel.discovered.Set(int64(len(s.seen)))
 }
 
 // recordErrors adds permanently-failed fetches toward the error budget,
@@ -69,6 +79,7 @@ func (s *scheduler) preload(prev *Result) {
 		}
 		s.queue = append(s.queue, id)
 	}
+	s.updateGauges()
 	s.mu.Unlock()
 	s.cond.Broadcast()
 }
@@ -85,9 +96,11 @@ func (s *scheduler) offer(id string) {
 	if s.closed || (s.budget > 0 && s.claimed+len(s.queue) >= s.budget) {
 		// Past the budget: the user is discovered but will never be
 		// crawled — a frontier node of the partial crawl.
+		s.updateGauges()
 		return
 	}
 	s.queue = append(s.queue, id)
+	s.updateGauges()
 	s.cond.Signal()
 }
 
@@ -115,6 +128,7 @@ func (s *scheduler) next(ctx context.Context) (id string, ok bool) {
 			s.queue = s.queue[1:]
 			s.claimed++
 			s.inflight++
+			s.updateGauges()
 			return id, true
 		}
 		if s.inflight == 0 {

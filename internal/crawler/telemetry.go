@@ -1,0 +1,117 @@
+package crawler
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gplus/internal/obs"
+)
+
+// telemetry holds the crawl's live counters. All handles come from one
+// obs.Registry; when the crawl runs without metrics or progress
+// reporting the registry is nil, every handle is nil, and each update is
+// a single pointer check — the zero-cost-when-off path the benchmarks
+// rely on.
+type telemetry struct {
+	reg *obs.Registry
+
+	profiles   *obs.Counter // profiles successfully crawled
+	pages      *obs.Counter // circle pages fetched
+	edges      *obs.Counter // edge observations
+	profErrs   *obs.Counter // permanent profile-fetch failures
+	circErrs   *obs.Counter // permanent circle-fetch failures
+	frontier   *obs.Gauge   // queued-but-unclaimed ids
+	discovered *obs.Gauge   // all ids ever seen
+	workers    []*obs.Counter
+}
+
+// newTelemetry registers the crawler series. reg may be nil.
+func newTelemetry(reg *obs.Registry, nWorkers int) *telemetry {
+	t := &telemetry{
+		reg:        reg,
+		profiles:   reg.Counter("crawler_profiles_crawled_total"),
+		pages:      reg.Counter("crawler_pages_fetched_total"),
+		edges:      reg.Counter("crawler_edges_observed_total"),
+		profErrs:   reg.Counter("crawler_profile_errors_total"),
+		circErrs:   reg.Counter("crawler_circle_errors_total"),
+		frontier:   reg.Gauge("crawler_frontier_depth"),
+		discovered: reg.Gauge("crawler_discovered_users"),
+		workers:    make([]*obs.Counter, nWorkers),
+	}
+	reg.Help("crawler_profiles_crawled_total", "Profiles fetched successfully.")
+	reg.Help("crawler_frontier_depth", "Ids queued for crawling but not yet claimed.")
+	reg.Help("crawler_worker_profiles_total", "Profiles fetched per crawl machine.")
+	for i := range t.workers {
+		t.workers[i] = reg.Counter(fmt.Sprintf(`crawler_worker_profiles_total{worker="machine-%02d"}`, i))
+	}
+	return t
+}
+
+// Progress is a point-in-time view of a running crawl — the live signal
+// the paper's operators had over their 45-day collection. Rates are
+// computed over the interval since the previous report.
+type Progress struct {
+	Crawled        int
+	Discovered     int
+	Frontier       int
+	ProfileErrors  int
+	CircleErrors   int
+	PagesFetched   int64
+	EdgesObserved  int64
+	Elapsed        time.Duration
+	ProfilesPerSec float64
+	EdgesPerSec    float64
+}
+
+// String renders the single structured progress line.
+func (p Progress) String() string {
+	return fmt.Sprintf(
+		"crawl progress: crawled=%d discovered=%d frontier=%d profile_errors=%d circle_errors=%d pages=%d edges=%d profiles/s=%.1f edges/s=%.1f elapsed=%s",
+		p.Crawled, p.Discovered, p.Frontier, p.ProfileErrors, p.CircleErrors,
+		p.PagesFetched, p.EdgesObserved, p.ProfilesPerSec, p.EdgesPerSec,
+		p.Elapsed.Round(time.Second))
+}
+
+// snapshot reads the live counters into a Progress, deriving rates from
+// the previous report.
+func (t *telemetry) snapshot(start time.Time, prev Progress, prevAt time.Time, now time.Time) Progress {
+	p := Progress{
+		Crawled:       int(t.profiles.Value()),
+		Discovered:    int(t.discovered.Value()),
+		Frontier:      int(t.frontier.Value()),
+		ProfileErrors: int(t.profErrs.Value()),
+		CircleErrors:  int(t.circErrs.Value()),
+		PagesFetched:  t.pages.Value(),
+		EdgesObserved: t.edges.Value(),
+		Elapsed:       now.Sub(start),
+	}
+	if dt := now.Sub(prevAt).Seconds(); dt > 0 {
+		p.ProfilesPerSec = float64(p.Crawled-prev.Crawled) / dt
+		p.EdgesPerSec = float64(p.EdgesObserved-prev.EdgesObserved) / dt
+	}
+	return p
+}
+
+// reportProgress emits a Progress every interval until done is closed,
+// then emits one final report so short crawls still leave a trace.
+func (t *telemetry) reportProgress(interval time.Duration, emit func(Progress), done <-chan struct{}) {
+	if emit == nil {
+		emit = func(p Progress) { log.Print(p) }
+	}
+	start := time.Now()
+	prev, prevAt := Progress{}, start
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			emit(t.snapshot(start, prev, prevAt, time.Now()))
+			return
+		case now := <-ticker.C:
+			p := t.snapshot(start, prev, prevAt, now)
+			emit(p)
+			prev, prevAt = p, now
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"net/url"
 	"strconv"
 	"time"
+
+	"gplus/internal/obs"
 )
 
 // ErrNotFound is returned for profiles that do not exist.
@@ -33,6 +35,21 @@ type Client struct {
 	// BackoffBase is the first retry delay (default 50ms); it doubles per
 	// attempt with jitter.
 	BackoffBase time.Duration
+	// Metrics receives client telemetry when non-nil: per-endpoint request
+	// latency histograms (gplusapi_request_seconds), response status
+	// counters (gplusapi_responses_total), transport-error and retry
+	// counters. A nil registry costs one pointer check per request.
+	Metrics *obs.Registry
+}
+
+// Instrumentation series names; the endpoint label is one of "profile",
+// "profile_html", "circle", "seed", or "stats".
+func (c *Client) latencyHist(op string) *obs.Histogram {
+	return c.Metrics.Histogram(`gplusapi_request_seconds{endpoint="`+op+`"}`, nil)
+}
+
+func (c *Client) statusCounter(op string, code int) *obs.Counter {
+	return c.Metrics.Counter(`gplusapi_responses_total{endpoint="` + op + `",code="` + strconv.Itoa(code) + `"}`)
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -60,7 +77,7 @@ func (c *Client) backoffBase() time.Duration {
 func (c *Client) FetchProfile(ctx context.Context, id string) (*ProfileDoc, error) {
 	var doc ProfileDoc
 	path := "/people/" + url.PathEscape(id)
-	if err := c.getJSON(ctx, path, &doc); err != nil {
+	if err := c.getJSON(ctx, "profile", path, &doc); err != nil {
 		return nil, err
 	}
 	return &doc, nil
@@ -72,8 +89,8 @@ func (c *Client) FetchProfile(ctx context.Context, id string) (*ProfileDoc, erro
 func (c *Client) FetchProfileHTML(ctx context.Context, id string) (*ProfileDoc, error) {
 	path := "/people/" + url.PathEscape(id) + "?alt=html"
 	var doc *ProfileDoc
-	err := c.withRetries(ctx, func() error {
-		body, err := c.tryGetRaw(ctx, path)
+	err := c.withRetries(ctx, "profile_html", func() error {
+		body, err := c.tryGetRaw(ctx, "profile_html", path)
 		if err != nil {
 			return err
 		}
@@ -101,7 +118,7 @@ func (c *Client) FetchCircle(ctx context.Context, id string, dir CircleDir, page
 		path += "?" + q.Encode()
 	}
 	var page CirclePage
-	if err := c.getJSON(ctx, path, &page); err != nil {
+	if err := c.getJSON(ctx, "circle", path, &page); err != nil {
 		return nil, err
 	}
 	return &page, nil
@@ -111,7 +128,7 @@ func (c *Client) FetchCircle(ctx context.Context, id string, dir CircleDir, page
 // crawl from.
 func (c *Client) FetchSeed(ctx context.Context) (string, error) {
 	var doc SeedDoc
-	if err := c.getJSON(ctx, "/seed", &doc); err != nil {
+	if err := c.getJSON(ctx, "seed", "/seed", &doc); err != nil {
 		return "", err
 	}
 	return doc.ID, nil
@@ -120,22 +137,23 @@ func (c *Client) FetchSeed(ctx context.Context) (string, error) {
 // FetchStats retrieves the server's ground-truth summary.
 func (c *Client) FetchStats(ctx context.Context) (*StatsDoc, error) {
 	var doc StatsDoc
-	if err := c.getJSON(ctx, "/stats", &doc); err != nil {
+	if err := c.getJSON(ctx, "stats", "/stats", &doc); err != nil {
 		return nil, err
 	}
 	return &doc, nil
 }
 
-func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	return c.withRetries(ctx, func() error { return c.tryGetJSON(ctx, path, out) })
+func (c *Client) getJSON(ctx context.Context, op, path string, out any) error {
+	return c.withRetries(ctx, op, func() error { return c.tryGetJSON(ctx, op, path, out) })
 }
 
 // withRetries runs fn with exponential backoff and jitter, honoring
 // Retry-After hints surfaced through retryAfterError.
-func (c *Client) withRetries(ctx context.Context, fn func() error) error {
+func (c *Client) withRetries(ctx context.Context, op string, fn func() error) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
 		if attempt > 0 {
+			c.Metrics.Counter(`gplusapi_retries_total{endpoint="` + op + `"}`).Inc()
 			delay := c.backoffBase() << (attempt - 1)
 			// Full jitter keeps concurrent workers from synchronizing.
 			delay = time.Duration(rand.Int64N(int64(delay)) + int64(delay)/2)
@@ -175,16 +193,16 @@ func isRetryable(err error) bool {
 	return errors.As(err, &ra)
 }
 
-func (c *Client) tryGetJSON(ctx context.Context, path string, out any) error {
-	return c.doGet(ctx, path, func(body io.Reader) error {
+func (c *Client) tryGetJSON(ctx context.Context, op, path string, out any) error {
+	return c.doGet(ctx, op, path, func(body io.Reader) error {
 		return json.NewDecoder(body).Decode(out)
 	})
 }
 
 // tryGetRaw performs one GET and returns the whole response body.
-func (c *Client) tryGetRaw(ctx context.Context, path string) ([]byte, error) {
+func (c *Client) tryGetRaw(ctx context.Context, op, path string) ([]byte, error) {
 	var raw []byte
-	err := c.doGet(ctx, path, func(body io.Reader) error {
+	err := c.doGet(ctx, op, path, func(body io.Reader) error {
 		var err error
 		raw, err = io.ReadAll(body)
 		return err
@@ -194,7 +212,7 @@ func (c *Client) tryGetRaw(ctx context.Context, path string) ([]byte, error) {
 
 // doGet performs one GET and hands a 200 body to consume; other statuses
 // map to the client's error taxonomy.
-func (c *Client) doGet(ctx context.Context, path string, consume func(io.Reader) error) error {
+func (c *Client) doGet(ctx context.Context, op, path string, consume func(io.Reader) error) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
 		return err
@@ -202,7 +220,16 @@ func (c *Client) doGet(ctx context.Context, path string, consume func(io.Reader)
 	if c.CrawlerID != "" {
 		req.Header.Set("X-Crawler-Id", c.CrawlerID)
 	}
+	start := time.Now()
 	resp, err := c.httpClient().Do(req)
+	if c.Metrics != nil {
+		c.latencyHist(op).Observe(time.Since(start).Seconds())
+		if err != nil {
+			c.Metrics.Counter(`gplusapi_transport_errors_total{endpoint="` + op + `"}`).Inc()
+		} else {
+			c.statusCounter(op, resp.StatusCode).Inc()
+		}
+	}
 	if err != nil {
 		return err
 	}

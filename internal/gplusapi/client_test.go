@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"gplus/internal/obs"
 )
 
 func newTestClient(ts *httptest.Server) *Client {
@@ -185,5 +187,59 @@ func TestClientDefaults(t *testing.T) {
 	c := &Client{}
 	if c.httpClient() == nil || c.maxRetries() != 5 || c.backoffBase() != 50*time.Millisecond {
 		t.Error("defaults not applied")
+	}
+}
+
+func TestClientMetrics(t *testing.T) {
+	var hits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /people/{id}", func(w http.ResponseWriter, r *http.Request) {
+		// First attempt gets a retryable 503; the retry succeeds.
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0.001")
+			http.Error(w, "flaky", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"id":"u1"}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	c := newTestClient(ts)
+	c.Metrics = reg
+	if _, err := c.FetchProfile(context.Background(), "u1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchProfile(context.Background(), "u1"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[`gplusapi_responses_total{endpoint="profile",code="200"}`]; got != 2 {
+		t.Errorf("200 counter = %d, want 2", got)
+	}
+	if got := snap.Counters[`gplusapi_responses_total{endpoint="profile",code="503"}`]; got != 1 {
+		t.Errorf("503 counter = %d, want 1", got)
+	}
+	if got := snap.Counters[`gplusapi_retries_total{endpoint="profile"}`]; got != 1 {
+		t.Errorf("retry counter = %d, want 1", got)
+	}
+	h := snap.Histograms[`gplusapi_request_seconds{endpoint="profile"}`]
+	if h.Count != 3 {
+		t.Errorf("latency histogram count = %d, want 3 (two fetches, one retry)", h.Count)
+	}
+}
+
+func TestClientNilMetricsIsNoOp(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /people/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"id":"u1"}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := newTestClient(ts) // Metrics nil
+	if _, err := c.FetchProfile(context.Background(), "u1"); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"gplus/internal/gplusapi"
 	"gplus/internal/graph"
+	"gplus/internal/obs"
 	"gplus/internal/profile"
 	"gplus/internal/synth"
 )
@@ -39,6 +40,10 @@ type Options struct {
 	FaultRate float64
 	// FaultSeed makes fault injection deterministic.
 	FaultSeed uint64
+	// Metrics receives server telemetry. When nil the server creates a
+	// private registry, so /metrics always works; pass one to share the
+	// registry with other subsystems (pprof wiring, expvar publication).
+	Metrics *obs.Registry
 	// OmitGeocode strips the resolved country from served place markers,
 	// leaving only the free-text name and map coordinates — the view the
 	// paper's crawler actually had, forcing the analysis side to run its
@@ -86,13 +91,15 @@ type Server struct {
 	faultRNG *rand.Rand
 	buckets  map[string]*bucket
 
-	stats struct {
-		sync.Mutex
-		ProfileRequests int64
-		CircleRequests  int64
-		RateLimited     int64
-		FaultsInjected  int64
-	}
+	metrics    *obs.Registry
+	mProfile   *obs.Counter
+	mCircle    *obs.Counter
+	mStats     *obs.Counter
+	mSeed      *obs.Counter
+	mRateLimit *obs.Counter
+	mFaults    *obs.Counter
+	gInFlight  *obs.Gauge
+	hLatency   *obs.Histogram
 }
 
 // New builds a server over a synthetic universe.
@@ -113,6 +120,24 @@ func NewContent(c Content, opts Options) *Server {
 	for i, id := range c.IDs {
 		s.index[id] = graph.NodeID(i)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.metrics = reg
+	reg.Help("gplusd_requests_total", "Requests served, by endpoint.")
+	reg.Help("gplusd_rate_limited_total", "Requests rejected by the per-crawler rate limiter.")
+	reg.Help("gplusd_faults_injected_total", "Synthetic 503s injected by the fault rate.")
+	reg.Help("gplusd_in_flight_requests", "Requests currently being served.")
+	reg.Help("gplusd_request_seconds", "End-to-end request latency.")
+	s.mProfile = reg.Counter(`gplusd_requests_total{endpoint="profile"}`)
+	s.mCircle = reg.Counter(`gplusd_requests_total{endpoint="circles"}`)
+	s.mStats = reg.Counter(`gplusd_requests_total{endpoint="stats"}`)
+	s.mSeed = reg.Counter(`gplusd_requests_total{endpoint="seed"}`)
+	s.mRateLimit = reg.Counter("gplusd_rate_limited_total")
+	s.mFaults = reg.Counter("gplusd_faults_injected_total")
+	s.gInFlight = reg.Gauge("gplusd_in_flight_requests")
+	s.hLatency = reg.Histogram("gplusd_request_seconds", nil)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /people/{id}", s.handleProfile)
 	mux.HandleFunc("GET /people/{id}/circles/{dir}", s.handleCircles)
@@ -125,18 +150,27 @@ func NewContent(c Content, opts Options) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.gInFlight.Add(1)
+	start := time.Now()
+	defer func() {
+		s.hLatency.Observe(time.Since(start).Seconds())
+		s.gInFlight.Add(-1)
+	}()
+	if r.URL.Path == "/metrics" {
+		// The operational endpoint bypasses fault injection and rate
+		// limiting: monitoring must keep working exactly when the
+		// service is misbehaving.
+		s.metrics.ServeHTTP(w, r)
+		return
+	}
 	if s.injectFault() {
-		s.stats.Lock()
-		s.stats.FaultsInjected++
-		s.stats.Unlock()
+		s.mFaults.Inc()
 		w.Header().Set("Retry-After", "0.05")
 		http.Error(w, "transient backend error", http.StatusServiceUnavailable)
 		return
 	}
 	if !s.allow(clientKey(r)) {
-		s.stats.Lock()
-		s.stats.RateLimited++
-		s.stats.Unlock()
+		s.mRateLimit.Inc()
 		w.Header().Set("Retry-After", "0.2")
 		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 		return
@@ -144,11 +178,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// Metrics returns the server's registry (never nil), for callers that
+// want to mount it elsewhere or publish it via expvar.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
 // RequestStats returns a snapshot of the request counters.
 func (s *Server) RequestStats() (profiles, circles, limited, faults int64) {
-	s.stats.Lock()
-	defer s.stats.Unlock()
-	return s.stats.ProfileRequests, s.stats.CircleRequests, s.stats.RateLimited, s.stats.FaultsInjected
+	return s.mProfile.Value(), s.mCircle.Value(), s.mRateLimit.Value(), s.mFaults.Value()
 }
 
 func (s *Server) injectFault() bool {
@@ -211,9 +247,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	s.stats.Lock()
-	s.stats.ProfileRequests++
-	s.stats.Unlock()
+	s.mProfile.Inc()
 	doc := gplusapi.FromProfile(s.content.IDs[node], &s.content.Profiles[node])
 	if s.opts.OmitGeocode && doc.Place != nil {
 		place := *doc.Place
@@ -253,9 +287,7 @@ func (s *Server) handleCircles(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown circle direction", http.StatusBadRequest)
 		return
 	}
-	s.stats.Lock()
-	s.stats.CircleRequests++
-	s.stats.Unlock()
+	s.mCircle.Inc()
 
 	// The service silently truncates huge circle lists at the cap; the
 	// profile page's counters still show the full totals (§2.2).
@@ -299,6 +331,7 @@ func (s *Server) handleCircles(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mStats.Inc()
 	writeJSON(w, &gplusapi.StatsDoc{
 		Users: len(s.content.IDs),
 		Edges: s.content.Graph.NumEdges(),
@@ -309,6 +342,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // starting point for crawls, standing in for the paper's use of Mark
 // Zuckerberg's profile as the BFS seed.
 func (s *Server) handleSeed(w http.ResponseWriter, _ *http.Request) {
+	s.mSeed.Inc()
 	top := graph.TopByInDegree(s.content.Graph, 1)
 	if len(top) == 0 {
 		http.NotFound(w, nil)
@@ -317,23 +351,11 @@ func (s *Server) handleSeed(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, &gplusapi.SeedDoc{ID: s.content.IDs[top[0]]})
 }
 
-// MetricsDoc is the operational-counter document served at /metrics —
-// observability for long crawls (the paper's ran for 45 days).
-type MetricsDoc struct {
-	ProfileRequests int64 `json:"profileRequests"`
-	CircleRequests  int64 `json:"circleRequests"`
-	RateLimited     int64 `json:"rateLimited"`
-	FaultsInjected  int64 `json:"faultsInjected"`
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	p, c, l, f := s.RequestStats()
-	writeJSON(w, &MetricsDoc{
-		ProfileRequests: p,
-		CircleRequests:  c,
-		RateLimited:     l,
-		FaultsInjected:  f,
-	})
+// handleMetrics serves the registry: Prometheus text exposition by
+// default, the JSON snapshot with ?format=json — observability for long
+// crawls (the paper's ran for 45 days).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ServeHTTP(w, r)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

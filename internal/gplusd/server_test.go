@@ -4,14 +4,17 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"gplus/internal/gplusapi"
 	"gplus/internal/graph"
+	"gplus/internal/obs"
 	"gplus/internal/synth"
 )
 
@@ -325,17 +328,75 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 		resp.Body.Close()
 	}
+	// Default exposition is Prometheus text, with request, rate-limit,
+	// and fault counters present (registered eagerly, even at zero).
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	var doc MetricsDoc
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if doc.ProfileRequests < 3 {
-		t.Errorf("metrics = %+v, want >= 3 profile requests", doc)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want Prometheus text", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`gplusd_requests_total{endpoint="profile"} 3`,
+		"gplusd_rate_limited_total 0",
+		"gplusd_faults_injected_total 0",
+		"# TYPE gplusd_request_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// The JSON snapshot view serves the same counters.
+	resp, err = http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters[`gplusd_requests_total{endpoint="profile"}`]; got != 3 {
+		t.Errorf("json snapshot profile requests = %d, want 3", got)
+	}
+	if srv.Metrics().Gauge("gplusd_in_flight_requests").Value() != 0 {
+		t.Error("in-flight gauge nonzero at rest")
+	}
+}
+
+func TestMetricsBypassesFaultsAndRateLimit(t *testing.T) {
+	u := serverUniverse(t)
+	srv := New(u, Options{FaultRate: 1.0, RatePerSecond: 0.0001, BurstSize: 0.0001})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Regular traffic is fully faulted...
+	resp, err := http.Get(ts.URL + "/people/" + u.IDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("faulted request status = %d", resp.StatusCode)
+	}
+	// ...but the monitoring endpoint keeps answering.
+	for i := 0; i < 5; i++ {
+		resp, err = http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics status = %d under faults", resp.StatusCode)
+		}
 	}
 }
 

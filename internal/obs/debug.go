@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the standard operational mux for a long-running
+// crawl or service binary: the registry's exposition at /metrics, the
+// expvar JSON dump at /debug/vars, and the full net/http/pprof suite
+// under /debug/pprof/ (so `go tool pprof http://host/debug/pprof/profile`
+// works out of the box). reg may be nil; /metrics then serves an empty
+// exposition.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// PublishExpvar exposes the registry's live Snapshot as a named expvar
+// variable at /debug/vars. Like expvar.Publish it must be called at most
+// once per name per process.
+func PublishExpvar(name string, reg *Registry) {
+	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4). Families and series are emitted in sorted
+// order so the output is deterministic for a quiescent registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	r.mu.RLock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	type series struct {
+		name string
+		emit func(io.Writer) error
+	}
+	families := make(map[string]string) // family -> TYPE
+	byFamily := make(map[string][]series)
+
+	add := func(name, typ string, emit func(io.Writer) error) {
+		fam := familyOf(name)
+		families[fam] = typ
+		byFamily[fam] = append(byFamily[fam], series{name: name, emit: emit})
+	}
+	for name, v := range snap.Counters {
+		name, v := name, v
+		add(name, "counter", func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+			return err
+		})
+	}
+	for name, v := range snap.Gauges {
+		name, v := name, v
+		add(name, "gauge", func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+			return err
+		})
+	}
+	for name, hs := range snap.Histograms {
+		name, hs := name, hs
+		add(name, "histogram", func(w io.Writer) error {
+			return writeHistogram(w, name, hs)
+		})
+	}
+
+	names := make([]string, 0, len(families))
+	for fam := range families {
+		names = append(names, fam)
+	}
+	sort.Strings(names)
+	for _, fam := range names {
+		if h := help[fam]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, families[fam]); err != nil {
+			return err
+		}
+		ss := byFamily[fam]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].name < ss[j].name })
+		for _, s := range ss {
+			if err := s.emit(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the _bucket (cumulative, with le labels), _sum,
+// and _count series of one histogram.
+func writeHistogram(w io.Writer, name string, hs HistogramSnapshot) error {
+	fam, labels := familyOf(name), labelsOf(name)
+	cum := int64(0)
+	for i, bound := range hs.Bounds {
+		cum += hs.Counts[i]
+		le := strconv.FormatFloat(bound, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(fam+"_bucket", labels, `le="`+le+`"`), cum); err != nil {
+			return err
+		}
+	}
+	cum += hs.Counts[len(hs.Counts)-1]
+	if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(fam+"_bucket", labels, `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(fam+"_sum", labels, ""), strconv.FormatFloat(hs.Sum, 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", seriesName(fam+"_count", labels, ""), hs.Count)
+	return err
+}
+
+// seriesName joins a family name with existing labels and an optional
+// extra label into one series name.
+func seriesName(fam, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return fam
+	case labels == "":
+		return fam + "{" + extra + "}"
+	case extra == "":
+		return fam + "{" + labels + "}"
+	default:
+		return fam + "{" + labels + "," + extra + "}"
+	}
+}
+
+// ServeHTTP serves the registry: Prometheus text by default, the JSON
+// Snapshot with ?format=json (or an Accept header preferring JSON). A
+// nil registry serves an empty exposition, so wiring the handler is safe
+// before deciding whether telemetry is on.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "json" ||
+		strings.Contains(req.Header.Get("Accept"), "application/json") {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot()) //nolint:errcheck — best effort to a dead client
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WritePrometheus(w) //nolint:errcheck — best effort to a dead client
+}
