@@ -3,11 +3,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz verify examples report clean
+.PHONY: all check build vet test race bench bench-hotpath ablations fuzz verify examples report clean
 
 # Default check path: the tier-1 verify (build + test) plus vet and the
 # race suite over the concurrent packages.
 all: build vet test race
+
+# check is the conventional entry point for the same gate; the race leg
+# covers the sharded rate limiter and the batched crawl frontier.
+check: all
 
 build:
 	$(GO) build ./...
@@ -24,6 +28,14 @@ race:
 # One benchmark per table and figure, headline values as custom metrics.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Serving/crawling hot-path benchmarks (server throughput by client
+# count, scheduler offer/next by worker count, rate limiter, fault
+# injection), recorded as a JSON baseline future PRs can diff against.
+bench-hotpath:
+	$(GO) test -run '^$$' -bench 'ServerThroughput|SchedulerOffer|RateLimiterAllow|FaultInjection' \
+	    -benchmem -count=1 . ./internal/crawler ./internal/gplusd \
+	    | $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
 
 # Design-choice ablations and the methodology/future-work experiments.
 ablations:

@@ -12,6 +12,9 @@ package gplus
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strconv"
@@ -357,6 +360,61 @@ func BenchmarkLostEdges(b *testing.B) {
 			b.ReportMetric(100*est.LostFraction, "lost-edges-%")
 			b.ReportMetric(float64(est.UsersOverCap), "users-over-cap")
 		}
+	}
+}
+
+// BenchmarkServerThroughput measures end-to-end /people/* request
+// latency at increasing client concurrency, with rate limiting and
+// fault injection enabled — the fully armed hot path. ns/op should stay
+// roughly flat from 1 to 16 clients (total throughput scales with the
+// client count): fault decisions come from per-goroutine RNG streams
+// and the rate limiter is striped per client key, so no global mutex
+// serializes requests.
+func BenchmarkServerThroughput(b *testing.B) {
+	cfg := synth.DefaultConfig(5_000)
+	cfg.Seed = 77
+	u, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			srv := gplusd.New(u, gplusd.Options{
+				RatePerSecond: 1e9, // enabled but never limiting: the bucket path runs on every request
+				BurstSize:     1e9,
+				FaultRate:     0.01,
+				FaultSeed:     1,
+			})
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+			per := b.N/clients + 1
+			var wg sync.WaitGroup
+			b.ReportAllocs()
+			b.ResetTimer()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					t := http.DefaultTransport.(*http.Transport).Clone()
+					t.MaxIdleConnsPerHost = 4
+					hc := &http.Client{Transport: t}
+					defer hc.CloseIdleConnections()
+					id := "bench-client-" + strconv.Itoa(c)
+					for i := 0; i < per; i++ {
+						req, _ := http.NewRequest(http.MethodGet, ts.URL+"/people/"+u.IDs[i%len(u.IDs)], nil)
+						req.Header.Set("X-Crawler-Id", id)
+						resp, err := hc.Do(req)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body) //nolint:errcheck — draining for reuse
+						resp.Body.Close()
+					}
+				}(c)
+			}
+			wg.Wait()
+		})
 	}
 }
 

@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// baseline file so successive PRs can diff performance numbers without
+// parsing benchmark text. It echoes stdin through unchanged (the console
+// still shows the live run) and collects every benchmark result line:
+//
+//	go test -bench . -benchmem ./... | benchjson -out BENCH_hotpath.json
+//
+// Each result becomes {"name", "iterations", "metrics": {unit: value}},
+// covering the standard ns/op, B/op, allocs/op units and any custom
+// b.ReportMetric units.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "write the JSON baseline to this file (default: stdout after the echoed stream)")
+	flag.Parse()
+
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parseBench(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading stdin: %v", err)
+	}
+	raw, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatalf("encoding: %v", err)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw) //nolint:errcheck — best effort to the console
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	log.Printf("wrote %d benchmark results -> %s", len(results), *out)
+}
+
+// parseBench parses one benchmark result line:
+//
+//	BenchmarkFoo/case=x-8   1234   987 ns/op   12 B/op   3 allocs/op
+//
+// Lines that are not results (headers, PASS/ok, test logs) report false.
+func parseBench(line string) (result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iters: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

@@ -6,6 +6,10 @@
 // -progress emits a periodic structured progress line — the operational
 // view the paper's 45-day crawl depended on.
 //
+// When resuming (-resume), the summary counts only profiles fetched this
+// session; checkpointed profiles carried over from earlier sessions are
+// reported separately as "+N resumed".
+//
 // Usage:
 //
 //	gpluscrawl -url http://127.0.0.1:8041 -out ./data -workers 11 -max 30000 \
@@ -15,6 +19,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -111,8 +116,12 @@ func main() {
 	if err != nil {
 		log.Printf("crawl interrupted (%v); saving partial results", err)
 	}
-	log.Printf("crawled %d profiles (%d discovered), %d edge observations, %d pages, %d profile errors, %d circle errors in %v",
-		res.Stats.ProfilesCrawled, res.Stats.Discovered, res.Stats.EdgesObserved,
+	resumed := ""
+	if res.Stats.ProfilesResumed > 0 {
+		resumed = fmt.Sprintf(" (+%d resumed)", res.Stats.ProfilesResumed)
+	}
+	log.Printf("crawled %d profiles%s (%d discovered), %d edge observations, %d pages, %d profile errors, %d circle errors in %v",
+		res.Stats.ProfilesCrawled, resumed, res.Stats.Discovered, res.Stats.EdgesObserved,
 		res.Stats.PagesFetched, res.Stats.ProfileErrors, res.Stats.CircleErrors, res.Stats.Duration)
 
 	if *checkpoint != "" {

@@ -7,6 +7,12 @@
 // text; ?format=json for the snapshot), /debug/vars (expvar), and the
 // /debug/pprof/ suite for go tool pprof.
 //
+// The hot path holds no global locks: fault injection draws from
+// per-goroutine RNG streams and the per-crawler rate limiter is striped
+// across -rate-shards independently locked shards, with idle buckets
+// evicted after -bucket-ttl (watch gplusd_rate_limiter_buckets on
+// /metrics).
+//
 // Usage:
 //
 //	gplusd -nodes 100000 -seed 2011 -addr :8041 -rate 500
@@ -32,6 +38,8 @@ func main() {
 		circleCap = flag.Int("cap", 10_000, "circle list cap (-1 disables)")
 		pageSize  = flag.Int("page", 1000, "circle page size")
 		rate      = flag.Float64("rate", 0, "per-crawler rate limit (req/s, 0 disables)")
+		shards    = flag.Int("rate-shards", 0, "rate limiter lock stripes (rounded up to a power of two, 0 = default 64)")
+		bucketTTL = flag.Duration("bucket-ttl", 0, "evict idle rate limiter buckets after this long (0 = default 5m)")
 		faultRate = flag.Float64("fault", 0, "transient 503 probability")
 	)
 	flag.Parse()
@@ -51,6 +59,8 @@ func main() {
 		CircleCap:     *circleCap,
 		PageSize:      *pageSize,
 		RatePerSecond: *rate,
+		RateShards:    *shards,
+		BucketTTL:     *bucketTTL,
 		FaultRate:     *faultRate,
 		FaultSeed:     *seed,
 		Metrics:       reg,

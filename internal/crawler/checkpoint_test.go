@@ -11,6 +11,7 @@ import (
 
 	"gplus/internal/gplusd"
 	"gplus/internal/graph"
+	"gplus/internal/profile"
 )
 
 // buildGraph replicates dataset.FromCrawl's graph construction without
@@ -227,6 +228,75 @@ func TestResumeDoesNotRefetch(t *testing.T) {
 	}
 	if fetched == 0 {
 		t.Error("resume fetched nothing")
+	}
+}
+
+func TestResumeStatsCountSessionOnly(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	ctx := context.Background()
+
+	first, err := Crawl(ctx, Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		MaxProfiles: 300, FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.ProfilesResumed != 0 {
+		t.Errorf("fresh crawl reports %d resumed profiles", first.Stats.ProfilesResumed)
+	}
+
+	second, err := Crawl(ctx, Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		MaxProfiles: 100, FetchIn: true, FetchOut: true,
+		Resume: first,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ProfilesCrawled audits the session against MaxProfiles; the prior
+	// session's haul is reported separately.
+	if second.Stats.ProfilesCrawled > 100 || second.Stats.ProfilesCrawled == 0 {
+		t.Errorf("session crawled %d, want within (0, 100]", second.Stats.ProfilesCrawled)
+	}
+	if second.Stats.ProfilesResumed != len(first.Profiles) {
+		t.Errorf("ProfilesResumed = %d, want %d", second.Stats.ProfilesResumed, len(first.Profiles))
+	}
+	if got := second.Stats.ProfilesCrawled + second.Stats.ProfilesResumed; got != len(second.Profiles) {
+		t.Errorf("session %d + resumed %d != merged %d profiles",
+			second.Stats.ProfilesCrawled, second.Stats.ProfilesResumed, len(second.Profiles))
+	}
+}
+
+// TestResumeHandBuiltProfilesImplicitlyDiscovered resumes from a Result
+// whose Profiles never made it into Discovered — the shape a hand-built
+// or merged checkpoint can take, which used to panic on a negative
+// frontier capacity before Crawl even started.
+func TestResumeHandBuiltProfilesImplicitlyDiscovered(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	prev := &Result{
+		Profiles: map[string]profile.Profile{
+			seedID(u): {}, "ghost-1": {}, "ghost-2": {},
+		},
+		Discovered: map[string]bool{},
+	}
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 2,
+		MaxProfiles: 20, FetchIn: true, FetchOut: true,
+		Resume: prev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seed counts as already crawled, so the session fetches nothing
+	// — but it completes cleanly and carries the resumed profiles.
+	if res.Stats.ProfilesCrawled != 0 {
+		t.Errorf("session crawled %d, want 0 (seed already in Profiles)", res.Stats.ProfilesCrawled)
+	}
+	if res.Stats.ProfilesResumed != 3 || len(res.Profiles) != 3 {
+		t.Errorf("stats = %+v with %d profiles, want 3 resumed", res.Stats, len(res.Profiles))
 	}
 }
 

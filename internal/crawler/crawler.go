@@ -61,7 +61,9 @@ type Config struct {
 	// order, approximating the interrupted BFS order), and its profiles
 	// and edges are merged into the new result. Seeds already crawled in
 	// Resume are not refetched. MaxProfiles bounds only the *additional*
-	// profiles fetched in this session.
+	// profiles fetched in this session, and Stats.ProfilesCrawled
+	// likewise counts only this session's fetches — carried-over
+	// profiles are reported in Stats.ProfilesResumed.
 	Resume *Result
 	// Metrics receives live crawl telemetry when non-nil: frontier and
 	// discovered gauges, profiles/pages/edges counters, the
@@ -105,7 +107,15 @@ type Edge struct {
 
 // Stats summarizes a crawl.
 type Stats struct {
+	// ProfilesCrawled counts profiles fetched in *this* session. Under
+	// Config.Resume the prior session's profiles are reported separately
+	// in ProfilesResumed, so ProfilesCrawled can be audited directly
+	// against MaxProfiles (which bounds only additional fetches); the
+	// merged Result.Profiles map holds the union of both.
 	ProfilesCrawled int
+	// ProfilesResumed is how many profiles were carried over from
+	// Config.Resume (0 when not resuming).
+	ProfilesResumed int
 	// ProfileErrors counts permanent profile-fetch failures;
 	// CircleErrors counts permanent circle-page-fetch failures. The two
 	// are tracked separately (a profile can be collected even when its
@@ -161,9 +171,7 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Resume != nil {
 		sched.preload(cfg.Resume)
 	}
-	for _, seed := range cfg.Seeds {
-		sched.offer(seed)
-	}
+	sched.offerBatch(cfg.Seeds)
 
 	var progressDone chan struct{}
 	var progressWG sync.WaitGroup
@@ -216,17 +224,22 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 			res.Profiles[id] = p
 		}
 		res.Edges = append(res.Edges, cfg.Resume.Edges...)
+		res.Stats.ProfilesResumed = len(cfg.Resume.Profiles)
 	}
 	for _, w := range workers {
 		for id, p := range w.profiles {
 			res.Profiles[id] = p
 		}
+		// Each id is claimed by exactly one worker and resumed ids are
+		// never re-claimed, so the per-worker maps are disjoint from
+		// each other and from the resumed set: summing their sizes
+		// yields the exact session-only crawl count.
+		res.Stats.ProfilesCrawled += len(w.profiles)
 		res.Edges = append(res.Edges, w.edges...)
 		res.Stats.PagesFetched += w.pages
 		res.Stats.ProfileErrors += w.profileErrs
 		res.Stats.CircleErrors += w.circleErrs
 	}
-	res.Stats.ProfilesCrawled = len(res.Profiles)
 	res.Stats.EdgesObserved = int64(len(res.Edges))
 	res.Stats.Discovered = len(res.Discovered)
 	res.Stats.Duration = time.Since(start)
@@ -342,8 +355,9 @@ func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.Circle
 			} else {
 				w.edges = append(w.edges, Edge{From: other, To: id})
 			}
-			w.sched.offer(other)
 		}
+		// One frontier lock round-trip per page, not one per edge.
+		w.sched.offerBatch(page.IDs)
 		if page.NextPageToken == "" {
 			return
 		}

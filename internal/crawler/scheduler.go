@@ -11,13 +11,25 @@ import (
 // scheduler is the shared BFS frontier: a FIFO queue with a visited set,
 // a profile budget, and completion detection (queue drained while no
 // worker is mid-crawl).
+//
+// The queue is the crawl's hottest shared structure — every discovered
+// id passes through it — so the design minimizes time under the lock and
+// wakeups: workers offer whole circle pages at once (offerBatch), the
+// queue pops by head index instead of re-slicing, and waiters are woken
+// individually (one Signal per available id) rather than broadcast on
+// every event.
 type scheduler struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []string
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []string
+	// head indexes the next unclaimed id in queue; popping advances it
+	// instead of re-slicing so the backing array is reused, and the
+	// consumed prefix is compacted away once it dominates the slice.
+	head     int
 	seen     map[string]bool
 	inflight int
 	claimed  int
+	waiting  int // workers blocked in next
 	budget   int // 0 = unlimited
 	// errorBudget closes the crawl once errorCount reaches it (0 =
 	// unlimited).
@@ -29,10 +41,14 @@ type scheduler struct {
 	tel *telemetry
 }
 
+// queued returns the number of ids waiting to be claimed; the caller
+// must hold s.mu.
+func (s *scheduler) queued() int { return len(s.queue) - s.head }
+
 // updateGauges publishes the live frontier depth and discovered count;
 // the caller must hold s.mu.
 func (s *scheduler) updateGauges() {
-	s.tel.frontier.Set(int64(len(s.queue)))
+	s.tel.frontier.Set(int64(s.queued()))
 	s.tel.discovered.Set(int64(len(s.seen)))
 }
 
@@ -62,19 +78,26 @@ func newScheduler(budget int) *scheduler {
 
 // preload seeds the scheduler from a previous crawl: already-crawled ids
 // enter the visited set so they are never refetched, and the uncrawled
-// frontier enters the queue in sorted order.
+// frontier enters the queue in sorted order. Profile ids are treated as
+// implicitly discovered — a hand-built or merged Result whose Profiles
+// are absent from Discovered must resume cleanly, not panic on a
+// negative frontier estimate.
 func (s *scheduler) preload(prev *Result) {
 	s.mu.Lock()
-	frontier := make([]string, 0, len(prev.Discovered)-len(prev.Profiles))
-	for id := range prev.Discovered {
+	for id := range prev.Profiles {
 		s.seen[id] = true
-		if _, crawled := prev.Profiles[id]; !crawled {
-			frontier = append(frontier, id)
+	}
+	frontier := make([]string, 0, max(0, len(prev.Discovered)-len(prev.Profiles)))
+	for id := range prev.Discovered {
+		if s.seen[id] {
+			continue // crawled last session
 		}
+		s.seen[id] = true
+		frontier = append(frontier, id)
 	}
 	sort.Strings(frontier)
 	for _, id := range frontier {
-		if s.budget > 0 && len(s.queue) >= s.budget {
+		if s.budget > 0 && s.queued() >= s.budget {
 			break
 		}
 		s.queue = append(s.queue, id)
@@ -87,21 +110,55 @@ func (s *scheduler) preload(prev *Result) {
 // offer enqueues an id if it has never been seen. It may be called from
 // any worker while it crawls.
 func (s *scheduler) offer(id string) {
+	s.offerBatch([]string{id})
+}
+
+// offerBatch enqueues every never-seen id in the batch under a single
+// lock acquisition — one round-trip per circle page instead of one per
+// edge — then wakes at most as many waiters as ids were added.
+func (s *scheduler) offerBatch(ids []string) {
+	if len(ids) == 0 {
+		return
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.seen[id] {
-		return
+	added := 0
+	for _, id := range ids {
+		if s.seen[id] {
+			continue
+		}
+		s.seen[id] = true
+		if s.closed || (s.budget > 0 && s.claimed+s.queued() >= s.budget) {
+			// Past the budget: the user is discovered but will never be
+			// crawled — a frontier node of the partial crawl.
+			continue
+		}
+		s.queue = append(s.queue, id)
+		added++
 	}
-	s.seen[id] = true
-	if s.closed || (s.budget > 0 && s.claimed+len(s.queue) >= s.budget) {
-		// Past the budget: the user is discovered but will never be
-		// crawled — a frontier node of the partial crawl.
-		s.updateGauges()
-		return
-	}
-	s.queue = append(s.queue, id)
 	s.updateGauges()
-	s.cond.Signal()
+	wake := min(added, s.waiting)
+	s.mu.Unlock()
+	for i := 0; i < wake; i++ {
+		s.cond.Signal()
+	}
+}
+
+// pop removes and returns the head of the queue; the caller must hold
+// s.mu and have checked queued() > 0.
+func (s *scheduler) pop() string {
+	id := s.queue[s.head]
+	s.queue[s.head] = "" // release the string to the GC
+	s.head++
+	switch {
+	case s.head == len(s.queue):
+		s.queue = s.queue[:0]
+		s.head = 0
+	case s.head > 1024 && s.head > len(s.queue)/2:
+		// The consumed prefix dominates; compact so appends reuse it.
+		s.queue = s.queue[:copy(s.queue, s.queue[s.head:])]
+		s.head = 0
+	}
+	return id
 }
 
 // next blocks until an id is available, the crawl is complete, or ctx is
@@ -123,9 +180,8 @@ func (s *scheduler) next(ctx context.Context) (id string, ok bool) {
 		if s.closed || (s.budget > 0 && s.claimed >= s.budget) {
 			return "", false
 		}
-		if len(s.queue) > 0 {
-			id = s.queue[0]
-			s.queue = s.queue[1:]
+		if s.queued() > 0 {
+			id = s.pop()
 			s.claimed++
 			s.inflight++
 			s.updateGauges()
@@ -137,17 +193,24 @@ func (s *scheduler) next(ctx context.Context) (id string, ok bool) {
 			s.cond.Broadcast()
 			return "", false
 		}
+		s.waiting++
 		s.cond.Wait()
+		s.waiting--
 	}
 }
 
-// finish marks one claimed crawl as done and wakes waiters so completion
-// can be detected.
+// finish marks one claimed crawl as done. Waiters are woken only when
+// the last in-flight crawl retires — that is the only finish event that
+// can change a waiter's fate (completion detection); broadcasting on
+// every finish was a thundering herd per crawled profile.
 func (s *scheduler) finish() {
 	s.mu.Lock()
 	s.inflight--
+	idle := s.inflight == 0
 	s.mu.Unlock()
-	s.cond.Broadcast()
+	if idle {
+		s.cond.Broadcast()
+	}
 }
 
 // discovered snapshots the set of all ids ever seen.

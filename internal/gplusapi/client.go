@@ -35,6 +35,10 @@ type Client struct {
 	// BackoffBase is the first retry delay (default 50ms); it doubles per
 	// attempt with jitter.
 	BackoffBase time.Duration
+	// MaxBackoff caps each retry delay (default 30s). Without a cap the
+	// doubling shift overflows time.Duration once the attempt count
+	// passes ~37, and a negative jitter bound panics.
+	MaxBackoff time.Duration
 	// Metrics receives client telemetry when non-nil: per-endpoint request
 	// latency histograms (gplusapi_request_seconds), response status
 	// counters (gplusapi_responses_total), transport-error and retry
@@ -71,6 +75,33 @@ func (c *Client) backoffBase() time.Duration {
 		return c.BackoffBase
 	}
 	return 50 * time.Millisecond
+}
+
+func (c *Client) maxBackoff() time.Duration {
+	if c.MaxBackoff > 0 {
+		return c.MaxBackoff
+	}
+	return 30 * time.Second
+}
+
+// backoffDelay computes the jittered exponential delay before retry
+// attempt (1-based), honoring a Retry-After hint surfaced by the
+// previous error. The exponential term is clamped at MaxBackoff — and
+// the overflow of the shift detected by inverting it — so arbitrarily
+// large retry budgets can never produce a negative delay.
+func (c *Client) backoffDelay(attempt int, lastErr error) time.Duration {
+	delay := c.maxBackoff()
+	if shift := uint(attempt - 1); shift < 63 {
+		if d := c.backoffBase() << shift; d>>shift == c.backoffBase() && d > 0 && d < delay {
+			delay = d
+		}
+	}
+	// Full jitter keeps concurrent workers from synchronizing.
+	delay = time.Duration(rand.Int64N(int64(delay))) + delay/2
+	if hinted, ok := lastErr.(*retryAfterError); ok && hinted.after > delay {
+		delay = hinted.after
+	}
+	return delay
 }
 
 // FetchProfile retrieves the public profile page of a user.
@@ -154,12 +185,7 @@ func (c *Client) withRetries(ctx context.Context, op string, fn func() error) er
 	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
 		if attempt > 0 {
 			c.Metrics.Counter(`gplusapi_retries_total{endpoint="` + op + `"}`).Inc()
-			delay := c.backoffBase() << (attempt - 1)
-			// Full jitter keeps concurrent workers from synchronizing.
-			delay = time.Duration(rand.Int64N(int64(delay)) + int64(delay)/2)
-			if hinted, ok := lastErr.(*retryAfterError); ok && hinted.after > delay {
-				delay = hinted.after
-			}
+			delay := c.backoffDelay(attempt, lastErr)
 			select {
 			case <-ctx.Done():
 				return ctx.Err()

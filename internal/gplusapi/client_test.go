@@ -188,6 +188,57 @@ func TestClientDefaults(t *testing.T) {
 	if c.httpClient() == nil || c.maxRetries() != 5 || c.backoffBase() != 50*time.Millisecond {
 		t.Error("defaults not applied")
 	}
+	if c.maxBackoff() != 30*time.Second {
+		t.Errorf("default MaxBackoff = %v, want 30s", c.maxBackoff())
+	}
+}
+
+func TestBackoffDelayClampedAtAllAttempts(t *testing.T) {
+	// Regression: backoffBase << (attempt-1) overflowed to a negative
+	// Duration around attempt 38, and rand.Int64N panicked on the
+	// negative bound. Every attempt count must now yield a positive
+	// delay no larger than 1.5x MaxBackoff (full jitter's upper edge).
+	c := &Client{BackoffBase: 50 * time.Millisecond, MaxBackoff: time.Second}
+	for attempt := 1; attempt <= 200; attempt++ {
+		d := c.backoffDelay(attempt, nil)
+		if d <= 0 || d > c.MaxBackoff+c.MaxBackoff/2 {
+			t.Fatalf("attempt %d: delay %v outside (0, 1.5s]", attempt, d)
+		}
+	}
+}
+
+func TestBackoffDelayHonorsRetryAfterHint(t *testing.T) {
+	c := &Client{BackoffBase: time.Millisecond, MaxBackoff: time.Millisecond}
+	hint := &retryAfterError{status: 429, after: 2 * time.Second}
+	if d := c.backoffDelay(1, hint); d < hint.after {
+		t.Errorf("delay %v ignores the %v Retry-After hint", d, hint.after)
+	}
+}
+
+func TestClientLargeRetryBudgetDoesNotPanic(t *testing.T) {
+	// A caller-set MaxRetries well past the shift-overflow point must
+	// grind through every attempt and give up cleanly, not panic.
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0.0001")
+		http.Error(w, "always down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	c.MaxRetries = 64
+	c.BackoffBase = time.Microsecond
+	c.MaxBackoff = time.Millisecond
+	start := time.Now()
+	if _, err := c.FetchProfile(context.Background(), "u"); err == nil {
+		t.Fatal("expected failure after exhausting retries")
+	}
+	if got := calls.Load(); got != 65 {
+		t.Errorf("server saw %d calls, want 65", got)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("retry loop took %v; MaxBackoff clamp not applied", elapsed)
+	}
 }
 
 func TestClientMetrics(t *testing.T) {

@@ -8,11 +8,9 @@ package gplusd
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"gplus/internal/gplusapi"
@@ -35,6 +33,18 @@ type Options struct {
 	// identity when positive. BurstSize defaults to RatePerSecond.
 	RatePerSecond float64
 	BurstSize     float64
+	// RateShards stripes the rate limiter's bucket table across this
+	// many independently locked shards (rounded up to a power of two),
+	// so distinct crawler identities never contend on a single mutex.
+	// Zero means 64.
+	RateShards int
+	// BucketTTL evicts a client's token bucket after it has been idle
+	// this long, bounding the table under churning RemoteAddrs. Zero
+	// means 5 minutes; the TTL is clamped to at least the full-burst
+	// refill time so eviction never grants extra tokens. Live bucket
+	// count and evictions are exported as gplusd_rate_limiter_buckets
+	// and gplusd_rate_limiter_evictions_total.
+	BucketTTL time.Duration
 	// FaultRate injects random 503 responses with this probability, for
 	// testing crawler retry behaviour.
 	FaultRate float64
@@ -87,9 +97,8 @@ type Server struct {
 	index   map[string]graph.NodeID
 	mux     *http.ServeMux
 
-	mu       sync.Mutex
-	faultRNG *rand.Rand
-	buckets  map[string]*bucket
+	faults  *faultSource
+	limiter *limiter
 
 	metrics    *obs.Registry
 	mProfile   *obs.Counter
@@ -111,11 +120,10 @@ func New(u *synth.Universe, opts Options) *Server {
 // snapshot, a previously collected dataset, or a hand-built world.
 func NewContent(c Content, opts Options) *Server {
 	s := &Server{
-		content:  c,
-		opts:     opts,
-		index:    make(map[string]graph.NodeID, len(c.IDs)),
-		faultRNG: rand.New(rand.NewPCG(opts.FaultSeed, opts.FaultSeed^0xdead10cc)),
-		buckets:  make(map[string]*bucket),
+		content: c,
+		opts:    opts,
+		index:   make(map[string]graph.NodeID, len(c.IDs)),
+		faults:  newFaultSource(opts.FaultRate, opts.FaultSeed),
 	}
 	for i, id := range c.IDs {
 		s.index[id] = graph.NodeID(i)
@@ -127,6 +135,8 @@ func NewContent(c Content, opts Options) *Server {
 	s.metrics = reg
 	reg.Help("gplusd_requests_total", "Requests served, by endpoint.")
 	reg.Help("gplusd_rate_limited_total", "Requests rejected by the per-crawler rate limiter.")
+	reg.Help("gplusd_rate_limiter_buckets", "Live token buckets across all rate-limiter shards.")
+	reg.Help("gplusd_rate_limiter_evictions_total", "Idle token buckets evicted by shard sweeps.")
 	reg.Help("gplusd_faults_injected_total", "Synthetic 503s injected by the fault rate.")
 	reg.Help("gplusd_in_flight_requests", "Requests currently being served.")
 	reg.Help("gplusd_request_seconds", "End-to-end request latency.")
@@ -138,6 +148,9 @@ func NewContent(c Content, opts Options) *Server {
 	s.mFaults = reg.Counter("gplusd_faults_injected_total")
 	s.gInFlight = reg.Gauge("gplusd_in_flight_requests")
 	s.hLatency = reg.Histogram("gplusd_request_seconds", nil)
+	s.limiter = newLimiter(opts,
+		reg.Gauge("gplusd_rate_limiter_buckets"),
+		reg.Counter("gplusd_rate_limiter_evictions_total"))
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /people/{id}", s.handleProfile)
 	mux.HandleFunc("GET /people/{id}/circles/{dir}", s.handleCircles)
@@ -188,12 +201,7 @@ func (s *Server) RequestStats() (profiles, circles, limited, faults int64) {
 }
 
 func (s *Server) injectFault() bool {
-	if s.opts.FaultRate <= 0 {
-		return false
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.faultRNG.Float64() < s.opts.FaultRate
+	return s.faults.hit()
 }
 
 func clientKey(r *http.Request) string {
@@ -207,38 +215,8 @@ func clientKey(r *http.Request) string {
 	return host
 }
 
-// bucket is a token bucket replenished on demand.
-type bucket struct {
-	tokens float64
-	last   time.Time
-}
-
 func (s *Server) allow(key string) bool {
-	if s.opts.RatePerSecond <= 0 {
-		return true
-	}
-	burst := s.opts.BurstSize
-	if burst <= 0 {
-		burst = s.opts.RatePerSecond
-	}
-	now := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	b, ok := s.buckets[key]
-	if !ok {
-		b = &bucket{tokens: burst, last: now}
-		s.buckets[key] = b
-	}
-	b.tokens += now.Sub(b.last).Seconds() * s.opts.RatePerSecond
-	if b.tokens > burst {
-		b.tokens = burst
-	}
-	b.last = now
-	if b.tokens < 1 {
-		return false
-	}
-	b.tokens--
-	return true
+	return s.limiter.allow(key)
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
