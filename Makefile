@@ -3,15 +3,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-hotpath ablations fuzz verify examples report clean
+.PHONY: all check build vet test race chaos bench bench-hotpath ablations fuzz fuzz-short verify examples report clean
 
 # Default check path: the tier-1 verify (build + test) plus vet and the
 # race suite over the concurrent packages.
 all: build vet test race
 
 # check is the conventional entry point for the same gate; the race leg
-# covers the sharded rate limiter and the batched crawl frontier.
-check: all
+# covers the sharded rate limiter and the batched crawl frontier, and the
+# short fuzz leg shakes the checkpoint/journal parser.
+check: all fuzz-short
 
 build:
 	$(GO) build ./...
@@ -24,6 +25,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/obs/ ./internal/crawler/ ./internal/gplusd/ ./internal/graph/
+
+# The robustness gate: crawl under the full chaos fault suite, kill the
+# crawl mid-flight, tear the journal tail, resume, and require exact
+# convergence with a fault-free crawl — all under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run TestChaosKillResumeConvergence -v ./internal/crawler/
 
 # One benchmark per table and figure, headline values as custom metrics.
 bench:
@@ -46,6 +53,11 @@ fuzz:
 	$(GO) test -fuzz=FuzzToProfile -fuzztime=30s ./internal/gplusapi/
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/graph/
 	$(GO) test -fuzz=FuzzReadResult -fuzztime=30s ./internal/crawler/
+
+# The quick fuzz leg of `make check`: the checkpoint/journal parser is
+# the one format a crash can hand arbitrary torn bytes to.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz=FuzzReadResult -fuzztime=10s ./internal/crawler/
 
 # Generate a dataset and audit it against the paper's published claims.
 verify:

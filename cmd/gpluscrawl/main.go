@@ -6,14 +6,20 @@
 // -progress emits a periodic structured progress line — the operational
 // view the paper's 45-day crawl depended on.
 //
-// When resuming (-resume), the summary counts only profiles fetched this
-// session; checkpointed profiles carried over from earlier sessions are
-// reported separately as "+N resumed".
+// With -journal the crawl streams every profile, edge, and discovered id
+// into an append-only journal as it runs, flushed and fsynced every
+// -flush-interval: a crawl killed mid-flight (SIGKILL, OOM, reboot)
+// loses at most one flush interval of records plus one torn final line,
+// and rerunning with the same -journal resumes from it automatically.
+//
+// When resuming (-resume or an existing -journal), the summary counts
+// only profiles fetched this session; checkpointed profiles carried over
+// from earlier sessions are reported separately as "+N resumed".
 //
 // Usage:
 //
 //	gpluscrawl -url http://127.0.0.1:8041 -out ./data -workers 11 -max 30000 \
-//	    -metrics-addr 127.0.0.1:8042 -progress 10s
+//	    -journal ./crawl.journal -metrics-addr 127.0.0.1:8042 -progress 10s
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -44,6 +51,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 		checkpoint  = flag.String("checkpoint", "", "write the raw crawl state to this file")
 		resume      = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
+		journal     = flag.String("journal", "", "stream live crawl state to this append-only journal; an existing journal resumes automatically")
+		flushEvery  = flag.Duration("flush-interval", time.Second, "journal flush+fsync interval (bounds what a crash can lose)")
 		scrapeHTML  = flag.Bool("html", false, "scrape HTML profile pages instead of the JSON API")
 		compress    = flag.Bool("compress", false, "gzip the dataset's profile column")
 		abortErrs   = flag.Int("abort-errors", 0, "stop after this many permanent fetch failures (0 = never)")
@@ -74,9 +83,24 @@ func main() {
 
 	var seedList []string
 	if *seeds != "" {
-		seedList = strings.Split(*seeds, ",")
+		// Trim and drop empties: a trailing comma or stray whitespace
+		// must not enqueue profile "" for crawling.
+		for _, s := range strings.Split(*seeds, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				seedList = append(seedList, s)
+			}
+		}
+		if len(seedList) == 0 {
+			log.Fatalf("-seeds %q contains no usable ids", *seeds)
+		}
 	} else {
-		client := &gplusapi.Client{BaseURL: *url}
+		// The seed fetch deserves the same timeout and instrumentation
+		// as every crawl worker's client.
+		client := &gplusapi.Client{
+			BaseURL:    *url,
+			HTTPClient: &http.Client{Timeout: *timeout},
+			Metrics:    reg,
+		}
 		id, err := client.FetchSeed(ctx)
 		if err != nil {
 			log.Fatalf("fetching seed from %s: %v", *url, err)
@@ -85,14 +109,59 @@ func main() {
 		log.Printf("seeding crawl at most popular user %s", id)
 	}
 
-	var prev *crawler.Result
-	if *resume != "" {
-		var err error
-		if prev, err = crawler.LoadCheckpoint(*resume); err != nil {
+	load := func(path string) *crawler.Result {
+		prev, err := crawler.LoadCheckpoint(path)
+		if err != nil {
 			log.Fatalf("loading checkpoint: %v", err)
 		}
+		if n := prev.Stats.TornRecords; n > 0 {
+			// A mid-append crash tore the final line; at most that one
+			// record is lost and the rest of the journal is intact.
+			log.Printf("warning: dropped %d torn trailing record(s) from %s", n, path)
+			reg.Counter("crawler_journal_torn_records_total").Add(int64(n))
+		}
 		log.Printf("resuming: %d profiles, %d discovered from %s",
-			len(prev.Profiles), len(prev.Discovered), *resume)
+			len(prev.Profiles), len(prev.Discovered), path)
+		return prev
+	}
+
+	journalExists := false
+	if *journal != "" {
+		if fi, err := os.Stat(*journal); err == nil && fi.Size() > 0 {
+			journalExists = true
+		}
+	}
+	if *resume != "" && journalExists {
+		log.Fatalf("-resume with an existing non-empty -journal %s is ambiguous: resume from the journal alone, or point -journal at a fresh file", *journal)
+	}
+
+	var prev *crawler.Result
+	switch {
+	case *resume != "":
+		prev = load(*resume)
+	case journalExists:
+		prev = load(*journal)
+	}
+
+	var jrnl *crawler.Journal
+	if *journal != "" {
+		j, err := crawler.OpenJournal(*journal, crawler.JournalOptions{
+			FlushInterval: *flushEvery,
+			Metrics:       reg,
+		})
+		if err != nil {
+			log.Fatalf("opening journal: %v", err)
+		}
+		jrnl = j
+		if prev != nil && *resume != "" {
+			// The resume state came from a separate checkpoint and the
+			// journal is fresh: copy it in so the journal alone can
+			// reconstruct the whole crawl.
+			if err := j.Bootstrap(prev); err != nil {
+				log.Fatalf("bootstrapping journal: %v", err)
+			}
+		}
+		log.Printf("journaling live crawl state -> %s (flush+fsync every %v)", *journal, *flushEvery)
 	}
 
 	res, err := crawler.Crawl(ctx, crawler.Config{
@@ -107,9 +176,13 @@ func main() {
 		AbortAfterErrors: *abortErrs,
 		Politeness:       *politeness,
 		Resume:           prev,
+		Journal:          jrnl,
 		Metrics:          reg,
 		ProgressInterval: *progress,
 	})
+	if cerr := jrnl.Close(); cerr != nil {
+		log.Printf("journal error (crawl state may be incomplete on disk): %v", cerr)
+	}
 	if err != nil && res == nil {
 		log.Fatalf("crawl: %v", err)
 	}

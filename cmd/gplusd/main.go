@@ -13,6 +13,12 @@
 // evicted after -bucket-ttl (watch gplusd_rate_limiter_buckets on
 // /metrics).
 //
+// -chaos arms a seed-deterministic fault suite beyond the plain -fault
+// 503s: per-endpoint unavailability, response delays, connection hangs
+// past the client timeout, mid-body connection resets, and scheduled
+// outage windows. Injections are counted per kind in
+// gplusd_chaos_faults_total; /metrics itself is never faulted.
+//
 // Usage:
 //
 //	gplusd -nodes 100000 -seed 2011 -addr :8041 -rate 500
@@ -41,8 +47,19 @@ func main() {
 		shards    = flag.Int("rate-shards", 0, "rate limiter lock stripes (rounded up to a power of two, 0 = default 64)")
 		bucketTTL = flag.Duration("bucket-ttl", 0, "evict idle rate limiter buckets after this long (0 = default 5m)")
 		faultRate = flag.Float64("fault", 0, "transient 503 probability")
+		chaosSpec = flag.String("chaos", "", `chaos-mode fault suite, rules separated by ';', e.g. "unavailable,endpoint=profile,rate=0.2;delay,rate=0.1,delay=150ms;hang,rate=0.01,delay=90s;reset,rate=0.05;outage,every=10m,down=45s"`)
 	)
 	flag.Parse()
+
+	var faults *gplusd.FaultSpec
+	if *chaosSpec != "" {
+		var err error
+		if faults, err = gplusd.ParseFaultSpec(*chaosSpec); err != nil {
+			log.Fatalf("parsing -chaos: %v", err)
+		}
+		faults.Seed = *seed
+		log.Printf("chaos mode: %d fault rule(s) armed, seed %d (injections counted in gplusd_chaos_faults_total)", len(faults.Rules), *seed)
+	}
 
 	log.Printf("generating universe: %d nodes (seed %d)...", *nodes, *seed)
 	start := time.Now()
@@ -63,6 +80,7 @@ func main() {
 		BucketTTL:     *bucketTTL,
 		FaultRate:     *faultRate,
 		FaultSeed:     *seed,
+		Faults:        faults,
 		Metrics:       reg,
 	})
 	obs.PublishExpvar("gplusd", reg)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"gplus/internal/gplusapi"
@@ -52,52 +53,67 @@ func WriteResult(w io.Writer, res *Result) error {
 
 // ReadResult parses a checkpoint stream back into a Result. Statistics
 // are reconstructed from the stream contents (durations are lost).
+//
+// Complete records are always newline-terminated, so a final line with
+// no trailing newline is the signature of a mid-append crash (SIGKILL or
+// power loss during a journal flush). Such a torn tail is dropped —
+// never parsed, even if a prefix of it would decode, because a truncated
+// id must not enter the result — and counted in Stats.TornRecords. A
+// malformed line that *is* newline-terminated was written whole and
+// still fails the load: that is corruption, not a torn append.
 func ReadResult(r io.Reader) (*Result, error) {
 	res := &Result{
 		Profiles:   make(map[string]profile.Profile),
 		Discovered: make(map[string]bool),
 	}
-	scanner := bufio.NewScanner(bufio.NewReaderSize(r, 1<<16))
-	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	br := bufio.NewReaderSize(r, 1<<16)
 	line := 0
-	for scanner.Scan() {
+	for {
+		text, rerr := br.ReadString('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, rerr
+		}
+		terminated := strings.HasSuffix(text, "\n")
+		text = strings.TrimSuffix(text, "\n")
+		if !terminated && text != "" {
+			res.Stats.TornRecords++
+			break
+		}
 		line++
-		text := scanner.Text()
-		if text == "" {
-			continue
+		if text != "" {
+			if len(text) < 2 || text[1] != ' ' {
+				return nil, fmt.Errorf("crawler: checkpoint line %d malformed", line)
+			}
+			body := text[2:]
+			switch text[0] {
+			case 'P':
+				var doc gplusapi.ProfileDoc
+				if err := json.Unmarshal([]byte(body), &doc); err != nil {
+					return nil, fmt.Errorf("crawler: checkpoint line %d: %w", line, err)
+				}
+				if doc.ID == "" {
+					return nil, fmt.Errorf("crawler: checkpoint line %d: profile without id", line)
+				}
+				res.Profiles[doc.ID] = doc.ToProfile()
+				res.Discovered[doc.ID] = true
+			case 'E':
+				from, to, ok := strings.Cut(body, " ")
+				if !ok || from == "" || to == "" {
+					return nil, fmt.Errorf("crawler: checkpoint line %d: bad edge", line)
+				}
+				res.Edges = append(res.Edges, Edge{From: from, To: to})
+			case 'D':
+				if body == "" {
+					return nil, fmt.Errorf("crawler: checkpoint line %d: empty id", line)
+				}
+				res.Discovered[body] = true
+			default:
+				return nil, fmt.Errorf("crawler: checkpoint line %d: unknown record %q", line, text[0])
+			}
 		}
-		if len(text) < 2 || text[1] != ' ' {
-			return nil, fmt.Errorf("crawler: checkpoint line %d malformed", line)
+		if rerr == io.EOF {
+			break
 		}
-		body := text[2:]
-		switch text[0] {
-		case 'P':
-			var doc gplusapi.ProfileDoc
-			if err := json.Unmarshal([]byte(body), &doc); err != nil {
-				return nil, fmt.Errorf("crawler: checkpoint line %d: %w", line, err)
-			}
-			if doc.ID == "" {
-				return nil, fmt.Errorf("crawler: checkpoint line %d: profile without id", line)
-			}
-			res.Profiles[doc.ID] = doc.ToProfile()
-			res.Discovered[doc.ID] = true
-		case 'E':
-			from, to, ok := strings.Cut(body, " ")
-			if !ok || from == "" || to == "" {
-				return nil, fmt.Errorf("crawler: checkpoint line %d: bad edge", line)
-			}
-			res.Edges = append(res.Edges, Edge{From: from, To: to})
-		case 'D':
-			if body == "" {
-				return nil, fmt.Errorf("crawler: checkpoint line %d: empty id", line)
-			}
-			res.Discovered[body] = true
-		default:
-			return nil, fmt.Errorf("crawler: checkpoint line %d: unknown record %q", line, text[0])
-		}
-	}
-	if err := scanner.Err(); err != nil {
-		return nil, err
 	}
 	res.Stats.ProfilesCrawled = len(res.Profiles)
 	res.Stats.EdgesObserved = int64(len(res.Edges))
@@ -105,10 +121,13 @@ func ReadResult(r io.Reader) (*Result, error) {
 	return res, nil
 }
 
-// SaveCheckpoint writes a result to path atomically (write to a temp
-// file in the same directory, then rename).
+// SaveCheckpoint writes a result to path atomically and durably: the
+// temp file is fsynced before the rename (so a crash can never publish
+// an empty or torn file under the final name) and the directory is
+// fsynced after it (so the rename itself survives power loss).
 func SaveCheckpoint(path string, res *Result) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".checkpoint-*")
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
 	if err != nil {
 		return err
 	}
@@ -117,13 +136,36 @@ func SaveCheckpoint(path string, res *Result) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
 }
 
-// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+// syncDir fsyncs a directory, persisting a completed rename. Errors are
+// swallowed: some platforms and filesystems cannot fsync directories,
+// and the rename is already atomic for every observer except a
+// poorly-timed power cut.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	d.Sync() //nolint:errcheck — best-effort durability, see above
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint or a live
+// journal written by a Journal (same format; a journal may additionally
+// carry a torn final line — see ReadResult and Stats.TornRecords).
 func LoadCheckpoint(path string) (*Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -131,11 +173,4 @@ func LoadCheckpoint(path string) (*Result, error) {
 	}
 	defer f.Close()
 	return ReadResult(f)
-}
-
-func dirOf(path string) string {
-	if i := strings.LastIndexByte(path, '/'); i > 0 {
-		return path[:i]
-	}
-	return "."
 }

@@ -3,6 +3,7 @@ package crawler
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"path/filepath"
 	"reflect"
@@ -129,6 +130,129 @@ func TestReadResultRejectsGarbage(t *testing.T) {
 	res, err := ReadResult(bytes.NewBuffer(nil))
 	if err != nil || len(res.Discovered) != 0 {
 		t.Errorf("empty stream: %v, %+v", err, res)
+	}
+}
+
+func TestReadResultTornTail(t *testing.T) {
+	// A final line with no trailing newline is a mid-append crash: it is
+	// dropped — never parsed — and counted, and everything before it
+	// survives.
+	cases := []struct {
+		name  string
+		input string
+		ids   []string
+		torn  int
+	}{
+		{"torn id", "D aa\nD bb\nD cc", []string{"aa", "bb"}, 1},
+		{"torn but parseable prefix", "D aa\nD b", []string{"aa"}, 1},
+		// "D ab" could be a truncated "D abc123": even a prefix that
+		// would parse must not enter the result.
+		{"torn single record", "D ab", nil, 1},
+		{"torn garbage", "D aa\nX junk-without-newline", []string{"aa"}, 1},
+		{"clean eof", "D aa\nD bb\n", []string{"aa", "bb"}, 0},
+		{"empty", "", nil, 0},
+	}
+	for _, c := range cases {
+		res, err := ReadResult(bytes.NewBufferString(c.input))
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if res.Stats.TornRecords != c.torn {
+			t.Errorf("%s: TornRecords = %d, want %d", c.name, res.Stats.TornRecords, c.torn)
+		}
+		if len(res.Discovered) != len(c.ids) {
+			t.Errorf("%s: discovered %v, want %v", c.name, res.Discovered, c.ids)
+		}
+		for _, id := range c.ids {
+			if !res.Discovered[id] {
+				t.Errorf("%s: lost intact record %q", c.name, id)
+			}
+		}
+	}
+	// A malformed line that IS newline-terminated was written whole:
+	// that is corruption, not a torn append, and still fails the load.
+	if _, err := ReadResult(bytes.NewBufferString("D aa\nX junk\nD bb\n")); err == nil {
+		t.Error("terminated malformed line accepted as torn")
+	}
+}
+
+// TestCheckpointResumeCycleStability drives two full save -> load ->
+// resume cycles and checks the invariants a long crawl's operator relies
+// on: the edge list does not grow duplicates across cycles, and the
+// session/resumed profile split always sums to the merged total.
+func TestCheckpointResumeCycleStability(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	reference, err := Crawl(ctx, Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cycle := func(i int, prev *Result, budget int) *Result {
+		t.Helper()
+		var resume *Result
+		if prev != nil {
+			path := filepath.Join(dir, fmt.Sprintf("cycle-%d.ckpt", i))
+			if err := SaveCheckpoint(path, prev); err != nil {
+				t.Fatal(err)
+			}
+			if resume, err = LoadCheckpoint(path); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := Crawl(ctx, Config{
+			BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+			MaxProfiles: budget, FetchIn: true, FetchOut: true,
+			Resume: resume,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resume != nil {
+			if res.Stats.ProfilesResumed != len(resume.Profiles) {
+				t.Errorf("cycle %d: ProfilesResumed = %d, want %d",
+					i, res.Stats.ProfilesResumed, len(resume.Profiles))
+			}
+		}
+		if got := res.Stats.ProfilesCrawled + res.Stats.ProfilesResumed; got != len(res.Profiles) {
+			t.Errorf("cycle %d: session %d + resumed %d != merged %d",
+				i, res.Stats.ProfilesCrawled, res.Stats.ProfilesResumed, len(res.Profiles))
+		}
+		return res
+	}
+
+	first := cycle(1, nil, 150)
+	second := cycle(2, first, 150)
+	final := cycle(3, second, 0)
+
+	if len(final.Profiles) != len(reference.Profiles) {
+		t.Errorf("three-session crawl got %d profiles, reference %d",
+			len(final.Profiles), len(reference.Profiles))
+	}
+	// Every circle page is fetched exactly once across the sessions, so
+	// the concatenated edge observations must not outgrow the reference's.
+	if len(final.Edges) != len(reference.Edges) {
+		t.Errorf("edge observations grew across resume cycles: %d, reference %d",
+			len(final.Edges), len(reference.Edges))
+	}
+	gFinal, idsFinal := buildGraph(final)
+	gRef, idsRef := buildGraph(reference)
+	if !reflect.DeepEqual(idsFinal, idsRef) || !reflect.DeepEqual(gFinal, gRef) {
+		t.Error("three-session graph differs from single-session graph")
+	}
+
+	// A further degenerate cycle (resuming a complete crawl) must be a
+	// no-op for the edge list, not another chance to duplicate it.
+	again := cycle(4, final, 0)
+	if len(again.Edges) != len(final.Edges) {
+		t.Errorf("degenerate resume grew edges: %d -> %d", len(final.Edges), len(again.Edges))
 	}
 }
 

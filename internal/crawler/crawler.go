@@ -40,6 +40,14 @@ type Config struct {
 	FetchIn, FetchOut bool
 	// HTTPTimeout bounds individual requests (default 30s).
 	HTTPTimeout time.Duration
+	// MaxRetries is handed to each worker's API client: retry attempts
+	// per request beyond the first (0 = client default of 5). Chaos
+	// testing raises it so probabilistic fault storms cannot manufacture
+	// permanent failures.
+	MaxRetries int
+	// RetryBackoffBase is the client's first retry delay (0 = client
+	// default of 50ms). Tests against local simulators shrink it.
+	RetryBackoffBase time.Duration
 	// Politeness inserts a pause between consecutive requests of each
 	// worker — the well-behaved pacing that let the paper's crawl run
 	// for 45 days without hammering the service. Zero disables it.
@@ -71,6 +79,14 @@ type Config struct {
 	// It is also handed to each worker's gplusapi.Client. nil disables
 	// all instrumentation at the cost of a pointer check per update.
 	Metrics *obs.Registry
+	// Journal, when non-nil, receives every crawled profile, observed
+	// edge, and newly discovered id live as the crawl runs — the
+	// incremental checkpoint a kill -9 cannot take away. A profile is
+	// journaled only once its circle lists are fully fetched, so
+	// resuming from the journal refetches half-crawled users instead of
+	// silently losing their edges. The caller opens the Journal before
+	// the crawl and closes it after Crawl returns.
+	Journal *Journal
 	// ProgressInterval emits one structured progress line (see Progress)
 	// this often while the crawl runs, plus a final line at completion.
 	// Zero disables progress reporting.
@@ -126,7 +142,13 @@ type Stats struct {
 	PagesFetched  int64
 	EdgesObserved int64
 	Discovered    int
-	Duration      time.Duration
+	// TornRecords counts trailing journal/checkpoint records dropped by
+	// ReadResult because a mid-append crash left the final line without
+	// its newline. At most one record can tear per load; it is only ever
+	// the last thing written, so dropping it keeps the stream a
+	// consistent resumable prefix.
+	TornRecords int
+	Duration    time.Duration
 }
 
 // Result is the raw output of a crawl, before graph construction.
@@ -168,6 +190,12 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 	sched := newScheduler(cfg.MaxProfiles)
 	sched.tel = tel
 	sched.errorBudget = cfg.AbortAfterErrors
+	// The scheduler journals D records centrally: it is the one place
+	// that knows which offered ids are genuinely new. Resume-preloaded
+	// ids are deliberately not journaled — when resuming from the
+	// journal itself they are already on disk, and when resuming from a
+	// separate checkpoint Journal.Bootstrap writes them.
+	sched.jrnl = cfg.Journal
 	if cfg.Resume != nil {
 		sched.preload(cfg.Resume)
 	}
@@ -193,9 +221,11 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 			tel:   tel,
 			self:  tel.workers[i],
 			client: &gplusapi.Client{
-				BaseURL:   cfg.BaseURL,
-				CrawlerID: fmt.Sprintf("machine-%02d", i),
-				Metrics:   cfg.Metrics,
+				BaseURL:     cfg.BaseURL,
+				CrawlerID:   fmt.Sprintf("machine-%02d", i),
+				MaxRetries:  cfg.MaxRetries,
+				BackoffBase: cfg.RetryBackoffBase,
+				Metrics:     cfg.Metrics,
 			},
 			profiles: make(map[string]profile.Profile),
 		}
@@ -311,11 +341,19 @@ func (w *worker) crawlOne(ctx context.Context, id string) {
 	w.tel.profiles.Inc()
 	w.self.Inc()
 
+	circleErrsBefore := w.circleErrs
 	if w.cfg.FetchOut {
 		w.fetchCircle(ctx, id, gplusapi.CircleOut)
 	}
 	if w.cfg.FetchIn {
 		w.fetchCircle(ctx, id, gplusapi.CircleIn)
+	}
+	if ctx.Err() == nil && w.circleErrs == circleErrsBefore {
+		// Only a fully crawled profile earns its P record, and only
+		// after its E/D records entered the journal stream: a resume
+		// from any journal prefix then refetches half-crawled users
+		// instead of losing their remaining circle pages.
+		w.cfg.Journal.profile(doc)
 	}
 }
 
@@ -356,8 +394,11 @@ func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.Circle
 				w.edges = append(w.edges, Edge{From: other, To: id})
 			}
 		}
-		// One frontier lock round-trip per page, not one per edge.
+		// One frontier lock round-trip per page, not one per edge. The
+		// scheduler journals the page's newly-discovered ids; the edges
+		// are journaled here, where the direction is known.
 		w.sched.offerBatch(page.IDs)
+		w.cfg.Journal.circlePage(id, dir == gplusapi.CircleOut, page.IDs)
 		if page.NextPageToken == "" {
 			return
 		}

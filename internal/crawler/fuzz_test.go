@@ -13,6 +13,10 @@ func FuzzReadResult(f *testing.F) {
 	f.Add("D x\n")
 	f.Add("E a b\n")
 	f.Add("Q nope\n")
+	// Torn tails: a final line without its newline is dropped, not parsed.
+	f.Add("D x")
+	f.Add("P {\"id\":\"a\",\"name\":\"n\"}\nD b")
+	f.Add("E a b\nE a")
 	f.Fuzz(func(t *testing.T, data string) {
 		res, err := ReadResult(bytes.NewBufferString(data))
 		if err != nil {

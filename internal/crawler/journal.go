@@ -1,0 +1,338 @@
+package crawler
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"gplus/internal/gplusapi"
+	"gplus/internal/obs"
+)
+
+// The journal is the live form of the checkpoint: instead of writing
+// crawl state once after Crawl returns (which a SIGKILL, OOM kill, or
+// reboot mid-crawl loses entirely), workers stream P/E/D records into an
+// append-only file as they crawl. The format is exactly the checkpoint
+// format, so ReadResult/LoadCheckpoint load a journal directly and
+// Config.Resume continues from it.
+//
+// Durability discipline:
+//
+//   - Records flow through a buffered channel to one writer goroutine;
+//     the crawl hot path never blocks on disk, only (under extreme
+//     writer lag) on the channel.
+//   - The writer flushes and fsyncs every FlushInterval, bounding loss
+//     to one interval's worth of records plus, at worst, one torn final
+//     line — which ReadResult drops with a counted warning
+//     (Stats.TornRecords) instead of failing the load.
+//   - A profile's P record is written only after its circle lists are
+//     fully fetched, and always after that profile's E and D records
+//     entered the channel. A journal prefix is therefore always
+//     resumable: any half-crawled profile is simply refetched.
+
+// JournalOptions configures OpenJournal.
+type JournalOptions struct {
+	// FlushInterval is how often buffered records are flushed to the OS
+	// and fsynced to disk (default 1s). Shorter intervals bound what a
+	// crash can lose; longer ones amortize more records per fsync.
+	FlushInterval time.Duration
+	// Buffer is the record-channel capacity between crawl workers and
+	// the writer goroutine (default 4096 messages). Workers block only
+	// when the writer falls this far behind.
+	Buffer int
+	// Metrics receives journal telemetry when non-nil:
+	// crawler_journal_records_total{kind=...},
+	// crawler_journal_flushes_total, and the
+	// crawler_journal_fsync_seconds latency histogram.
+	Metrics *obs.Registry
+}
+
+// Journal is a live, append-only crawl log. All methods are safe for
+// concurrent use and nil-safe: a nil *Journal records nothing.
+type Journal struct {
+	f             *os.File
+	ch            chan journalMsg
+	done          chan struct{}
+	flushInterval time.Duration
+
+	mu   sync.Mutex
+	werr error // first write/flush/sync error, sticky
+
+	recProfiles   *obs.Counter
+	recEdges      *obs.Counter
+	recDiscovered *obs.Counter
+	flushes       *obs.Counter
+	fsyncSeconds  *obs.Histogram
+}
+
+type journalMsg struct {
+	op    byte // 'P' profile, 'C' circle page, 'D' discovered ids, 'B' bootstrap, 'S' sync barrier
+	doc   *gplusapi.ProfileDoc
+	from  string
+	out   bool     // circle direction: true = out-list (from -> id)
+	ids   []string // 'C': the full page (E records); 'D': discovered ids
+	res   *Result  // 'B'
+	ack   chan error
+}
+
+// OpenJournal opens (creating or appending to) a journal file and starts
+// its writer goroutine. An existing journal is appended to, never
+// rewritten — load it first with LoadCheckpoint and pass the result as
+// Config.Resume to continue the crawl it records.
+//
+// A torn final line left by a mid-append crash is truncated away before
+// appending: the torn record is already dropped on load (ReadResult), and
+// appending after it would fuse the next record onto the torn bytes,
+// turning a recoverable torn tail into a permanently malformed line.
+func OpenJournal(path string, opts JournalOptions) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := repairTornTail(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = time.Second
+	}
+	if opts.Buffer <= 0 {
+		opts.Buffer = 4096
+	}
+	reg := opts.Metrics
+	reg.Help("crawler_journal_records_total", "Journal records appended, by kind.")
+	reg.Help("crawler_journal_flushes_total", "Journal flush+fsync cycles completed.")
+	reg.Help("crawler_journal_fsync_seconds", "Latency of one journal flush+fsync cycle.")
+	j := &Journal{
+		f:             f,
+		ch:            make(chan journalMsg, opts.Buffer),
+		done:          make(chan struct{}),
+		flushInterval: opts.FlushInterval,
+		recProfiles:   reg.Counter(`crawler_journal_records_total{kind="profile"}`),
+		recEdges:      reg.Counter(`crawler_journal_records_total{kind="edge"}`),
+		recDiscovered: reg.Counter(`crawler_journal_records_total{kind="discovered"}`),
+		flushes:       reg.Counter("crawler_journal_flushes_total"),
+		fsyncSeconds:  reg.Histogram("crawler_journal_fsync_seconds", nil),
+	}
+	go j.writeLoop()
+	return j, nil
+}
+
+// repairTornTail truncates f back to its last newline, discarding the
+// torn final line a mid-append crash leaves behind. A file with no
+// newline at all is one torn record and is truncated to empty.
+func repairTornTail(f *os.File) error {
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+	buf := make([]byte, 4096)
+	for off := size; off > 0; {
+		n := int64(len(buf))
+		if n > off {
+			n = off
+		}
+		if _, err := f.ReadAt(buf[:n], off-n); err != nil {
+			return err
+		}
+		if i := bytes.LastIndexByte(buf[:n], '\n'); i >= 0 {
+			if end := off - n + int64(i) + 1; end < size {
+				return f.Truncate(end)
+			}
+			return nil
+		}
+		off -= n
+	}
+	if size > 0 {
+		return f.Truncate(0)
+	}
+	return nil
+}
+
+// profile records one fully crawled profile. Callers must only record a
+// profile whose circle lists were completely fetched (see crawlOne).
+func (j *Journal) profile(doc *gplusapi.ProfileDoc) {
+	if j == nil {
+		return
+	}
+	j.ch <- journalMsg{op: 'P', doc: doc}
+}
+
+// circlePage records the edges of one fetched circle page.
+func (j *Journal) circlePage(from string, out bool, ids []string) {
+	if j == nil || len(ids) == 0 {
+		return
+	}
+	j.ch <- journalMsg{op: 'C', from: from, out: out, ids: ids}
+}
+
+// discoveredIDs records never-before-seen user ids.
+func (j *Journal) discoveredIDs(ids []string) {
+	if j == nil || len(ids) == 0 {
+		return
+	}
+	j.ch <- journalMsg{op: 'D', ids: ids}
+}
+
+// Bootstrap writes a prior crawl result into the journal, making a fresh
+// journal self-contained when the resume state came from a separate
+// checkpoint file. It blocks until the records are flushed and fsynced.
+func (j *Journal) Bootstrap(res *Result) error {
+	if j == nil {
+		return nil
+	}
+	ack := make(chan error, 1)
+	j.ch <- journalMsg{op: 'B', res: res, ack: ack}
+	return <-ack
+}
+
+// Sync blocks until every record enqueued before the call is flushed and
+// fsynced, and reports the journal's sticky error state.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	ack := make(chan error, 1)
+	j.ch <- journalMsg{op: 'S', ack: ack}
+	return <-ack
+}
+
+// Close drains, flushes, fsyncs, and closes the journal, returning the
+// first error the writer hit (if any). The caller must guarantee no
+// goroutine still records — i.e. Crawl has returned.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	close(j.ch)
+	<-j.done
+	return j.Err()
+}
+
+// Err reports the journal's sticky error: the first write, flush, or
+// fsync failure. After an error the writer drops further records (the
+// crawl itself continues; the end-of-crawl checkpoint still saves).
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.werr
+}
+
+func (j *Journal) fail(err error) {
+	if err == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.werr == nil {
+		j.werr = err
+	}
+	j.mu.Unlock()
+}
+
+// writeLoop is the dedicated writer goroutine: it renders records into a
+// buffered writer and flushes+fsyncs on the configured interval, on
+// explicit barriers ('B'/'S' acks), and at close.
+func (j *Journal) writeLoop() {
+	defer close(j.done)
+	bw := bufio.NewWriterSize(j.f, 1<<16)
+	dirty := false
+	flush := func() {
+		if !dirty {
+			return
+		}
+		start := time.Now()
+		err := bw.Flush()
+		if err == nil {
+			err = j.f.Sync()
+		}
+		j.fsyncSeconds.Observe(time.Since(start).Seconds())
+		j.flushes.Inc()
+		j.fail(err)
+		dirty = false
+	}
+	ticker := time.NewTicker(j.flushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case msg, ok := <-j.ch:
+			if !ok {
+				flush()
+				j.fail(j.f.Close())
+				return
+			}
+			if j.handle(bw, msg) {
+				dirty = true
+			}
+			if msg.ack != nil {
+				flush()
+				msg.ack <- j.Err()
+			}
+		case <-ticker.C:
+			flush()
+		}
+	}
+}
+
+// handle renders one message; it reports whether bytes were written.
+// After a sticky error, records are dropped rather than blocking the
+// crawl on a dead disk.
+func (j *Journal) handle(bw *bufio.Writer, msg journalMsg) bool {
+	if j.Err() != nil {
+		return false
+	}
+	switch msg.op {
+	case 'P':
+		raw, err := json.Marshal(msg.doc)
+		if err != nil {
+			j.fail(err)
+			return false
+		}
+		if _, err := fmt.Fprintf(bw, "P %s\n", raw); err != nil {
+			j.fail(err)
+			return true
+		}
+		j.recProfiles.Inc()
+		return true
+	case 'C':
+		for _, other := range msg.ids {
+			var err error
+			if msg.out {
+				_, err = fmt.Fprintf(bw, "E %s %s\n", msg.from, other)
+			} else {
+				_, err = fmt.Fprintf(bw, "E %s %s\n", other, msg.from)
+			}
+			if err != nil {
+				j.fail(err)
+				return true
+			}
+		}
+		j.recEdges.Add(int64(len(msg.ids)))
+		return true
+	case 'D':
+		for _, id := range msg.ids {
+			if _, err := fmt.Fprintf(bw, "D %s\n", id); err != nil {
+				j.fail(err)
+				return true
+			}
+		}
+		j.recDiscovered.Add(int64(len(msg.ids)))
+		return true
+	case 'B':
+		// WriteResult layers its own buffered writer over bw and
+		// flushes it into bw before returning.
+		j.fail(WriteResult(bw, msg.res))
+		j.recProfiles.Add(int64(len(msg.res.Profiles)))
+		j.recEdges.Add(int64(len(msg.res.Edges)))
+		j.recDiscovered.Add(int64(len(msg.res.Discovered)))
+		return true
+	}
+	return false
+}

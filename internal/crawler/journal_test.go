@@ -1,0 +1,227 @@
+package crawler
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"gplus/internal/gplusapi"
+	"gplus/internal/gplusd"
+	"gplus/internal/obs"
+	"gplus/internal/profile"
+)
+
+func sortEdges(es []Edge) []Edge {
+	cp := append([]Edge(nil), es...)
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].From != cp[j].From {
+			return cp[i].From < cp[j].From
+		}
+		return cp[i].To < cp[j].To
+	})
+	return cp
+}
+
+func TestJournalMirrorsCrawl(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{})
+	path := filepath.Join(t.TempDir(), "crawl.journal")
+	reg := obs.NewRegistry()
+	j, err := OpenJournal(path, JournalOptions{FlushInterval: 10 * time.Millisecond, Metrics: reg})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		MaxProfiles: 200, FetchIn: true, FetchOut: true,
+		Journal: j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("loading journal: %v", err)
+	}
+	if got.Stats.TornRecords != 0 {
+		t.Errorf("clean journal reports %d torn records", got.Stats.TornRecords)
+	}
+	if !reflect.DeepEqual(got.Profiles, res.Profiles) {
+		t.Error("journaled profiles differ from the crawl's")
+	}
+	if !reflect.DeepEqual(got.Discovered, res.Discovered) {
+		t.Error("journaled discovered set differs from the crawl's")
+	}
+	if !reflect.DeepEqual(sortEdges(got.Edges), sortEdges(res.Edges)) {
+		t.Error("journaled edges differ from the crawl's")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[`crawler_journal_records_total{kind="profile"}`]; got != int64(len(res.Profiles)) {
+		t.Errorf("profile record counter = %d, want %d", got, len(res.Profiles))
+	}
+	if got := snap.Counters[`crawler_journal_records_total{kind="edge"}`]; got != int64(len(res.Edges)) {
+		t.Errorf("edge record counter = %d, want %d", got, len(res.Edges))
+	}
+	if got := snap.Counters[`crawler_journal_records_total{kind="discovered"}`]; got != int64(len(res.Discovered)) {
+		t.Errorf("discovered record counter = %d, want %d", got, len(res.Discovered))
+	}
+	if snap.Counters["crawler_journal_flushes_total"] == 0 {
+		t.Error("no flush cycles recorded")
+	}
+}
+
+func TestJournalSyncMakesRecordsLoadable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live.journal")
+	// An hour-long flush interval: only Sync/Close barriers flush.
+	j, err := OpenJournal(path, JournalOptions{FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror the real pipeline: the scheduler journals a D record for
+	// every id before its edges appear in any circle page.
+	j.discoveredIDs([]string{"a", "b", "c"})
+	j.circlePage("a", true, []string{"b"})  // out-list: a -> b
+	j.circlePage("a", false, []string{"c"}) // in-list: c -> a
+	j.profile(&gplusapi.ProfileDoc{ID: "a", Name: "alice"})
+	if err := j.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	// The journal is still open; everything synced must already load.
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Profiles["a"]; !ok || len(got.Profiles) != 1 {
+		t.Errorf("profiles after sync: %+v", got.Profiles)
+	}
+	wantEdges := []Edge{{From: "a", To: "b"}, {From: "c", To: "a"}}
+	if !reflect.DeepEqual(sortEdges(got.Edges), sortEdges(wantEdges)) {
+		t.Errorf("edges = %+v, want %+v (direction must encode in/out)", got.Edges, wantEdges)
+	}
+	if !got.Discovered["a"] || !got.Discovered["b"] || !got.Discovered["c"] {
+		t.Errorf("discovered = %+v", got.Discovered)
+	}
+
+	// Records after the sync surface at Close.
+	j.discoveredIDs([]string{"d"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Discovered["d"] {
+		t.Error("record enqueued after Sync lost at Close")
+	}
+}
+
+func TestJournalBootstrapCopiesCheckpoint(t *testing.T) {
+	prev := &Result{
+		Profiles:   map[string]profile.Profile{"a": {Name: "alice"}},
+		Edges:      []Edge{{From: "a", To: "b"}},
+		Discovered: map[string]bool{"a": true, "b": true},
+	}
+	path := filepath.Join(t.TempDir(), "boot.journal")
+	j, err := OpenJournal(path, JournalOptions{FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Bootstrap(prev); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	// Bootstrap is a barrier: the state must be on disk before it returns.
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Discovered, prev.Discovered) || !reflect.DeepEqual(got.Edges, prev.Edges) {
+		t.Errorf("bootstrapped journal = %+v, want %+v", got, prev)
+	}
+	if len(got.Profiles) != 1 || got.Profiles["a"].Name != "alice" {
+		t.Errorf("bootstrapped profiles = %+v", got.Profiles)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalNilIsSafe(t *testing.T) {
+	var j *Journal
+	j.profile(&gplusapi.ProfileDoc{ID: "x"})
+	j.circlePage("x", true, []string{"y"})
+	j.discoveredIDs([]string{"z"})
+	if err := j.Bootstrap(&Result{}); err != nil {
+		t.Errorf("nil Bootstrap: %v", err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Errorf("nil Sync: %v", err)
+	}
+	if err := j.Err(); err != nil {
+		t.Errorf("nil Err: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestOpenJournalRepairsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.journal")
+	// A crash mid-append: two whole records plus a torn third.
+	if err := os.WriteFile(path, []byte("D aa\nD bb\nD c"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path, JournalOptions{FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appending after repair must start on a fresh line, not fuse onto
+	// the torn "D c".
+	j.discoveredIDs([]string{"dd"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("journal corrupted by post-torn append: %v", err)
+	}
+	want := map[string]bool{"aa": true, "bb": true, "dd": true}
+	if !reflect.DeepEqual(got.Discovered, want) {
+		t.Errorf("discovered = %+v, want %+v", got.Discovered, want)
+	}
+	if got.Stats.TornRecords != 0 {
+		t.Errorf("repaired journal still reports %d torn records", got.Stats.TornRecords)
+	}
+
+	// A newline-free file is one torn record: repaired to empty.
+	path2 := filepath.Join(t.TempDir(), "all-torn.journal")
+	if err := os.WriteFile(path2, []byte("D never-finished"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path2, JournalOptions{FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path2); err != nil || fi.Size() != 0 {
+		t.Errorf("newline-free journal not truncated to empty: %v, %v", fi, err)
+	}
+}
+
+func TestOpenJournalBadPath(t *testing.T) {
+	if _, err := OpenJournal(filepath.Join(t.TempDir(), "no", "such", "dir", "x.journal"), JournalOptions{}); err == nil {
+		t.Error("OpenJournal in a missing directory succeeded")
+	}
+}

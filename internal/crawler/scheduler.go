@@ -39,6 +39,10 @@ type scheduler struct {
 	// tel mirrors queue depth and discovered-set size into the frontier
 	// and discovered gauges (no-ops when telemetry is off).
 	tel *telemetry
+	// jrnl receives a D record for every id the first time it is seen
+	// (nil disables journaling). The scheduler is the natural owner: it
+	// is the only place that knows which offered ids are new.
+	jrnl *Journal
 }
 
 // queued returns the number of ids waiting to be claimed; the caller
@@ -120,6 +124,7 @@ func (s *scheduler) offerBatch(ids []string) {
 	if len(ids) == 0 {
 		return
 	}
+	var fresh []string
 	s.mu.Lock()
 	added := 0
 	for _, id := range ids {
@@ -127,9 +132,13 @@ func (s *scheduler) offerBatch(ids []string) {
 			continue
 		}
 		s.seen[id] = true
+		if s.jrnl != nil {
+			fresh = append(fresh, id)
+		}
 		if s.closed || (s.budget > 0 && s.claimed+s.queued() >= s.budget) {
 			// Past the budget: the user is discovered but will never be
-			// crawled — a frontier node of the partial crawl.
+			// crawled — a frontier node of the partial crawl. It is
+			// still journaled above: Discovered includes it.
 			continue
 		}
 		s.queue = append(s.queue, id)
@@ -141,6 +150,9 @@ func (s *scheduler) offerBatch(ids []string) {
 	for i := 0; i < wake; i++ {
 		s.cond.Signal()
 	}
+	// Outside the frontier lock: a briefly backed-up journal channel
+	// must not stall every other worker's offers.
+	s.jrnl.discoveredIDs(fresh)
 }
 
 // pop removes and returns the head of the queue; the caller must hold

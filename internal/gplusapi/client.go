@@ -18,9 +18,10 @@ import (
 // ErrNotFound is returned for profiles that do not exist.
 var ErrNotFound = errors.New("gplusapi: profile not found")
 
-// Client talks to a gplusd instance. It retries transient failures (429
-// and 5xx) with exponential backoff and honors Retry-After hints. A
-// Client is safe for concurrent use.
+// Client talks to a gplusd instance. It retries transient failures —
+// 429 and 5xx statuses, dropped/reset connections, timeouts, and torn
+// response bodies — with exponential backoff and honors Retry-After
+// hints. A Client is safe for concurrent use.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8041".
 	BaseURL string
@@ -214,9 +215,23 @@ func (e *retryAfterError) Error() string {
 	return fmt.Sprintf("gplusapi: server status %d (retry after %v)", e.status, e.after)
 }
 
+// transientError marks transport-level failures — dropped or reset
+// connections, client timeouts on hung requests, and torn bodies under a
+// 200 — as retryable. A crawl expected to run for weeks (the paper's ran
+// 45 days) cannot treat a single flaky connection as a permanent
+// profile loss.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string {
+	return "gplusapi: transient transport error: " + e.err.Error()
+}
+
+func (e *transientError) Unwrap() error { return e.err }
+
 func isRetryable(err error) bool {
 	var ra *retryAfterError
-	return errors.As(err, &ra)
+	var te *transientError
+	return errors.As(err, &ra) || errors.As(err, &te)
 }
 
 func (c *Client) tryGetJSON(ctx context.Context, op, path string, out any) error {
@@ -257,7 +272,12 @@ func (c *Client) doGet(ctx context.Context, op, path string, consume func(io.Rea
 		}
 	}
 	if err != nil {
-		return err
+		if ctx.Err() != nil {
+			// The caller cancelled or timed out the whole operation;
+			// retrying would only delay the shutdown.
+			return err
+		}
+		return &transientError{err: err}
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body) // drain for connection reuse
@@ -265,7 +285,16 @@ func (c *Client) doGet(ctx context.Context, op, path string, consume func(io.Rea
 	}()
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		return consume(resp.Body)
+		if err := consume(resp.Body); err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			// A 200 whose body cannot be read or decoded is a torn
+			// response (connection reset mid-body); the request is
+			// idempotent, so retry it.
+			return &transientError{err: err}
+		}
+		return nil
 	case resp.StatusCode == http.StatusNotFound:
 		return ErrNotFound
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:

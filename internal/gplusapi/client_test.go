@@ -282,6 +282,91 @@ func TestClientMetrics(t *testing.T) {
 	}
 }
 
+func TestClientRetriesConnectionReset(t *testing.T) {
+	// The first two attempts die at the transport layer — the server
+	// hijacks the connection and slams it shut — and the third serves.
+	// Chaos-mode resets and real network flaps look exactly like this.
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Fatalf("hijack: %v", err)
+			}
+			conn.Close()
+			return
+		}
+		w.Write([]byte(`{"id":"u","name":"n","inCircleCount":0,"outCircleCount":0}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	// Hijacked connections must not be reused; force fresh dials.
+	c.HTTPClient = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	doc, err := c.FetchProfile(context.Background(), "u")
+	if err != nil {
+		t.Fatalf("FetchProfile did not survive connection resets: %v", err)
+	}
+	if doc.ID != "u" || calls.Load() != 3 {
+		t.Fatalf("doc=%+v calls=%d", doc, calls.Load())
+	}
+}
+
+func TestClientRetriesTornBody(t *testing.T) {
+	// A 200 whose body is cut mid-stream (Content-Length promises more
+	// than arrives) is a torn read, not a permanent failure.
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Content-Length", "500")
+			w.Write([]byte(`{"id":"u","na`))
+			return
+		}
+		w.Write([]byte(`{"id":"u","name":"n","inCircleCount":0,"outCircleCount":0}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	doc, err := c.FetchProfile(context.Background(), "u")
+	if err != nil {
+		t.Fatalf("FetchProfile did not survive a torn body: %v", err)
+	}
+	if doc.ID != "u" || calls.Load() != 2 {
+		t.Fatalf("doc=%+v calls=%d", doc, calls.Load())
+	}
+}
+
+func TestClientCancellationIsNotRetried(t *testing.T) {
+	// A transport error caused by the caller's own cancellation must not
+	// be wrapped as transient: retrying would only delay shutdown.
+	var calls atomic.Int32
+	release := make(chan struct{})
+	defer close(release)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.FetchProfile(ctx, "u")
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if isRetryable(err) {
+		t.Errorf("cancellation classified retryable: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("cancelled request retried: %d calls", got)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
 func TestClientNilMetricsIsNoOp(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /people/{id}", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,302 @@
+package gplusd
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"gplus/internal/obs"
+)
+
+// Chaos mode: the single-knob FaultRate of the original simulator only
+// exercises one failure shape (random 503s). A crawl that is expected to
+// run for 45 days (§2.2) meets every other shape too — slow responses,
+// connections that hang past the client's timeout, mid-body resets, and
+// whole-service outage windows. FaultSpec describes a suite of such
+// faults, all drawn from seed-deterministic RNG streams, so the
+// crawler's retry/backoff/resume machinery can be tested against a
+// service that misbehaves the way real ones do.
+
+// FaultKind names one shape of injected misbehavior.
+type FaultKind string
+
+const (
+	// FaultUnavailable answers 503 with a short Retry-After hint.
+	FaultUnavailable FaultKind = "unavailable"
+	// FaultDelay sleeps before serving the request normally.
+	FaultDelay FaultKind = "delay"
+	// FaultHang holds the connection open (Delay long, default 30s —
+	// configure it past the client's timeout) and then drops it without
+	// a response.
+	FaultHang FaultKind = "hang"
+	// FaultReset serves the real response but cuts the connection after
+	// a few bytes of body, leaving the client a torn read.
+	FaultReset FaultKind = "reset"
+	// FaultOutage takes the whole service down for scheduled windows:
+	// down for Down at the start of every Every-long period, measured
+	// from server start. Outage responses carry a Retry-After hint for
+	// the remainder of the window.
+	FaultOutage FaultKind = "outage"
+)
+
+// FaultRule is one injection rule of a chaos spec.
+type FaultRule struct {
+	Kind FaultKind
+	// Endpoint scopes the rule to "profile", "circles", "stats", or
+	// "seed"; empty applies to every simulator endpoint. /metrics is
+	// never faulted — monitoring must work exactly when the service
+	// misbehaves.
+	Endpoint string
+	// Rate is the per-request injection probability in [0, 1]. Outage
+	// rules ignore it (they are purely time-scheduled).
+	Rate float64
+	// Delay is the added latency of delay rules and the hold time of
+	// hang rules (default 30s for hang).
+	Delay time.Duration
+	// Every and Down schedule outage rules.
+	Every, Down time.Duration
+}
+
+// FaultSpec is a chaos-mode fault suite. All probabilistic rules draw
+// from PCG streams derived from Seed, keeping injection reproducible the
+// same way the plain FaultRate path is.
+type FaultSpec struct {
+	Seed  uint64
+	Rules []FaultRule
+}
+
+// ParseFaultSpec parses the -chaos flag grammar: rules separated by
+// ';', each rule a kind followed by comma-separated key=value options:
+//
+//	unavailable,endpoint=profile,rate=0.2
+//	delay,rate=0.1,delay=150ms
+//	hang,rate=0.01,delay=90s
+//	reset,endpoint=circles,rate=0.05
+//	outage,every=10m,down=45s
+//
+// "503" is accepted as an alias for "unavailable". The returned spec has
+// Seed zero; callers set it (gplusd uses its universe seed).
+func ParseFaultSpec(s string) (*FaultSpec, error) {
+	spec := &FaultSpec{}
+	for _, raw := range strings.Split(s, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		fields := strings.Split(raw, ",")
+		rule := FaultRule{Kind: FaultKind(strings.TrimSpace(fields[0]))}
+		if rule.Kind == "503" {
+			rule.Kind = FaultUnavailable
+		}
+		switch rule.Kind {
+		case FaultUnavailable, FaultDelay, FaultHang, FaultReset, FaultOutage:
+		default:
+			return nil, fmt.Errorf("gplusd: unknown fault kind %q in rule %q", fields[0], raw)
+		}
+		for _, f := range fields[1:] {
+			key, val, ok := strings.Cut(strings.TrimSpace(f), "=")
+			if !ok {
+				return nil, fmt.Errorf("gplusd: fault option %q is not key=value in rule %q", f, raw)
+			}
+			var err error
+			switch key {
+			case "endpoint":
+				switch val {
+				case "profile", "circles", "stats", "seed":
+					rule.Endpoint = val
+				default:
+					return nil, fmt.Errorf("gplusd: unknown endpoint %q in rule %q", val, raw)
+				}
+			case "rate":
+				if rule.Rate, err = strconv.ParseFloat(val, 64); err != nil || rule.Rate < 0 || rule.Rate > 1 {
+					return nil, fmt.Errorf("gplusd: rate %q out of [0,1] in rule %q", val, raw)
+				}
+			case "delay":
+				if rule.Delay, err = time.ParseDuration(val); err != nil || rule.Delay <= 0 {
+					return nil, fmt.Errorf("gplusd: bad delay %q in rule %q", val, raw)
+				}
+			case "every":
+				if rule.Every, err = time.ParseDuration(val); err != nil || rule.Every <= 0 {
+					return nil, fmt.Errorf("gplusd: bad every %q in rule %q", val, raw)
+				}
+			case "down":
+				if rule.Down, err = time.ParseDuration(val); err != nil || rule.Down <= 0 {
+					return nil, fmt.Errorf("gplusd: bad down %q in rule %q", val, raw)
+				}
+			default:
+				return nil, fmt.Errorf("gplusd: unknown fault option %q in rule %q", key, raw)
+			}
+		}
+		if err := rule.validate(); err != nil {
+			return nil, fmt.Errorf("%w in rule %q", err, raw)
+		}
+		spec.Rules = append(spec.Rules, rule)
+	}
+	if len(spec.Rules) == 0 {
+		return nil, fmt.Errorf("gplusd: chaos spec %q contains no rules", s)
+	}
+	return spec, nil
+}
+
+func (r FaultRule) validate() error {
+	switch r.Kind {
+	case FaultOutage:
+		if r.Every <= 0 || r.Down <= 0 {
+			return fmt.Errorf("gplusd: outage rules need every= and down=")
+		}
+		if r.Down > r.Every {
+			return fmt.Errorf("gplusd: outage down %v exceeds its period %v", r.Down, r.Every)
+		}
+	case FaultDelay:
+		if r.Delay <= 0 {
+			return fmt.Errorf("gplusd: delay rules need delay=")
+		}
+		fallthrough
+	default:
+		if r.Rate <= 0 {
+			return fmt.Errorf("gplusd: %s rules need rate=", r.Kind)
+		}
+	}
+	return nil
+}
+
+// chaos is the armed form of a FaultSpec inside a Server: per-rule RNG
+// pools, the outage clock, and per-kind injection counters.
+type chaos struct {
+	rules []chaosRule
+	start time.Time
+}
+
+type chaosRule struct {
+	FaultRule
+	src  *faultSource // nil for outage rules
+	hits *obs.Counter
+}
+
+func newChaos(spec *FaultSpec, reg *obs.Registry) *chaos {
+	if spec == nil || len(spec.Rules) == 0 {
+		return nil
+	}
+	reg.Help("gplusd_chaos_faults_total", "Chaos faults injected, by kind.")
+	c := &chaos{start: time.Now()}
+	for i, r := range spec.Rules {
+		cr := chaosRule{
+			FaultRule: r,
+			hits:      reg.Counter(`gplusd_chaos_faults_total{kind="` + string(r.Kind) + `"}`),
+		}
+		if r.Kind != FaultOutage {
+			// Distinct derived seed per rule keeps the rules' streams
+			// decorrelated while still reproducible from the spec seed.
+			cr.src = newFaultSource(r.Rate, spec.Seed^(uint64(i+1)*0x9e3779b97f4a7c15))
+		}
+		c.rules = append(c.rules, cr)
+	}
+	return c
+}
+
+// outageRemaining reports whether the service is inside this rule's
+// scheduled outage window and how long the window has left.
+func (r *chaosRule) outageRemaining(since time.Duration) (time.Duration, bool) {
+	phase := since % r.Every
+	if phase < r.Down {
+		return r.Down - phase, true
+	}
+	return 0, false
+}
+
+// endpointOf classifies a request path for per-endpoint fault scoping.
+func endpointOf(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/people/") && strings.Contains(path, "/circles/"):
+		return "circles"
+	case strings.HasPrefix(path, "/people/"):
+		return "profile"
+	case path == "/stats":
+		return "stats"
+	case path == "/seed":
+		return "seed"
+	}
+	return path
+}
+
+// serveChaos evaluates the fault suite for one request and then serves
+// it. Terminal faults (outage, unavailable, hang) end the request here;
+// delay falls through after sleeping; reset wraps the response writer so
+// the real handler's body is cut mid-stream.
+func (s *Server) serveChaos(w http.ResponseWriter, r *http.Request) {
+	out := w
+	ep := endpointOf(r.URL.Path)
+	for i := range s.chaos.rules {
+		rule := &s.chaos.rules[i]
+		if rule.Endpoint != "" && rule.Endpoint != ep {
+			continue
+		}
+		switch rule.Kind {
+		case FaultOutage:
+			if remaining, down := rule.outageRemaining(time.Since(s.chaos.start)); down {
+				rule.hits.Inc()
+				w.Header().Set("Retry-After", strconv.FormatFloat(remaining.Seconds(), 'f', 3, 64))
+				http.Error(w, "chaos: scheduled outage", http.StatusServiceUnavailable)
+				return
+			}
+		case FaultUnavailable:
+			if rule.src.hit() {
+				rule.hits.Inc()
+				w.Header().Set("Retry-After", "0.05")
+				http.Error(w, "chaos: transient backend error", http.StatusServiceUnavailable)
+				return
+			}
+		case FaultDelay:
+			if rule.src.hit() {
+				rule.hits.Inc()
+				select {
+				case <-r.Context().Done():
+					return
+				case <-time.After(rule.Delay):
+				}
+			}
+		case FaultHang:
+			if rule.src.hit() {
+				rule.hits.Inc()
+				hold := rule.Delay
+				if hold <= 0 {
+					hold = 30 * time.Second
+				}
+				select {
+				case <-r.Context().Done():
+					// The client gave up first — exactly the point.
+				case <-time.After(hold):
+				}
+				panic(http.ErrAbortHandler)
+			}
+		case FaultReset:
+			if rule.src.hit() {
+				rule.hits.Inc()
+				out = &cutoffWriter{ResponseWriter: out, remaining: 1 + int(rule.src.draw()*31)}
+			}
+		}
+	}
+	s.mux.ServeHTTP(out, r)
+}
+
+// cutoffWriter forwards a response until its byte allowance runs out,
+// then flushes what was sent and destroys the connection — the client
+// sees a well-formed header followed by a torn body.
+type cutoffWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (c *cutoffWriter) Write(p []byte) (int, error) {
+	if len(p) < c.remaining {
+		c.remaining -= len(p)
+		return c.ResponseWriter.Write(p)
+	}
+	c.ResponseWriter.Write(p[:c.remaining]) //nolint:errcheck — the connection is being destroyed
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}

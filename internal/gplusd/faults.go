@@ -39,8 +39,17 @@ func (f *faultSource) hit() bool {
 	if f == nil {
 		return false
 	}
+	return f.draw() < f.rate
+}
+
+// draw returns one uniform [0,1) sample from the pooled streams. A nil
+// source draws 1, which is below no rate — the never-fault value.
+func (f *faultSource) draw() float64 {
+	if f == nil {
+		return 1
+	}
 	r := f.pool.Get().(*rand.Rand)
-	faulted := r.Float64() < f.rate
+	v := r.Float64()
 	f.pool.Put(r)
-	return faulted
+	return v
 }

@@ -50,6 +50,13 @@ type Options struct {
 	FaultRate float64
 	// FaultSeed makes fault injection deterministic.
 	FaultSeed uint64
+	// Faults arms the chaos-mode fault suite: per-endpoint 503s,
+	// response delays, connection hangs, mid-body resets, and scheduled
+	// outage windows, all seed-deterministic. See FaultSpec and
+	// ParseFaultSpec. Nil disables chaos mode; FaultRate above keeps
+	// working independently. Injections are counted per kind in
+	// gplusd_chaos_faults_total.
+	Faults *FaultSpec
 	// Metrics receives server telemetry. When nil the server creates a
 	// private registry, so /metrics always works; pass one to share the
 	// registry with other subsystems (pprof wiring, expvar publication).
@@ -98,6 +105,7 @@ type Server struct {
 	mux     *http.ServeMux
 
 	faults  *faultSource
+	chaos   *chaos
 	limiter *limiter
 
 	metrics    *obs.Registry
@@ -151,6 +159,7 @@ func NewContent(c Content, opts Options) *Server {
 	s.limiter = newLimiter(opts,
 		reg.Gauge("gplusd_rate_limiter_buckets"),
 		reg.Counter("gplusd_rate_limiter_evictions_total"))
+	s.chaos = newChaos(opts.Faults, reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /people/{id}", s.handleProfile)
 	mux.HandleFunc("GET /people/{id}/circles/{dir}", s.handleCircles)
@@ -186,6 +195,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.mRateLimit.Inc()
 		w.Header().Set("Retry-After", "0.2")
 		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	}
+	if s.chaos != nil {
+		s.serveChaos(w, r)
 		return
 	}
 	s.mux.ServeHTTP(w, r)
@@ -347,7 +360,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // String describes the server configuration, for logs.
 func (s *Server) String() string {
-	return fmt.Sprintf("gplusd{users=%d edges=%d cap=%d page=%d rate=%g fault=%g}",
+	chaosRules := 0
+	if s.chaos != nil {
+		chaosRules = len(s.chaos.rules)
+	}
+	return fmt.Sprintf("gplusd{users=%d edges=%d cap=%d page=%d rate=%g fault=%g chaos=%d}",
 		len(s.content.IDs), s.content.Graph.NumEdges(),
-		s.opts.circleCap(), s.opts.pageSize(), s.opts.RatePerSecond, s.opts.FaultRate)
+		s.opts.circleCap(), s.opts.pageSize(), s.opts.RatePerSecond, s.opts.FaultRate, chaosRules)
 }
