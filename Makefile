@@ -3,16 +3,22 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race chaos bench bench-hotpath ablations fuzz fuzz-short verify examples report clean
+# staticcheck runs in `make check` only when a binary of exactly this
+# version is already on PATH (the pin keeps CI and laptops agreeing on
+# the rule set). It is never downloaded — no network access is required.
+STATICCHECK_VERSION ?= 2024.1
+
+.PHONY: all check build vet test race staticcheck chaos trace-demo bench bench-hotpath ablations fuzz fuzz-short verify examples report clean
 
 # Default check path: the tier-1 verify (build + test) plus vet and the
 # race suite over the concurrent packages.
 all: build vet test race
 
 # check is the conventional entry point for the same gate; the race leg
-# covers the sharded rate limiter and the batched crawl frontier, and the
-# short fuzz leg shakes the checkpoint/journal parser.
-check: all fuzz-short
+# covers the sharded rate limiter and the batched crawl frontier, the
+# short fuzz leg shakes the checkpoint/journal parser, and staticcheck
+# runs when the pinned version is installed.
+check: all staticcheck fuzz-short
 
 build:
 	$(GO) build ./...
@@ -26,11 +32,32 @@ test:
 race:
 	$(GO) test -race ./internal/obs/ ./internal/crawler/ ./internal/gplusd/ ./internal/graph/
 
+# Lint with the pinned staticcheck when (and only when) it is installed;
+# a missing or differently versioned binary skips with a notice instead
+# of failing a network-free checkout.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		have=$$(staticcheck -version 2>/dev/null | head -n1); \
+		case "$$have" in \
+		*$(STATICCHECK_VERSION)*) staticcheck ./... ;; \
+		*) echo "staticcheck: have '$$have', want $(STATICCHECK_VERSION); skipping" ;; \
+		esac; \
+	else \
+		echo "staticcheck: not installed; skipping (pin: $(STATICCHECK_VERSION))"; \
+	fi
+
 # The robustness gate: crawl under the full chaos fault suite, kill the
 # crawl mid-flight, tear the journal tail, resume, and require exact
 # convergence with a fault-free crawl — all under the race detector.
 chaos:
 	$(GO) test -race -count=1 -run TestChaosKillResumeConvergence -v ./internal/crawler/
+
+# The tracing demo: a short chaos crawl with request tracing on both
+# sides of the wire. Fails if the exemplar dump comes out empty or the
+# critical-path analysis is missing; -v prints the merged span trees
+# (client attempt spans with gplusd server spans joined under them).
+trace-demo:
+	$(GO) test -count=1 -run TestTraceDemo -v ./internal/crawler/
 
 # One benchmark per table and figure, headline values as custom metrics.
 bench:

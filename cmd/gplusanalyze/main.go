@@ -6,6 +6,14 @@
 //	gplusanalyze -data ./data                  # all experiments
 //	gplusanalyze -data ./data -only table4,fig5
 //	gplusanalyze -data ./data -baselines       # include Table 4 baselines
+//
+// The traces subcommand analyzes request-trace dumps instead (JSONL from
+// gpluscrawl -trace-dir or /debug/traces?format=jsonl on either binary):
+// it merges client- and server-side spans sharing a trace id, prints the
+// critical-path breakdown of where request wall-clock went, the retry
+// amplification per operation, and the slowest requests as span trees.
+//
+//	gplusanalyze traces [-top N] traces.jsonl [server.jsonl ...]
 package main
 
 import (
@@ -18,11 +26,51 @@ import (
 
 	"gplus/internal/core"
 	"gplus/internal/dataset"
+	"gplus/internal/obs/trace"
 	"gplus/internal/report"
 	"gplus/internal/synth"
 )
 
+// runTraces is the `gplusanalyze traces` subcommand: offline analysis of
+// trace dumps.
+func runTraces(args []string) {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	top := fs.Int("top", 10, "slowest traces to print with full span trees")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gplusanalyze traces [-top N] dump.jsonl [more.jsonl ...]")
+		fmt.Fprintln(os.Stderr, "dumps come from gpluscrawl -trace-dir or /debug/traces?format=jsonl;")
+		fmt.Fprintln(os.Stderr, "client and server dumps of one crawl merge by trace id")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck — ExitOnError
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	var all []*trace.Trace
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("opening trace dump: %v", err)
+		}
+		trs, err := trace.ReadTraces(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading %s: %v", path, err)
+		}
+		all = append(all, trs...)
+	}
+	a := trace.Analyze(all, *top)
+	if err := a.WriteText(os.Stdout); err != nil {
+		log.Fatalf("writing analysis: %v", err)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "traces" {
+		runTraces(os.Args[2:])
+		return
+	}
 	var (
 		dataDir   = flag.String("data", "data", "dataset directory (from gpluscrawl or gplusgen)")
 		only      = flag.String("only", "", "comma-separated experiment ids (table1..table5, fig2..fig10, lostedges); empty = all")

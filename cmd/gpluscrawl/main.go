@@ -16,10 +16,20 @@
 // only profiles fetched this session; checkpointed profiles carried over
 // from earlier sessions are reported separately as "+N resumed".
 //
+// With -trace-sample the crawler records request-scoped span traces: one
+// root per crawled profile with children for the profile fetch, each
+// circle page, per-attempt API calls (with backoff and status), scheduler
+// offers, and journal appends, propagated to gplusd via X-Gplus-Trace so
+// server-side spans join the same trace. The flight recorder keeps the
+// last traces plus every slow/errored/retry-heavy exemplar; browse it at
+// /debug/traces on -metrics-addr, or stream dumps to -trace-dir and feed
+// them to `gplusanalyze traces`.
+//
 // Usage:
 //
 //	gpluscrawl -url http://127.0.0.1:8041 -out ./data -workers 11 -max 30000 \
-//	    -journal ./crawl.journal -metrics-addr 127.0.0.1:8042 -progress 10s
+//	    -journal ./crawl.journal -metrics-addr 127.0.0.1:8042 -progress 10s \
+//	    -trace-sample 0.05 -trace-dir ./traces
 package main
 
 import (
@@ -31,7 +41,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -39,6 +51,7 @@ import (
 	"gplus/internal/dataset"
 	"gplus/internal/gplusapi"
 	"gplus/internal/obs"
+	"gplus/internal/obs/trace"
 )
 
 func main() {
@@ -57,8 +70,12 @@ func main() {
 		compress    = flag.Bool("compress", false, "gzip the dataset's profile column")
 		abortErrs   = flag.Int("abort-errors", 0, "stop after this many permanent fetch failures (0 = never)")
 		politeness  = flag.Duration("politeness", 0, "pause between requests per worker (e.g. 50ms)")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while crawling (empty disables)")
-		progress    = flag.Duration("progress", 10*time.Second, "interval between progress lines (0 disables)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof/ and /debug/traces on this address while crawling (empty disables)")
+		progress    = flag.Duration("progress", 10*time.Second, "interval between progress lines (0 emits only the final summary)")
+		traceSample = flag.Float64("trace-sample", 0, "head-sample this fraction of crawled profiles for request tracing (0 disables, 1 traces everything)")
+		traceDir    = flag.String("trace-dir", "", "stream exemplar traces to <dir>/exemplars.jsonl as they trip and dump every retained trace to <dir>/traces.jsonl at exit (requires -trace-sample)")
+		traceSlow   = flag.Duration("trace-slow", 500*time.Millisecond, "exemplar rule: retain traces whose root exceeds this duration")
+		traceRetry  = flag.Int("trace-retries", 3, "exemplar rule: retain traces where any span burned at least this many retries")
 	)
 	flag.Parse()
 
@@ -66,13 +83,68 @@ func main() {
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
 		obs.PublishExpvar("gpluscrawl", reg)
+	}
+
+	if *traceDir != "" && *traceSample <= 0 {
+		log.Fatalf("-trace-dir requires -trace-sample > 0")
+	}
+	var tracer *trace.Tracer
+	var traceDump func()
+	if *traceSample > 0 {
+		rec := trace.NewRecorder(0, trace.Rules{
+			SlowerThan: *traceSlow,
+			Errors:     true,
+			MinRetries: *traceRetry,
+		})
+		if *traceDir != "" {
+			if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+				log.Fatalf("creating -trace-dir: %v", err)
+			}
+			exPath := filepath.Join(*traceDir, "exemplars.jsonl")
+			exf, err := os.Create(exPath)
+			if err != nil {
+				log.Fatalf("creating exemplar stream: %v", err)
+			}
+			var exMu sync.Mutex
+			rec.SetSink(func(tr *trace.Trace) {
+				exMu.Lock()
+				defer exMu.Unlock()
+				trace.WriteTraceJSONL(exf, tr) //nolint:errcheck — best-effort diagnostics stream
+			})
+			traceDump = func() {
+				exMu.Lock()
+				exf.Close()
+				exMu.Unlock()
+				allPath := filepath.Join(*traceDir, "traces.jsonl")
+				f, err := os.Create(allPath)
+				if err != nil {
+					log.Printf("writing trace dump: %v", err)
+					return
+				}
+				if err := rec.WriteJSONL(f); err != nil {
+					log.Printf("writing trace dump: %v", err)
+				}
+				f.Close()
+				st := rec.Stats()
+				log.Printf("traces: %d completed, %d exemplars (%d dropped) -> %s (analyze with: gplusanalyze traces %s %s)",
+					st.Completed, st.Exemplars, st.Dropped, *traceDir, allPath, exPath)
+			}
+		}
+		tracer = trace.New(trace.Config{SampleRate: *traceSample, Recorder: rec, Metrics: reg})
+		log.Printf("tracing %.1f%% of crawled profiles (slow>%v, errors, retries>=%d retained as exemplars)",
+			100**traceSample, *traceSlow, *traceRetry)
+	}
+
+	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			log.Fatalf("metrics listener: %v", err)
 		}
-		log.Printf("serving crawl metrics on http://%s/metrics", ln.Addr())
+		mux := obs.NewDebugMux(reg)
+		mux.Handle("/debug/traces", tracer.Recorder())
+		log.Printf("serving crawl metrics on http://%s/metrics (traces at /debug/traces)", ln.Addr())
 		go func() {
-			if err := http.Serve(ln, obs.NewDebugMux(reg)); err != nil {
+			if err := http.Serve(ln, mux); err != nil {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
@@ -179,9 +251,13 @@ func main() {
 		Journal:          jrnl,
 		Metrics:          reg,
 		ProgressInterval: *progress,
+		Tracer:           tracer,
 	})
 	if cerr := jrnl.Close(); cerr != nil {
 		log.Printf("journal error (crawl state may be incomplete on disk): %v", cerr)
+	}
+	if traceDump != nil {
+		traceDump()
 	}
 	if err != nil && res == nil {
 		log.Fatalf("crawl: %v", err)

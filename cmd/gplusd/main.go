@@ -19,6 +19,13 @@
 // outage windows. Injections are counted per kind in
 // gplusd_chaos_faults_total; /metrics itself is never faulted.
 //
+// -trace records server-side request spans — the request root plus chaos
+// delays/hangs and page rendering — joining crawler traces propagated
+// via the X-Gplus-Trace header so both sides of the wire share one trace
+// id. The flight recorder serves /debug/traces (?format=jsonl for a dump
+// that `gplusanalyze traces` reads). -access-log-sample N logs every Nth
+// request with its trace id.
+//
 // Usage:
 //
 //	gplusd -nodes 100000 -seed 2011 -addr :8041 -rate 500
@@ -33,6 +40,7 @@ import (
 
 	"gplus/internal/gplusd"
 	"gplus/internal/obs"
+	"gplus/internal/obs/trace"
 	"gplus/internal/synth"
 )
 
@@ -48,6 +56,9 @@ func main() {
 		bucketTTL = flag.Duration("bucket-ttl", 0, "evict idle rate limiter buckets after this long (0 = default 5m)")
 		faultRate = flag.Float64("fault", 0, "transient 503 probability")
 		chaosSpec = flag.String("chaos", "", `chaos-mode fault suite, rules separated by ';', e.g. "unavailable,endpoint=profile,rate=0.2;delay,rate=0.1,delay=150ms;hang,rate=0.01,delay=90s;reset,rate=0.05;outage,every=10m,down=45s"`)
+		traceOn   = flag.Bool("trace", false, "record server-side spans and join crawler traces propagated via X-Gplus-Trace (browse at /debug/traces)")
+		traceRate = flag.Float64("trace-sample", 1, "head sampling rate for requests arriving without a trace header (propagated traces are always joined)")
+		alogEvery = flag.Int("access-log-sample", 0, "log 1 in N served requests, with trace id (0 disables)")
 	)
 	flag.Parse()
 
@@ -72,22 +83,30 @@ func main() {
 	log.Printf("generated %d users, %d edges in %v", u.NumUsers(), u.Graph.NumEdges(), time.Since(start))
 
 	reg := obs.NewRegistry()
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(trace.Config{SampleRate: *traceRate, Metrics: reg})
+		log.Printf("tracing armed: joining X-Gplus-Trace headers, sampling %.1f%% of headerless requests (/debug/traces)", 100**traceRate)
+	}
 	srv := gplusd.New(u, gplusd.Options{
-		CircleCap:     *circleCap,
-		PageSize:      *pageSize,
-		RatePerSecond: *rate,
-		RateShards:    *shards,
-		BucketTTL:     *bucketTTL,
-		FaultRate:     *faultRate,
-		FaultSeed:     *seed,
-		Faults:        faults,
-		Metrics:       reg,
+		CircleCap:       *circleCap,
+		PageSize:        *pageSize,
+		RatePerSecond:   *rate,
+		RateShards:      *shards,
+		BucketTTL:       *bucketTTL,
+		FaultRate:       *faultRate,
+		FaultSeed:       *seed,
+		Faults:          faults,
+		Metrics:         reg,
+		Tracer:          tracer,
+		AccessLogSample: *alogEvery,
 	})
 	obs.PublishExpvar("gplusd", reg)
 
-	// The debug mux takes /metrics, /debug/vars, and /debug/pprof/; every
-	// other path falls through to the simulator itself.
+	// The debug mux takes /metrics, /debug/vars, /debug/pprof/, and
+	// /debug/traces; every other path falls through to the simulator.
 	root := obs.NewDebugMux(reg)
+	root.Handle("/debug/traces", tracer.Recorder())
 	root.Handle("/", srv)
 
 	ln, err := net.Listen("tcp", *addr)

@@ -9,11 +9,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"gplus/internal/gplusapi"
 	"gplus/internal/obs"
+	"gplus/internal/obs/trace"
 	"gplus/internal/profile"
 )
 
@@ -89,11 +91,20 @@ type Config struct {
 	Journal *Journal
 	// ProgressInterval emits one structured progress line (see Progress)
 	// this often while the crawl runs, plus a final line at completion.
-	// Zero disables progress reporting.
+	// Zero emits only the final line (and only when OnProgress is set).
 	ProgressInterval time.Duration
 	// OnProgress receives each progress report. When nil (and
-	// ProgressInterval > 0) reports go to the standard logger.
+	// ProgressInterval > 0) reports go to the standard logger. A final
+	// report (Progress.Final) is always emitted at crawl completion,
+	// even when ProgressInterval never elapsed.
 	OnProgress func(Progress)
+	// Tracer records request-scoped spans when non-nil: a "crawl.profile"
+	// root per crawled user with children for the profile fetch, each
+	// circle page, scheduler offers, and journal appends — plus the
+	// gplusapi client's per-attempt spans, propagated to gplusd via
+	// X-Gplus-Trace. nil disables tracing at the cost of a pointer check
+	// per span site.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -181,11 +192,13 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 
 	// Progress reporting needs live counters even when the caller did not
 	// pass a registry; a private one keeps the handles real.
+	reportProgress := cfg.ProgressInterval > 0 || cfg.OnProgress != nil
 	reg := cfg.Metrics
-	if reg == nil && cfg.ProgressInterval > 0 {
+	if reg == nil && reportProgress {
 		reg = obs.NewRegistry()
 	}
 	tel := newTelemetry(reg, cfg.Workers)
+	tel.journal = cfg.Journal
 
 	sched := newScheduler(cfg.MaxProfiles)
 	sched.tel = tel
@@ -198,12 +211,15 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 	sched.jrnl = cfg.Journal
 	if cfg.Resume != nil {
 		sched.preload(cfg.Resume)
+		// Surface the load-time torn-record count in live telemetry so the
+		// progress line reports what the resume dropped.
+		tel.torn.Add(int64(cfg.Resume.Stats.TornRecords))
 	}
 	sched.offerBatch(cfg.Seeds)
 
 	var progressDone chan struct{}
 	var progressWG sync.WaitGroup
-	if cfg.ProgressInterval > 0 {
+	if reportProgress {
 		progressDone = make(chan struct{})
 		progressWG.Add(1)
 		go func() {
@@ -226,6 +242,7 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 				MaxRetries:  cfg.MaxRetries,
 				BackoffBase: cfg.RetryBackoffBase,
 				Metrics:     cfg.Metrics,
+				Tracer:      cfg.Tracer,
 			},
 			profiles: make(map[string]profile.Profile),
 		}
@@ -318,16 +335,29 @@ func (w *worker) crawlOne(ctx context.Context, id string) {
 		// a phantom error against a crawl that was merely stopped.
 		return
 	}
+	// One trace root per crawled user: the whole fetch→parse→schedule
+	// pipeline of this profile hangs off it, including the server-side
+	// spans gplusd records after joining via the propagated header.
+	ctx, root := w.cfg.Tracer.StartSpan(ctx, "crawl.profile")
+	if root != nil {
+		root.Annotate("id", id)
+		root.Annotate("worker", w.client.CrawlerID)
+		defer root.Finish()
+	}
 	var (
 		doc *gplusapi.ProfileDoc
 		err error
 	)
+	fctx, fsp := w.cfg.Tracer.StartSpan(ctx, "fetch.profile")
 	if w.cfg.ScrapeHTML {
-		doc, err = w.client.FetchProfileHTML(ctx, id)
+		doc, err = w.client.FetchProfileHTML(fctx, id)
 	} else {
-		doc, err = w.client.FetchProfile(ctx, id)
+		doc, err = w.client.FetchProfile(fctx, id)
 	}
+	fsp.SetError(err)
+	fsp.Finish()
 	if err != nil {
+		root.SetError(err)
 		if ctx.Err() != nil {
 			return // cancelled mid-request, not a service failure
 		}
@@ -353,7 +383,9 @@ func (w *worker) crawlOne(ctx context.Context, id string) {
 		// after its E/D records entered the journal stream: a resume
 		// from any journal prefix then refetches half-crawled users
 		// instead of losing their remaining circle pages.
+		_, jsp := w.cfg.Tracer.StartSpan(ctx, "journal.profile")
 		w.cfg.Journal.profile(doc)
+		jsp.Finish()
 	}
 }
 
@@ -370,13 +402,20 @@ func (w *worker) pause(ctx context.Context) {
 
 func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.CircleDir) {
 	token := ""
-	for {
+	for pageN := 0; ; pageN++ {
 		w.pause(ctx)
 		if ctx.Err() != nil {
 			return // cancelled: don't issue (and miscount) a doomed fetch
 		}
-		page, err := w.client.FetchCircle(ctx, id, dir, token, w.cfg.PageLimit)
+		pctx, psp := w.cfg.Tracer.StartSpan(ctx, "circle.page")
+		if psp != nil {
+			psp.Annotate("dir", string(dir))
+			psp.Annotate("page", strconv.Itoa(pageN))
+		}
+		page, err := w.client.FetchCircle(pctx, id, dir, token, w.cfg.PageLimit)
 		if err != nil {
+			psp.SetError(err)
+			psp.Finish()
 			if ctx.Err() != nil {
 				return
 			}
@@ -397,8 +436,13 @@ func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.Circle
 		// One frontier lock round-trip per page, not one per edge. The
 		// scheduler journals the page's newly-discovered ids; the edges
 		// are journaled here, where the direction is known.
+		_, osp := w.cfg.Tracer.StartSpan(pctx, "sched.offer")
 		w.sched.offerBatch(page.IDs)
+		osp.Finish()
+		_, jsp := w.cfg.Tracer.StartSpan(pctx, "journal.append")
 		w.cfg.Journal.circlePage(id, dir == gplusapi.CircleOut, page.IDs)
+		jsp.Finish()
+		psp.Finish()
 		if page.NextPageToken == "" {
 			return
 		}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gplus/internal/gplusapi"
@@ -62,6 +63,11 @@ type Journal struct {
 	mu   sync.Mutex
 	werr error // first write/flush/sync error, sticky
 
+	// dirtySince is the unix-nano time the oldest unflushed record was
+	// buffered (0 when everything has reached disk). Progress reports
+	// read it as the journal's flush lag — the window a crash would lose.
+	dirtySince atomic.Int64
+
 	recProfiles   *obs.Counter
 	recEdges      *obs.Counter
 	recDiscovered *obs.Counter
@@ -70,13 +76,13 @@ type Journal struct {
 }
 
 type journalMsg struct {
-	op    byte // 'P' profile, 'C' circle page, 'D' discovered ids, 'B' bootstrap, 'S' sync barrier
-	doc   *gplusapi.ProfileDoc
-	from  string
-	out   bool     // circle direction: true = out-list (from -> id)
-	ids   []string // 'C': the full page (E records); 'D': discovered ids
-	res   *Result  // 'B'
-	ack   chan error
+	op   byte // 'P' profile, 'C' circle page, 'D' discovered ids, 'B' bootstrap, 'S' sync barrier
+	doc  *gplusapi.ProfileDoc
+	from string
+	out  bool     // circle direction: true = out-list (from -> id)
+	ids  []string // 'C': the full page (E records); 'D': discovered ids
+	res  *Result  // 'B'
+	ack  chan error
 }
 
 // OpenJournal opens (creating or appending to) a journal file and starts
@@ -214,6 +220,19 @@ func (j *Journal) Close() error {
 	return j.Err()
 }
 
+// FlushLag reports how long the oldest record still waiting for its
+// flush+fsync has been buffered (0 when the journal is clean or nil).
+func (j *Journal) FlushLag() time.Duration {
+	if j == nil {
+		return 0
+	}
+	since := j.dirtySince.Load()
+	if since == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - since)
+}
+
 // Err reports the journal's sticky error: the first write, flush, or
 // fsync failure. After an error the writer drops further records (the
 // crawl itself continues; the end-of-crawl checkpoint still saves).
@@ -257,6 +276,7 @@ func (j *Journal) writeLoop() {
 		j.flushes.Inc()
 		j.fail(err)
 		dirty = false
+		j.dirtySince.Store(0)
 	}
 	ticker := time.NewTicker(j.flushInterval)
 	defer ticker.Stop()
@@ -269,6 +289,9 @@ func (j *Journal) writeLoop() {
 				return
 			}
 			if j.handle(bw, msg) {
+				if !dirty {
+					j.dirtySince.Store(time.Now().UnixNano())
+				}
 				dirty = true
 			}
 			if msg.ack != nil {

@@ -14,13 +14,15 @@ import (
 // a single pointer check — the zero-cost-when-off path the benchmarks
 // rely on.
 type telemetry struct {
-	reg *obs.Registry
+	reg     *obs.Registry
+	journal *Journal // for flush-lag in progress reports; may be nil
 
 	profiles   *obs.Counter // profiles successfully crawled
 	pages      *obs.Counter // circle pages fetched
 	edges      *obs.Counter // edge observations
 	profErrs   *obs.Counter // permanent profile-fetch failures
 	circErrs   *obs.Counter // permanent circle-fetch failures
+	torn       *obs.Counter // torn journal records dropped on resume load
 	frontier   *obs.Gauge   // queued-but-unclaimed ids
 	discovered *obs.Gauge   // all ids ever seen
 	workers    []*obs.Counter
@@ -35,11 +37,13 @@ func newTelemetry(reg *obs.Registry, nWorkers int) *telemetry {
 		edges:      reg.Counter("crawler_edges_observed_total"),
 		profErrs:   reg.Counter("crawler_profile_errors_total"),
 		circErrs:   reg.Counter("crawler_circle_errors_total"),
+		torn:       reg.Counter("crawler_journal_torn_records_total"),
 		frontier:   reg.Gauge("crawler_frontier_depth"),
 		discovered: reg.Gauge("crawler_discovered_users"),
 		workers:    make([]*obs.Counter, nWorkers),
 	}
 	reg.Help("crawler_profiles_crawled_total", "Profiles fetched successfully.")
+	reg.Help("crawler_journal_torn_records_total", "Torn journal records dropped when loading resume state.")
 	reg.Help("crawler_frontier_depth", "Ids queued for crawling but not yet claimed.")
 	reg.Help("crawler_worker_profiles_total", "Profiles fetched per crawl machine.")
 	for i := range t.workers {
@@ -62,29 +66,42 @@ type Progress struct {
 	Elapsed        time.Duration
 	ProfilesPerSec float64
 	EdgesPerSec    float64
+	// JournalFlushLag is how long the oldest unflushed journal record has
+	// been waiting for its fsync (0 when the journal is clean or absent) —
+	// the window a crash right now would lose.
+	JournalFlushLag time.Duration
+	// TornRecords counts journal records dropped as torn when this
+	// session's resume state was loaded.
+	TornRecords int64
+	// Final marks the end-of-crawl summary report, emitted exactly once
+	// when the crawl finishes regardless of ProgressInterval.
+	Final bool
 }
 
 // String renders the single structured progress line.
 func (p Progress) String() string {
 	return fmt.Sprintf(
-		"crawl progress: crawled=%d discovered=%d frontier=%d profile_errors=%d circle_errors=%d pages=%d edges=%d profiles/s=%.1f edges/s=%.1f elapsed=%s",
+		"crawl progress: crawled=%d discovered=%d frontier=%d profile_errors=%d circle_errors=%d pages=%d edges=%d profiles/s=%.1f edges/s=%.1f journal_lag=%s torn=%d elapsed=%s final=%t",
 		p.Crawled, p.Discovered, p.Frontier, p.ProfileErrors, p.CircleErrors,
 		p.PagesFetched, p.EdgesObserved, p.ProfilesPerSec, p.EdgesPerSec,
-		p.Elapsed.Round(time.Second))
+		p.JournalFlushLag.Round(time.Millisecond), p.TornRecords,
+		p.Elapsed.Round(time.Second), p.Final)
 }
 
 // snapshot reads the live counters into a Progress, deriving rates from
 // the previous report.
 func (t *telemetry) snapshot(start time.Time, prev Progress, prevAt time.Time, now time.Time) Progress {
 	p := Progress{
-		Crawled:       int(t.profiles.Value()),
-		Discovered:    int(t.discovered.Value()),
-		Frontier:      int(t.frontier.Value()),
-		ProfileErrors: int(t.profErrs.Value()),
-		CircleErrors:  int(t.circErrs.Value()),
-		PagesFetched:  t.pages.Value(),
-		EdgesObserved: t.edges.Value(),
-		Elapsed:       now.Sub(start),
+		Crawled:         int(t.profiles.Value()),
+		Discovered:      int(t.discovered.Value()),
+		Frontier:        int(t.frontier.Value()),
+		ProfileErrors:   int(t.profErrs.Value()),
+		CircleErrors:    int(t.circErrs.Value()),
+		PagesFetched:    t.pages.Value(),
+		EdgesObserved:   t.edges.Value(),
+		Elapsed:         now.Sub(start),
+		JournalFlushLag: t.journal.FlushLag(),
+		TornRecords:     t.torn.Value(),
 	}
 	if dt := now.Sub(prevAt).Seconds(); dt > 0 {
 		p.ProfilesPerSec = float64(p.Crawled-prev.Crawled) / dt
@@ -94,21 +111,30 @@ func (t *telemetry) snapshot(start time.Time, prev Progress, prevAt time.Time, n
 }
 
 // reportProgress emits a Progress every interval until done is closed,
-// then emits one final report so short crawls still leave a trace.
+// then emits one final report (Final=true) so every crawl — even one
+// shorter than its interval, or one with no interval at all — leaves a
+// closing summary. interval <= 0 disables periodic reports but still
+// emits the final one.
 func (t *telemetry) reportProgress(interval time.Duration, emit func(Progress), done <-chan struct{}) {
 	if emit == nil {
 		emit = func(p Progress) { log.Print(p) }
 	}
 	start := time.Now()
 	prev, prevAt := Progress{}, start
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	var tick <-chan time.Time
+	if interval > 0 {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
 	for {
 		select {
 		case <-done:
-			emit(t.snapshot(start, prev, prevAt, time.Now()))
+			p := t.snapshot(start, prev, prevAt, time.Now())
+			p.Final = true
+			emit(p)
 			return
-		case now := <-ticker.C:
+		case now := <-tick:
 			p := t.snapshot(start, prev, prevAt, now)
 			emit(p)
 			prev, prevAt = p, now

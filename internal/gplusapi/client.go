@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gplus/internal/obs"
+	"gplus/internal/obs/trace"
 )
 
 // ErrNotFound is returned for profiles that do not exist.
@@ -45,6 +46,13 @@ type Client struct {
 	// counters (gplusapi_responses_total), transport-error and retry
 	// counters. A nil registry costs one pointer check per request.
 	Metrics *obs.Registry
+	// Tracer records request-scoped spans when non-nil: one "api.<op>"
+	// span per logical operation (annotated with its attempt total and
+	// retry count) and one "attempt" child span per wire request,
+	// annotated with its backoff delay and response status. Each attempt
+	// injects an X-Gplus-Trace header so gplusd joins the trace and
+	// records its server-side spans. nil costs one pointer check.
+	Tracer *trace.Tracer
 }
 
 // Instrumentation series names; the endpoint label is one of "profile",
@@ -121,12 +129,15 @@ func (c *Client) FetchProfile(ctx context.Context, id string) (*ProfileDoc, erro
 func (c *Client) FetchProfileHTML(ctx context.Context, id string) (*ProfileDoc, error) {
 	path := "/people/" + url.PathEscape(id) + "?alt=html"
 	var doc *ProfileDoc
-	err := c.withRetries(ctx, "profile_html", func() error {
+	err := c.withRetries(ctx, "profile_html", func(ctx context.Context) error {
 		body, err := c.tryGetRaw(ctx, "profile_html", path)
 		if err != nil {
 			return err
 		}
+		_, psp := c.Tracer.StartSpan(ctx, "parse.html")
 		doc, err = ParseProfileHTML(body)
+		psp.SetError(err)
+		psp.Finish()
 		return err
 	})
 	if err != nil {
@@ -176,33 +187,57 @@ func (c *Client) FetchStats(ctx context.Context) (*StatsDoc, error) {
 }
 
 func (c *Client) getJSON(ctx context.Context, op, path string, out any) error {
-	return c.withRetries(ctx, op, func() error { return c.tryGetJSON(ctx, op, path, out) })
+	return c.withRetries(ctx, op, func(ctx context.Context) error { return c.tryGetJSON(ctx, op, path, out) })
 }
 
 // withRetries runs fn with exponential backoff and jitter, honoring
-// Retry-After hints surfaced through retryAfterError.
-func (c *Client) withRetries(ctx context.Context, op string, fn func() error) error {
+// Retry-After hints surfaced through retryAfterError. fn receives the
+// per-attempt context, which carries that attempt's span so doGet can
+// propagate it to the service.
+func (c *Client) withRetries(ctx context.Context, op string, fn func(context.Context) error) error {
+	ctx, osp := c.Tracer.StartSpan(ctx, "api."+op)
+	attempts := 0
+	finish := func(err error) error {
+		if osp != nil {
+			osp.Annotate("attempts", strconv.Itoa(attempts))
+			osp.SetRetries(attempts - 1)
+			osp.SetError(err)
+			osp.Finish()
+		}
+		return err
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
+		var delay time.Duration
 		if attempt > 0 {
 			c.Metrics.Counter(`gplusapi_retries_total{endpoint="` + op + `"}`).Inc()
-			delay := c.backoffDelay(attempt, lastErr)
+			delay = c.backoffDelay(attempt, lastErr)
 			select {
 			case <-ctx.Done():
-				return ctx.Err()
+				return finish(ctx.Err())
 			case <-time.After(delay):
 			}
 		}
-		err := fn()
+		actx, asp := c.Tracer.StartSpan(ctx, "attempt")
+		if asp != nil {
+			asp.Annotate("n", strconv.Itoa(attempt+1))
+			if attempt > 0 {
+				asp.Annotate("backoff", delay.String())
+			}
+		}
+		attempts++
+		err := fn(actx)
+		asp.SetError(err)
+		asp.Finish()
 		if err == nil {
-			return nil
+			return finish(nil)
 		}
 		if !isRetryable(err) {
-			return err
+			return finish(err)
 		}
 		lastErr = err
 	}
-	return fmt.Errorf("gplusapi: giving up after %d attempts: %w", c.maxRetries()+1, lastErr)
+	return finish(fmt.Errorf("gplusapi: giving up after %d attempts: %w", c.maxRetries()+1, lastErr))
 }
 
 type retryAfterError struct {
@@ -261,6 +296,11 @@ func (c *Client) doGet(ctx context.Context, op, path string, consume func(io.Rea
 	if c.CrawlerID != "" {
 		req.Header.Set("X-Crawler-Id", c.CrawlerID)
 	}
+	// The context carries this attempt's span (see withRetries);
+	// propagating it lets gplusd join the trace and record its
+	// server-side spans under this attempt.
+	sp := trace.SpanFromContext(ctx)
+	trace.Inject(sp, req.Header)
 	start := time.Now()
 	resp, err := c.httpClient().Do(req)
 	if c.Metrics != nil {
@@ -270,6 +310,9 @@ func (c *Client) doGet(ctx context.Context, op, path string, consume func(io.Rea
 		} else {
 			c.statusCounter(op, resp.StatusCode).Inc()
 		}
+	}
+	if sp != nil && err == nil {
+		sp.Annotate("status", strconv.Itoa(resp.StatusCode))
 	}
 	if err != nil {
 		if ctx.Err() != nil {

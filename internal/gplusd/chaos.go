@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gplus/internal/obs"
+	"gplus/internal/obs/trace"
 )
 
 // Chaos mode: the single-knob FaultRate of the original simulator only
@@ -237,6 +238,7 @@ func (s *Server) serveChaos(w http.ResponseWriter, r *http.Request) {
 		case FaultOutage:
 			if remaining, down := rule.outageRemaining(time.Since(s.chaos.start)); down {
 				rule.hits.Inc()
+				trace.SpanFromContext(r.Context()).Fail("chaos: scheduled outage")
 				w.Header().Set("Retry-After", strconv.FormatFloat(remaining.Seconds(), 'f', 3, 64))
 				http.Error(w, "chaos: scheduled outage", http.StatusServiceUnavailable)
 				return
@@ -244,6 +246,7 @@ func (s *Server) serveChaos(w http.ResponseWriter, r *http.Request) {
 		case FaultUnavailable:
 			if rule.src.hit() {
 				rule.hits.Inc()
+				trace.SpanFromContext(r.Context()).Fail("chaos: injected 503")
 				w.Header().Set("Retry-After", "0.05")
 				http.Error(w, "chaos: transient backend error", http.StatusServiceUnavailable)
 				return
@@ -251,11 +254,15 @@ func (s *Server) serveChaos(w http.ResponseWriter, r *http.Request) {
 		case FaultDelay:
 			if rule.src.hit() {
 				rule.hits.Inc()
+				_, dsp := s.tracer.StartSpan(r.Context(), "chaos.delay")
+				dsp.Annotate("delay", rule.Delay.String())
 				select {
 				case <-r.Context().Done():
+					dsp.Finish()
 					return
 				case <-time.After(rule.Delay):
 				}
+				dsp.Finish()
 			}
 		case FaultHang:
 			if rule.src.hit() {
@@ -264,21 +271,27 @@ func (s *Server) serveChaos(w http.ResponseWriter, r *http.Request) {
 				if hold <= 0 {
 					hold = 30 * time.Second
 				}
+				_, hsp := s.tracer.StartSpan(r.Context(), "chaos.hang")
 				select {
 				case <-r.Context().Done():
 					// The client gave up first — exactly the point.
 				case <-time.After(hold):
 				}
+				hsp.Fail("connection dropped after hang")
+				hsp.Finish()
 				panic(http.ErrAbortHandler)
 			}
 		case FaultReset:
 			if rule.src.hit() {
 				rule.hits.Inc()
+				trace.SpanFromContext(r.Context()).Annotate("chaos.reset", "true")
 				out = &cutoffWriter{ResponseWriter: out, remaining: 1 + int(rule.src.draw()*31)}
 			}
 		}
 	}
-	s.mux.ServeHTTP(out, r)
+	rctx, rsp := s.tracer.StartSpan(r.Context(), "render")
+	defer rsp.Finish()
+	s.mux.ServeHTTP(out, r.WithContext(rctx))
 }
 
 // cutoffWriter forwards a response until its byte allowance runs out,

@@ -43,17 +43,17 @@ func TestParseFaultSpec(t *testing.T) {
 
 func TestParseFaultSpecRejectsGarbage(t *testing.T) {
 	cases := []string{
-		"",                          // no rules
-		"explode,rate=0.5",          // unknown kind
-		"unavailable",               // missing rate
-		"unavailable,rate=1.5",      // rate out of range
-		"unavailable,rate=1,wat=1",  // unknown option
-		"unavailable,rate",          // not key=value
-		"delay,rate=0.5",            // delay without delay=
-		"outage,every=1m",           // outage without down=
-		"outage,every=1m,down=2m",   // down exceeds period
-		"reset,endpoint=nope,rate=1",// unknown endpoint
-		"hang,rate=1,delay=-5s",     // negative duration
+		"",                           // no rules
+		"explode,rate=0.5",           // unknown kind
+		"unavailable",                // missing rate
+		"unavailable,rate=1.5",       // rate out of range
+		"unavailable,rate=1,wat=1",   // unknown option
+		"unavailable,rate",           // not key=value
+		"delay,rate=0.5",             // delay without delay=
+		"outage,every=1m",            // outage without down=
+		"outage,every=1m,down=2m",    // down exceeds period
+		"reset,endpoint=nope,rate=1", // unknown endpoint
+		"hang,rate=1,delay=-5s",      // negative duration
 	}
 	for _, c := range cases {
 		if _, err := ParseFaultSpec(c); err == nil {
@@ -203,12 +203,12 @@ func TestChaosCrawlerRidesOutFaultSuite(t *testing.T) {
 
 func TestChaosEndpointOf(t *testing.T) {
 	cases := map[string]string{
-		"/people/u123":              "profile",
-		"/people/u123/circles/in":   "circles",
-		"/people/u123/circles/out":  "circles",
-		"/stats":                    "stats",
-		"/seed":                     "seed",
-		"/debug/pprof/":             "/debug/pprof/",
+		"/people/u123":             "profile",
+		"/people/u123/circles/in":  "circles",
+		"/people/u123/circles/out": "circles",
+		"/stats":                   "stats",
+		"/seed":                    "seed",
+		"/debug/pprof/":            "/debug/pprof/",
 	}
 	for path, want := range cases {
 		if got := endpointOf(path); got != want {

@@ -8,14 +8,17 @@ package gplusd
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"gplus/internal/gplusapi"
 	"gplus/internal/graph"
 	"gplus/internal/obs"
+	"gplus/internal/obs/trace"
 	"gplus/internal/profile"
 	"gplus/internal/synth"
 )
@@ -61,6 +64,21 @@ type Options struct {
 	// private registry, so /metrics always works; pass one to share the
 	// registry with other subsystems (pprof wiring, expvar publication).
 	Metrics *obs.Registry
+	// Tracer, when non-nil, joins traces the crawler propagates via the
+	// X-Gplus-Trace header and records server-side spans — the request
+	// root plus children for chaos delays/hangs and page rendering — so
+	// one trace id spans both sides of the wire. Requests arriving
+	// without a header start server-local traces under the tracer's own
+	// sampling rate.
+	Tracer *trace.Tracer
+	// AccessLogSample logs 1 in N served requests (method, path, client
+	// identity, trace id, duration) when positive; 0 disables access
+	// logging. Sampling is deterministic (every Nth request), so a rate
+	// of 1 logs everything.
+	AccessLogSample int
+	// AccessLogger receives the sampled access-log lines (default: the
+	// standard logger).
+	AccessLogger *log.Logger
 	// OmitGeocode strips the resolved country from served place markers,
 	// leaving only the free-text name and map coordinates — the view the
 	// paper's crawler actually had, forcing the analysis side to run its
@@ -107,6 +125,8 @@ type Server struct {
 	faults  *faultSource
 	chaos   *chaos
 	limiter *limiter
+	tracer  *trace.Tracer
+	alogSeq atomic.Uint64 // access-log sampling sequence
 
 	metrics    *obs.Registry
 	mProfile   *obs.Counter
@@ -132,6 +152,7 @@ func NewContent(c Content, opts Options) *Server {
 		opts:    opts,
 		index:   make(map[string]graph.NodeID, len(c.IDs)),
 		faults:  newFaultSource(opts.FaultRate, opts.FaultSeed),
+		tracer:  opts.Tracer,
 	}
 	for i, id := range c.IDs {
 		s.index[id] = graph.NodeID(i)
@@ -185,14 +206,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.metrics.ServeHTTP(w, r)
 		return
 	}
+	// Join the crawler's trace (or start a server-local one) so the
+	// server-side story of this request — faults, rate limiting,
+	// rendering — lands under the same trace id the client recorded.
+	ctx, sp := s.tracer.Join(r.Context(), r.Header, "server."+endpointOf(r.URL.Path))
+	if sp != nil {
+		sp.Annotate("client", clientKey(r))
+		r = r.WithContext(ctx)
+		defer sp.Finish()
+	}
+	defer s.logAccess(r, sp, start)
 	if s.injectFault() {
 		s.mFaults.Inc()
+		sp.Fail("injected 503")
 		w.Header().Set("Retry-After", "0.05")
 		http.Error(w, "transient backend error", http.StatusServiceUnavailable)
 		return
 	}
 	if !s.allow(clientKey(r)) {
 		s.mRateLimit.Inc()
+		sp.Fail("rate limited")
 		w.Header().Set("Retry-After", "0.2")
 		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 		return
@@ -201,7 +234,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveChaos(w, r)
 		return
 	}
-	s.mux.ServeHTTP(w, r)
+	rctx, rsp := s.tracer.StartSpan(r.Context(), "render")
+	defer rsp.Finish()
+	s.mux.ServeHTTP(w, r.WithContext(rctx))
+}
+
+// logAccess emits one access-log line for every AccessLogSample-th
+// request (all deferred work — faults, chaos sleeps, rendering — has
+// already happened, so the duration is end-to-end).
+func (s *Server) logAccess(r *http.Request, sp *trace.Span, start time.Time) {
+	n := s.opts.AccessLogSample
+	if n <= 0 {
+		return
+	}
+	if (s.alogSeq.Add(1)-1)%uint64(n) != 0 {
+		return
+	}
+	tid := "-"
+	if sp != nil {
+		tid = sp.TraceID
+	}
+	lg := s.opts.AccessLogger
+	if lg == nil {
+		lg = log.Default()
+	}
+	lg.Printf("access: %s %s client=%s trace=%s dur=%s",
+		r.Method, r.URL.Path, clientKey(r), tid, time.Since(start).Round(time.Microsecond))
 }
 
 // Metrics returns the server's registry (never nil), for callers that

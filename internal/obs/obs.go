@@ -21,6 +21,7 @@ package obs
 
 import (
 	"math"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -91,31 +92,54 @@ func (g *Gauge) Value() int64 {
 // Histogram counts observations into fixed buckets defined by sorted
 // upper bounds, with an implicit +Inf overflow bucket, and tracks the sum
 // and count of all observations. A nil Histogram is a no-op.
+//
+// Writes are lock-free; Snapshot returns a *consistent* cut in which
+// count, sum, and bucket counts all describe exactly the same set of
+// observations. Consistency uses the hot/cold double-buffer scheme of
+// prometheus/client_golang: countAndHotIdx's top bit selects the half
+// observers write into and its low 63 bits count observations started;
+// a snapshot atomically flips the hot half, waits for in-flight
+// observers to drain into the now-cold half, reads it, and folds it
+// back into the hot half.
 type Histogram struct {
-	bounds []float64      // sorted upper bounds
+	bounds         []float64 // sorted upper bounds
+	countAndHotIdx atomic.Uint64
+	halves         [2]histHalf
+	snapMu         sync.Mutex // serializes snapshots (writers never take it)
+}
+
+// histHalf is one of the two observation buffers. count is advanced
+// last in Observe, so count == observations fully landed in this half.
+type histHalf struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
 	sum    atomic.Uint64  // float64 bits, CAS-accumulated
-	count  atomic.Int64
+	count  atomic.Uint64
 }
+
+const histCountMask = 1<<63 - 1
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	n := h.countAndHotIdx.Add(1)
+	hot := &h.halves[n>>63]
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	h.count.Add(1)
+	hot.counts[i].Add(1)
 	for {
-		old := h.sum.Load()
+		old := hot.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sum.CompareAndSwap(old, next) {
-			return
+		if hot.sum.CompareAndSwap(old, next) {
+			break
 		}
 	}
+	// Must be last: signals this observation is fully visible, so a
+	// snapshot's drain-wait covers the bucket and sum updates above.
+	hot.count.Add(1)
 }
 
 // Count returns the total number of observations (0 for nil).
@@ -123,15 +147,67 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.count.Load()
+	return int64(h.countAndHotIdx.Load() & histCountMask)
 }
 
-// Sum returns the sum of all observed values (0 for nil).
+// Sum returns the sum of all observed values (0 for nil), read from a
+// consistent snapshot.
 func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	return math.Float64frombits(h.sum.Load())
+	return h.Snapshot().Sum
+}
+
+// Snapshot returns a consistent point-in-time view of the histogram:
+// Count always equals both the sum of Counts and the number of
+// observations contributing to Sum, even under concurrent Observe
+// calls. A nil histogram returns a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.snapMu.Lock()
+	defer h.snapMu.Unlock()
+	// Flip the hot half; n's low bits are the observations started
+	// before the flip, all of which went (or are going) into the cold
+	// half — cold has accumulated every prior fold, so it converges to
+	// the global totals once in-flight observers drain.
+	n := h.countAndHotIdx.Add(1 << 63)
+	started := n & histCountMask
+	hot := &h.halves[n>>63]
+	cold := &h.halves[1-n>>63]
+	for cold.count.Load() != started {
+		runtime.Gosched()
+	}
+	hs := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(cold.counts)),
+		Count:  int64(started),
+		Sum:    math.Float64frombits(cold.sum.Load()),
+	}
+	for i := range cold.counts {
+		hs.Counts[i] = cold.counts[i].Load()
+	}
+	// Fold the cold totals into the hot half (so it carries the global
+	// totals for the next flip) and zero the cold half. Only this
+	// snapshotter touches cold: observers moved on at the flip and the
+	// stragglers were drained above.
+	for i := range cold.counts {
+		hot.counts[i].Add(cold.counts[i].Load())
+		cold.counts[i].Store(0)
+	}
+	for {
+		old := hot.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + hs.Sum)
+		if hot.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	cold.sum.Store(0)
+	hot.count.Add(started)
+	cold.count.Store(0)
+	return hs
 }
 
 // Registry is a named collection of metrics, safe for concurrent use. The
@@ -217,9 +293,9 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		if bounds == nil {
 			bounds = DefBuckets
 		}
-		h = &Histogram{
-			bounds: append([]float64(nil), bounds...),
-			counts: make([]atomic.Int64, len(bounds)+1),
+		h = &Histogram{bounds: append([]float64(nil), bounds...)}
+		for i := range h.halves {
+			h.halves[i].counts = make([]atomic.Int64, len(bounds)+1)
 		}
 		r.hists[name] = h
 	}
@@ -249,8 +325,9 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry. Each
-// individual value is read atomically; the snapshot as a whole is not a
-// consistent cut under concurrent writers.
+// individual metric is read consistently (histograms via their hot/cold
+// drain, so count, sum, and buckets agree); the snapshot as a whole is
+// still not a consistent cut *across* metrics under concurrent writers.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
@@ -277,16 +354,7 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: make([]int64, len(h.counts)),
-			Count:  h.Count(),
-			Sum:    h.Sum(),
-		}
-		for i := range h.counts {
-			hs.Counts[i] = h.counts[i].Load()
-		}
-		snap.Histograms[name] = hs
+		snap.Histograms[name] = h.Snapshot()
 	}
 	return snap
 }

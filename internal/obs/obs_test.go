@@ -212,3 +212,64 @@ func TestCounterIgnoresNegative(t *testing.T) {
 		t.Errorf("counter = %d, want 5 (negative add ignored)", c.Value())
 	}
 }
+
+// TestHistogramSnapshotConsistentUnderConcurrentObserve races snapshots
+// against a storm of identical observations and checks the invariant the
+// hot/cold scheme exists to provide: every snapshot's Count, Sum, and
+// bucket totals describe exactly the same set of observations. Run with
+// -race to also exercise the memory-ordering claims.
+func TestHistogramSnapshotConsistentUnderConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1})
+	const (
+		writers = 8
+		iters   = 5000
+		v       = 0.5
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				h.Observe(v)
+			}
+		}()
+	}
+	snapshots := 0
+	check := func(hs HistogramSnapshot) {
+		snapshots++
+		var buckets int64
+		for _, c := range hs.Counts {
+			buckets += c
+		}
+		if buckets != hs.Count {
+			t.Fatalf("snapshot %d: bucket counts sum to %d, Count = %d", snapshots, buckets, hs.Count)
+		}
+		if want := v * float64(hs.Count); hs.Sum != want {
+			t.Fatalf("snapshot %d: Sum = %g for Count %d, want %g — count/sum tore", snapshots, hs.Sum, hs.Count, want)
+		}
+	}
+	go func() {
+		wg.Wait()
+		close(stop)
+	}()
+	for {
+		select {
+		case <-stop:
+			final := h.Snapshot()
+			check(final)
+			if final.Count != writers*iters {
+				t.Fatalf("final Count = %d, want %d", final.Count, writers*iters)
+			}
+			if h.Count() != writers*iters {
+				t.Fatalf("Count() = %d, want %d", h.Count(), writers*iters)
+			}
+			t.Logf("validated %d concurrent snapshots", snapshots)
+			return
+		default:
+			check(h.Snapshot())
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// The disabled tracer must cost exactly one nil check per span site: no
+// allocation, no atomics, no context growth. The crawler instruments its
+// hot path unconditionally on that promise.
+
+func TestDisabledTracerDoesNotAllocate(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, sp := tr.StartSpan(ctx, "op")
+		sp.Annotate("k", "v")
+		sp.SetError(nil)
+		sp.SetRetries(1)
+		sp.Finish()
+		_ = SpanFromContext(c)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %.1f times per span", allocs)
+	}
+}
+
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.StartSpan(ctx, "op")
+		sp.Finish()
+	}
+}
+
+func BenchmarkStartSpanEnabled(b *testing.B) {
+	tr := New(Config{Recorder: NewRecorder(4, Rules{})})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.StartSpan(ctx, "op")
+		sp.Finish()
+	}
+}
+
+func BenchmarkChildSpanEnabled(b *testing.B) {
+	tr := New(Config{Recorder: NewRecorder(4, Rules{})})
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	defer root.Finish()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.StartSpan(ctx, "child")
+		sp.Finish()
+	}
+}

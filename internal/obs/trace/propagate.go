@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"context"
+	"net/http"
+)
+
+// Header is the trace propagation header, carrying a W3C
+// traceparent-style value:
+//
+//	X-Gplus-Trace: 00-<32 hex trace id>-<16 hex span id>-<2 hex flags>
+//
+// Flags bit 0 is the head sampling decision; gplusd records server-side
+// spans only for sampled traces, so the crawler's sampling choice
+// governs both processes.
+const Header = "X-Gplus-Trace"
+
+const headerVersion = "00"
+
+// Inject writes sp's trace context into an outgoing header set. A nil
+// span injects nothing — an untraced request stays headerless.
+func Inject(sp *Span, h http.Header) {
+	if sp == nil {
+		return
+	}
+	h.Set(Header, headerVersion+"-"+sp.TraceID+"-"+sp.SpanID+"-01")
+}
+
+// parseHeader splits and validates a propagated trace header.
+func parseHeader(v string) (traceID, spanID string, sampled, ok bool) {
+	// version(2) - traceID(32) - spanID(16) - flags(2), dashes between.
+	if len(v) != 2+1+32+1+16+1+2 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return "", "", false, false
+	}
+	traceID, spanID = v[3:35], v[36:52]
+	if !isHex(v[:2]) || !isHex(traceID) || !isHex(spanID) || !isHex(v[53:]) {
+		return "", "", false, false
+	}
+	flags := hexByte(v[53], v[54])
+	return traceID, spanID, flags&1 == 1, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+func hexByte(hi, lo byte) byte {
+	return hexNibble(hi)<<4 | hexNibble(lo)
+}
+
+func hexNibble(c byte) byte {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0'
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10
+	default:
+		return c - 'A' + 10
+	}
+}
+
+// Join starts a server-side root span for an incoming request: when h
+// carries a valid sampled trace header the span joins that trace (its
+// Parent is the remote caller's span id and Remote is set), otherwise
+// Join falls back to StartSpan's local sampling. An unsampled propagated
+// trace is honored by not recording — the head decision is the
+// crawler's to make.
+func (t *Tracer) Join(ctx context.Context, h http.Header, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if traceID, spanID, sampled, ok := parseHeader(h.Get(Header)); ok {
+		if !sampled {
+			return context.WithValue(ctx, spanKey{}, notSampled), nil
+		}
+		sp := t.newSpan(name, traceID, spanID, true, nil)
+		return context.WithValue(ctx, spanKey{}, sp), sp
+	}
+	return t.StartSpan(ctx, name)
+}
