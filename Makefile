@@ -8,7 +8,7 @@ GO ?= go
 # the rule set). It is never downloaded — no network access is required.
 STATICCHECK_VERSION ?= 2024.1
 
-.PHONY: all check build vet test race staticcheck chaos trace-demo bench bench-hotpath ablations fuzz fuzz-short verify examples report clean
+.PHONY: all check help build vet test race staticcheck chaos trace-demo bench bench-hotpath bench-analysis ablations fuzz fuzz-short verify examples report clean
 
 # Default check path: the tier-1 verify (build + test) plus vet and the
 # race suite over the concurrent packages.
@@ -19,6 +19,20 @@ all: build vet test race
 # short fuzz leg shakes the checkpoint/journal parser, and staticcheck
 # runs when the pinned version is installed.
 check: all staticcheck fuzz-short
+
+help:
+	@echo "make all            build + vet + test + race (default)"
+	@echo "make check          all + staticcheck + fuzz-short"
+	@echo "make chaos          kill/resume convergence under the fault suite"
+	@echo "make trace-demo     chaos crawl with request tracing on both sides"
+	@echo "make bench          one benchmark per table/figure"
+	@echo "make bench-hotpath  serving/crawling hot paths -> BENCH_hotpath.json"
+	@echo "make bench-analysis graph analytics at P=1/4/8/NumCPU -> BENCH_analysis.json"
+	@echo "make ablations      design-choice ablation experiments"
+	@echo "make fuzz           long fuzz of every parser (30s each)"
+	@echo "make verify         generate a dataset and audit it against the paper"
+	@echo "make examples       run every example binary"
+	@echo "make report         full Markdown report from a fresh dataset"
 
 build:
 	$(GO) build ./...
@@ -70,6 +84,14 @@ bench-hotpath:
 	$(GO) test -run '^$$' -bench 'ServerThroughput|SchedulerOffer|RateLimiterAllow|FaultInjection' \
 	    -benchmem -count=1 . ./internal/crawler ./internal/gplusd \
 	    | $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
+
+# The graph-analytics suite behind the parallelized analysis stage: every
+# algorithm on a ~1M-node heavy-tailed synth graph at P in {1,4,8,NumCPU},
+# recorded as a JSON baseline future PRs can diff against. Results are
+# byte-identical across P (tested); only wall-clock should move.
+bench-analysis:
+	$(GO) test -run '^$$' -bench 'BenchmarkAnalysis' -benchmem -benchtime=1x -count=1 -timeout 30m ./internal/graph \
+	    | $(GO) run ./cmd/benchjson -out BENCH_analysis.json
 
 # Design-choice ablations and the methodology/future-work experiments.
 ablations:

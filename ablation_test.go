@@ -125,7 +125,7 @@ func BenchmarkAblationUnidirectionalCrawl(b *testing.B) {
 	}
 	ts := httptest.NewServer(gplusd.New(u, gplusd.Options{CircleCap: 100}))
 	defer ts.Close()
-	seed := u.IDs[graph.TopByInDegree(u.Graph, 1)[0]]
+	seed := u.IDs[graph.TopByInDegree(u.Graph, 1, 1)[0]]
 
 	crawlEdges := func(fetchIn bool) int64 {
 		res, err := crawler.Crawl(context.Background(), crawler.Config{
@@ -161,7 +161,7 @@ func BenchmarkSamplingBias(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	seed := graph.TopByInDegree(u.Graph, 1)[0]
+	seed := graph.TopByInDegree(u.Graph, 1, 1)[0]
 	rng := rand.New(rand.NewPCG(2, 3))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -191,7 +191,7 @@ func BenchmarkSeedSensitivity(b *testing.B) {
 	ts := httptest.NewServer(gplusd.New(u, gplusd.Options{}))
 	defer ts.Close()
 
-	popular := u.IDs[graph.TopByInDegree(u.Graph, 1)[0]]
+	popular := u.IDs[graph.TopByInDegree(u.Graph, 1, 1)[0]]
 	// An ordinary seed: a node with a median-ish degree.
 	ordinary := ""
 	for i := 0; i < u.NumUsers(); i++ {

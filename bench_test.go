@@ -340,7 +340,7 @@ func BenchmarkLostEdges(b *testing.B) {
 	const cap = 150
 	ts := httptest.NewServer(gplusd.New(u, gplusd.Options{CircleCap: cap}))
 	defer ts.Close()
-	seed := u.IDs[graph.TopByInDegree(u.Graph, 1)[0]]
+	seed := u.IDs[graph.TopByInDegree(u.Graph, 1, 1)[0]]
 
 	b.ReportAllocs()
 	b.ResetTimer()

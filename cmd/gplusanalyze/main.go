@@ -20,9 +20,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"gplus/internal/core"
 	"gplus/internal/dataset"
@@ -79,6 +83,7 @@ func main() {
 		circleCap = flag.Int("cap", 10_000, "assumed circle cap for the lost-edge estimate")
 		format    = flag.String("format", "text", "output format: text or md (full Markdown report with audit)")
 		plotDir   = flag.String("plotdir", "", "also write gnuplot-ready figure data + plots.gp here")
+		par       = flag.Int("parallelism", 0, "worker goroutines per graph analysis; results are identical for any value (0 = auto: GOMAXPROCS capped at 8)")
 	)
 	flag.Parse()
 
@@ -89,9 +94,15 @@ func main() {
 	log.Printf("dataset: %d users (%d crawled), %d edges",
 		ds.NumUsers(), ds.NumCrawled(), ds.Graph.NumEdges())
 
-	study := core.New(ds, core.Options{Seed: *seed})
+	// The study wraps each analysis stage in an analyze.<stage> span; the
+	// recorder collects them so the per-stage wall-clock breakdown can be
+	// printed after the experiments run.
+	rec := trace.NewRecorder(0, trace.Rules{})
+	tracer := trace.New(trace.Config{Recorder: rec})
+	study := core.New(ds, core.Options{Seed: *seed, Parallelism: *par, Tracer: tracer})
 	ctx := context.Background()
 	w := os.Stdout
+	defer printStageBreakdown(os.Stderr, rec)
 
 	if *plotDir != "" {
 		if err := report.WritePlotData(ctx, *plotDir, study); err != nil {
@@ -121,6 +132,22 @@ func main() {
 		fmt.Fprintln(w)
 	}
 
+	// The structural analyses (figures 3-5 and connectivity) share one
+	// Structure pass, computed lazily so -only table1 does not pay for it.
+	var (
+		structOnce sync.Once
+		structRes  *core.StructureResult
+	)
+	structure := func() *core.StructureResult {
+		structOnce.Do(func() {
+			var err error
+			if structRes, err = study.Structure(ctx); err != nil {
+				log.Fatalf("structural analyses: %v", err)
+			}
+		})
+		return structRes
+	}
+
 	run("table1", func() { report.Table1(w, study.TopUsers(20)) })
 	run("table2", func() { report.Table2(w, study.AttributeTable()) })
 	run("table3", func() { report.Table3(w, study.TelUsers()) })
@@ -144,20 +171,67 @@ func main() {
 	run("table5", func() { report.Table5(w, study.TopOccupationsByCountry(10)) })
 
 	run("fig2", func() { report.Fig2(w, study.FieldsShared()) })
-	run("fig3", func() {
-		dd, err := study.Degrees()
-		if err != nil {
-			log.Fatalf("degrees: %v", err)
-		}
-		report.Fig3(w, dd)
+	run("fig3", func() { report.Fig3(w, structure().Degrees) })
+	run("fig4", func() {
+		st := structure()
+		report.Fig4(w, st.Reciprocity, st.Clustering, st.SCC)
 	})
-	run("fig4", func() { report.Fig4(w, study.Reciprocity(), study.Clustering(), study.SCC()) })
-	run("fig5", func() { report.Fig5(w, study.PathLengths(ctx)) })
+	run("fig5", func() { report.Fig5(w, structure().Paths) })
 	run("fig6", func() { report.Fig6(w, study.TopCountries(11)) })
 	run("fig7", func() { report.Fig7(w, study.Penetration()) })
 	run("fig8", func() { report.Fig8(w, study.FieldsByCountry(nil)) })
 	run("fig9", func() { report.Fig9(w, study.PathMiles(), study.AveragePathMiles()) })
 	run("fig10", func() { report.Fig10(w, study.CountryLinks()) })
-	run("connectivity", func() { report.Connectivity(w, study.WCC(), study.SCC()) })
+	run("connectivity", func() {
+		st := structure()
+		report.Connectivity(w, st.WCC, st.SCC)
+	})
 	run("lostedges", func() { report.LostEdges(w, study.LostEdges(*circleCap)) })
+}
+
+// printStageBreakdown sums the analyze.<stage> spans the study recorded
+// and prints where the analysis wall-clock went, slowest stage first.
+func printStageBreakdown(w io.Writer, rec *trace.Recorder) {
+	type stage struct {
+		name  string
+		dur   time.Duration
+		spans int
+	}
+	byName := map[string]*stage{}
+	for _, tr := range rec.Traces() {
+		for _, sp := range tr.Spans {
+			name, ok := strings.CutPrefix(sp.Name, "analyze.")
+			if !ok || name == "structure" {
+				continue // structure is the parent span; its children carry the detail
+			}
+			s := byName[name]
+			if s == nil {
+				s = &stage{name: name}
+				byName[name] = s
+			}
+			s.dur += sp.Dur
+			s.spans++
+		}
+	}
+	if len(byName) == 0 {
+		return
+	}
+	stages := make([]*stage, 0, len(byName))
+	for _, s := range byName {
+		stages = append(stages, s)
+	}
+	sort.Slice(stages, func(i, j int) bool {
+		if stages[i].dur != stages[j].dur {
+			return stages[i].dur > stages[j].dur
+		}
+		return stages[i].name < stages[j].name
+	})
+	fmt.Fprintln(w, "analysis stage wall-clock:")
+	for _, s := range stages {
+		fmt.Fprintf(w, "  %-12s %12s", s.name, s.dur.Round(time.Microsecond))
+		if s.spans > 1 {
+			fmt.Fprintf(w, "  (%d runs)", s.spans)
+		}
+		fmt.Fprintln(w)
+	}
 }

@@ -146,7 +146,7 @@ func runStream(args []string) {
 
 func runSampling(args []string) {
 	u, _ := universeFlag("sampling", args)
-	seed := graph.TopByInDegree(u.Graph, 1)[0]
+	seed := graph.TopByInDegree(u.Graph, 1, 1)[0]
 	rng := rand.New(rand.NewPCG(1, 2))
 	n := u.NumUsers() / 10
 	fmt.Printf("%-20s %12s %12s\n", "method", "mean degree", "inflation")

@@ -86,7 +86,7 @@ func main() {
 		scc.Count, 100*scc.GiantFraction)
 
 	// Sanity: the most popular user is identical in both views.
-	truthTop := universe.IDs[graph.TopByInDegree(universe.Graph, 1)[0]]
+	truthTop := universe.IDs[graph.TopByInDegree(universe.Graph, 1, 1)[0]]
 	crawlTop := study.TopUsers(1)[0].ID
 	fmt.Printf("top user agrees with ground truth: %v\n", truthTop == crawlTop)
 }

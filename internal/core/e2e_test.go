@@ -29,7 +29,7 @@ func TestPartialCrawlReproducesPaperSCCShape(t *testing.T) {
 	ts := httptest.NewServer(gplusd.New(u, gplusd.Options{CircleCap: circleCap}))
 	defer ts.Close()
 
-	seed := u.IDs[graph.TopByInDegree(u.Graph, 1)[0]]
+	seed := u.IDs[graph.TopByInDegree(u.Graph, 1, 1)[0]]
 	res, err := crawler.Crawl(context.Background(), crawler.Config{
 		BaseURL:     ts.URL,
 		Seeds:       []string{seed},

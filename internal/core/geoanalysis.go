@@ -196,9 +196,9 @@ func (s *Study) CountryStructures() []CountryStructure {
 			Users:       sub.NumNodes(),
 			Edges:       sub.NumEdges(),
 			AvgDegree:   sub.AvgDegree(),
-			Reciprocity: graph.GlobalReciprocity(sub),
+			Reciprocity: graph.GlobalReciprocity(sub, s.opts.Parallelism),
 		}
-		cs.MeanCC = graph.GlobalClustering(sub, s.opts.ClusteringSample, s.rng(20+uint64(i)))
+		cs.MeanCC = graph.GlobalClustering(sub, s.opts.ClusteringSample, s.rng(20+uint64(i)), s.opts.Parallelism)
 		out = append(out, cs)
 	}
 	return out

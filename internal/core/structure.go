@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"math/rand/v2"
+	"sync"
+	"time"
 
 	"gplus/internal/graph"
 	"gplus/internal/stats"
@@ -28,8 +30,14 @@ const degreeMLEXmin = 10
 
 // Degrees computes Figure 3 over the full graph.
 func (s *Study) Degrees() (DegreeDistributions, error) {
-	inDegs := graph.InDegrees(s.ds.Graph)
-	outDegs := graph.OutDegrees(s.ds.Graph)
+	return s.degrees(context.Background())
+}
+
+func (s *Study) degrees(ctx context.Context) (DegreeDistributions, error) {
+	_, finish := s.stage(ctx, "degrees")
+	defer finish()
+	inDegs := graph.InDegrees(s.ds.Graph, s.opts.Parallelism)
+	outDegs := graph.OutDegrees(s.ds.Graph, s.opts.Parallelism)
 	in := stats.CCDFInts(inDegs)
 	out := stats.CCDFInts(outDegs)
 	inFit, err := stats.FitPowerLawCCDF(in, 1)
@@ -60,14 +68,23 @@ type WCCResult struct {
 	GiantFraction float64
 }
 
-// WCC computes weak connectivity over the full graph.
+// WCC computes weak connectivity over the full graph. GiantFraction uses
+// the analyzed graph's node count as denominator — the same §3.3.4
+// interpretation as SCC — so the two connectivity figures are comparable
+// even when the dataset's user roster and the graph disagree.
 func (s *Study) WCC() WCCResult {
-	res := graph.WCC(s.ds.Graph)
-	out := WCCResult{Count: res.Count, GiantSize: res.GiantSize()}
-	if n := s.ds.NumUsers(); n > 0 {
-		out.GiantFraction = float64(out.GiantSize) / float64(n)
+	return s.wcc(context.Background())
+}
+
+func (s *Study) wcc(ctx context.Context) WCCResult {
+	_, finish := s.stage(ctx, "wcc")
+	defer finish()
+	res := graph.WCC(s.ds.Graph, s.opts.Parallelism)
+	return WCCResult{
+		Count:         res.Count,
+		GiantSize:     res.GiantSize(),
+		GiantFraction: res.GiantFraction(),
 	}
-	return out
 }
 
 // ReciprocityResult is Figure 4(a) plus the Table 4 global figure.
@@ -84,7 +101,13 @@ type ReciprocityResult struct {
 
 // Reciprocity computes Figure 4(a).
 func (s *Study) Reciprocity() ReciprocityResult {
-	rrs := graph.AllReciprocities(s.ds.Graph)
+	return s.reciprocity(context.Background())
+}
+
+func (s *Study) reciprocity(ctx context.Context) ReciprocityResult {
+	_, finish := s.stage(ctx, "reciprocity")
+	defer finish()
+	rrs := graph.AllReciprocities(s.ds.Graph, s.opts.Parallelism)
 	over := 0
 	for _, r := range rrs {
 		if r > 0.6 {
@@ -93,7 +116,7 @@ func (s *Study) Reciprocity() ReciprocityResult {
 	}
 	res := ReciprocityResult{
 		CDF:    stats.CDF(rrs),
-		Global: graph.GlobalReciprocity(s.ds.Graph),
+		Global: graph.GlobalReciprocity(s.ds.Graph, s.opts.Parallelism),
 	}
 	if len(rrs) > 0 {
 		res.FractionAbove06 = float64(over) / float64(len(rrs))
@@ -118,7 +141,13 @@ type ClusteringResult struct {
 // Clustering computes Figure 4(b) on a node sample (the paper sampled
 // one million nodes).
 func (s *Study) Clustering() ClusteringResult {
-	coeffs := graph.SampleClustering(s.ds.Graph, s.opts.ClusteringSample, s.rng(2))
+	return s.clustering(context.Background())
+}
+
+func (s *Study) clustering(ctx context.Context) ClusteringResult {
+	_, finish := s.stage(ctx, "clustering")
+	defer finish()
+	coeffs := graph.SampleClustering(s.ds.Graph, s.opts.ClusteringSample, s.rng(2), s.opts.Parallelism)
 	res := ClusteringResult{CDF: stats.CDF(coeffs), Sampled: len(coeffs)}
 	if len(coeffs) == 0 {
 		return res
@@ -149,9 +178,17 @@ type SCCResult struct {
 	SizeCCDF []stats.Point
 }
 
-// SCC computes Figure 4(c) over the full graph.
+// SCC computes Figure 4(c) over the full graph. Parallelism > 1 uses the
+// forward-backward decomposition, which produces results byte-identical
+// to the serial Tarjan reference.
 func (s *Study) SCC() SCCResult {
-	res := graph.SCC(s.ds.Graph)
+	return s.scc(context.Background())
+}
+
+func (s *Study) scc(ctx context.Context) SCCResult {
+	_, finish := s.stage(ctx, "scc")
+	defer finish()
+	res := graph.SCCParallel(s.ds.Graph, s.opts.Parallelism)
 	sizes := make([]float64, len(res.Sizes))
 	for i, sz := range res.Sizes {
 		sizes[i] = float64(sz)
@@ -175,6 +212,8 @@ type PathLengthResult struct {
 // PathLengths computes Figure 5 by sampled BFS, the paper's §3.3.5
 // procedure (grow the source sample until the distribution stabilizes).
 func (s *Study) PathLengths(ctx context.Context) PathLengthResult {
+	ctx, finish := s.stage(ctx, "paths")
+	defer finish()
 	opt := graph.PathLengthOptions{
 		MinSources:  s.opts.PathSources / 4,
 		MaxSources:  s.opts.PathSources,
@@ -232,10 +271,76 @@ func topologyOf(ctx context.Context, name string, g *graph.Graph, opts Options, 
 		Nodes:       g.NumNodes(),
 		Edges:       g.NumEdges(),
 		PathLength:  dist.Mean(),
-		Reciprocity: graph.GlobalReciprocity(g),
+		Reciprocity: graph.GlobalReciprocity(g, opts.Parallelism),
 		Diameter:    graph.DoubleSweepDiameter(g, graph.Directed, opts.DiameterSweeps, diamRNG),
 		AvgDegree:   g.AvgDegree(),
 	}
+}
+
+// StructureResult bundles every structural analysis of §3.3 — Table 4
+// plus Figures 3, 4, and 5 — together with the measured wall-clock of
+// each stage, so callers can print a per-stage breakdown.
+type StructureResult struct {
+	Degrees     DegreeDistributions
+	Reciprocity ReciprocityResult
+	Clustering  ClusteringResult
+	SCC         SCCResult
+	WCC         WCCResult
+	Paths       PathLengthResult
+	// Timings holds per-stage wall-clock in the fixed stage order
+	// degrees, reciprocity, clustering, scc, wcc, paths.
+	Timings []StageTiming
+}
+
+// Structure runs every structural analysis once, fanning the independent
+// stages out concurrently under a worker budget of min(Parallelism,
+// #stages); each stage additionally parallelizes internally. Every stage
+// derives its own RNG stream, so the results are identical for any
+// Parallelism — the same contract the graph package promises.
+func (s *Study) Structure(ctx context.Context) (*StructureResult, error) {
+	ctx, finish := s.stage(ctx, "structure")
+	defer finish()
+
+	res := &StructureResult{}
+	var degErr error
+	stages := []struct {
+		name string
+		run  func(context.Context)
+	}{
+		{"degrees", func(ctx context.Context) { res.Degrees, degErr = s.degrees(ctx) }},
+		{"reciprocity", func(ctx context.Context) { res.Reciprocity = s.reciprocity(ctx) }},
+		{"clustering", func(ctx context.Context) { res.Clustering = s.clustering(ctx) }},
+		{"scc", func(ctx context.Context) { res.SCC = s.scc(ctx) }},
+		{"wcc", func(ctx context.Context) { res.WCC = s.wcc(ctx) }},
+		{"paths", func(ctx context.Context) { res.Paths = s.PathLengths(ctx) }},
+	}
+	res.Timings = make([]StageTiming, len(stages))
+
+	budget := s.opts.Parallelism
+	if budget > len(stages) {
+		budget = len(stages)
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	sem := make(chan struct{}, budget)
+	var wg sync.WaitGroup
+	for i, st := range stages {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			st.run(ctx)
+			res.Timings[i] = StageTiming{Stage: st.name, Dur: time.Since(start)}
+		}()
+	}
+	wg.Wait()
+	if degErr != nil {
+		return nil, degErr
+	}
+	return res, nil
 }
 
 // LostEdgeEstimate reproduces §2.2's estimate of edges lost to the

@@ -9,11 +9,14 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 	"runtime"
+	"time"
 
 	"gplus/internal/dataset"
 	"gplus/internal/graph"
+	"gplus/internal/obs/trace"
 )
 
 // Study computes the paper's analyses over one dataset. All methods are
@@ -41,10 +44,15 @@ type Options struct {
 	// DiameterSweeps controls the double-sweep diameter bound restarts
 	// (default 4).
 	DiameterSweeps int
-	// Parallelism fans the BFS sampling of Figure 5 out over this many
-	// goroutines (default: up to 8, bounded by GOMAXPROCS). Results are
-	// identical for any value.
+	// Parallelism fans every graph analysis (degrees, reciprocity,
+	// clustering, components, BFS sampling) out over this many goroutines
+	// (default: up to 8, bounded by GOMAXPROCS). Results are identical
+	// for any value.
 	Parallelism int
+	// Tracer, when non-nil, wraps each analysis stage in a span named
+	// analyze.<stage>, so the per-stage wall-clock breakdown can be read
+	// back from the tracer's flight recorder. A nil Tracer is free.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +91,23 @@ func (s *Study) Dataset() *dataset.Dataset { return s.ds }
 // rng derives an independent deterministic stream per analysis.
 func (s *Study) rng(stream uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(s.opts.Seed, s.opts.Seed^(stream*0x9e3779b97f4a7c15+stream)))
+}
+
+// StageTiming is the measured wall-clock of one analysis stage.
+type StageTiming struct {
+	Stage string
+	Dur   time.Duration
+}
+
+// stage wraps one analysis stage in a tracer span (analyze.<name>) and
+// reports its wall-clock through the returned finish func.
+func (s *Study) stage(ctx context.Context, name string) (context.Context, func() time.Duration) {
+	ctx, sp := s.opts.Tracer.StartSpan(ctx, "analyze."+name)
+	start := time.Now()
+	return ctx, func() time.Duration {
+		sp.Finish()
+		return time.Since(start)
+	}
 }
 
 // eachCrawled visits every crawled profile with its node id.

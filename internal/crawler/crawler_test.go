@@ -48,7 +48,7 @@ func startService(t *testing.T, u *synth.Universe, opts gplusd.Options) string {
 // seedID returns the id of the highest in-degree user — "the most popular
 // user", like the paper's Mark Zuckerberg seed.
 func seedID(u *synth.Universe) string {
-	top := graph.TopByInDegree(u.Graph, 1)
+	top := graph.TopByInDegree(u.Graph, 1, 1)
 	return u.IDs[top[0]]
 }
 
@@ -82,8 +82,8 @@ func TestFullCrawlRecoversWCC(t *testing.T) {
 	// The bidirectional snowball must reach exactly the seed's weakly
 	// connected component (§3.3.4: "the social graph G consists of only
 	// one WCC" by construction of the crawl).
-	wcc := graph.WCC(u.Graph)
-	seedComp := wcc.Comp[graph.TopByInDegree(u.Graph, 1)[0]]
+	wcc := graph.WCC(u.Graph, 1)
+	seedComp := wcc.Comp[graph.TopByInDegree(u.Graph, 1, 1)[0]]
 	wantUsers := 0
 	var wantEdges int64
 	for i := 0; i < u.NumUsers(); i++ {
@@ -194,8 +194,8 @@ func TestCrawlWithCircleCapAndRecovery(t *testing.T) {
 		unique[e] = true
 	}
 	var trueEdges int64
-	wcc := graph.WCC(u.Graph)
-	seedComp := wcc.Comp[graph.TopByInDegree(u.Graph, 1)[0]]
+	wcc := graph.WCC(u.Graph, 1)
+	seedComp := wcc.Comp[graph.TopByInDegree(u.Graph, 1, 1)[0]]
 	for i := 0; i < u.NumUsers(); i++ {
 		if wcc.Comp[i] == seedComp {
 			trueEdges += int64(u.Graph.OutDegree(graph.NodeID(i)))

@@ -34,7 +34,7 @@ func fixtures(t *testing.T) (*synth.Universe, *crawler.Result) {
 		}
 		ts := httptest.NewServer(gplusd.New(u, gplusd.Options{}))
 		defer ts.Close()
-		seed := u.IDs[graph.TopByInDegree(u.Graph, 1)[0]]
+		seed := u.IDs[graph.TopByInDegree(u.Graph, 1, 1)[0]]
 		res, err := crawler.Crawl(context.Background(), crawler.Config{
 			BaseURL: ts.URL,
 			Seeds:   []string{seed},
@@ -58,8 +58,8 @@ func TestFromCrawlMatchesGroundTruth(t *testing.T) {
 
 	// The seed's WCC covers (almost all of) the generated universe; the
 	// crawled graph must reproduce its structure exactly.
-	wcc := graph.WCC(u.Graph)
-	seedComp := wcc.Comp[graph.TopByInDegree(u.Graph, 1)[0]]
+	wcc := graph.WCC(u.Graph, 1)
+	seedComp := wcc.Comp[graph.TopByInDegree(u.Graph, 1, 1)[0]]
 	wantUsers := 0
 	var wantEdges int64
 	for i := 0; i < u.NumUsers(); i++ {

@@ -25,7 +25,7 @@ func TestResolveCountriesFromRawPlaces(t *testing.T) {
 	}
 	ts := httptest.NewServer(gplusd.New(u, gplusd.Options{OmitGeocode: true}))
 	defer ts.Close()
-	seed := u.IDs[graph.TopByInDegree(u.Graph, 1)[0]]
+	seed := u.IDs[graph.TopByInDegree(u.Graph, 1, 1)[0]]
 	res, err := crawler.Crawl(context.Background(), crawler.Config{
 		BaseURL: ts.URL, Seeds: []string{seed}, Workers: 6,
 		FetchIn: true, FetchOut: true,

@@ -392,7 +392,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // Zuckerberg's profile as the BFS seed.
 func (s *Server) handleSeed(w http.ResponseWriter, _ *http.Request) {
 	s.mSeed.Inc()
-	top := graph.TopByInDegree(s.content.Graph, 1)
+	top := graph.TopByInDegree(s.content.Graph, 1, 1)
 	if len(top) == 0 {
 		http.NotFound(w, nil)
 		return

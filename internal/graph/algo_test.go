@@ -122,7 +122,7 @@ func TestSCCPropertySizesPartition(t *testing.T) {
 func TestWCC(t *testing.T) {
 	// Two weak components: {0,1,2} and {3,4}.
 	g := FromEdges(5, 0, 1, 2, 1, 3, 4)
-	res := WCC(g)
+	res := WCC(g, 1)
 	if res.Count != 2 {
 		t.Fatalf("WCC count = %d, want 2", res.Count)
 	}
@@ -140,7 +140,7 @@ func TestWCCPropertyCoarserThanSCC(t *testing.T) {
 		r := rand.New(rand.NewPCG(seed, seed^42))
 		n := 2 + r.IntN(40)
 		g := randomGraph(n, 2*n, r)
-		scc, wcc := SCC(g), WCC(g)
+		scc, wcc := SCC(g), WCC(g, 1)
 		owner := make(map[int32]int32)
 		for u := 0; u < n; u++ {
 			c := scc.Comp[u]
@@ -355,11 +355,11 @@ func TestClusteringPropertyBounds(t *testing.T) {
 func TestSampleClustering(t *testing.T) {
 	g := FromEdges(4, 0, 1, 0, 2, 0, 3, 1, 2, 1, 3, 2, 3)
 	rng := rand.New(rand.NewPCG(3, 3))
-	all := SampleClustering(g, 0, rng) // 0 => all eligible nodes
+	all := SampleClustering(g, 0, rng, 1) // 0 => all eligible nodes
 	if len(all) != 2 {                 // only nodes 0 and 1 have out-degree >= 2
 		t.Fatalf("eligible sample size = %d, want 2", len(all))
 	}
-	some := SampleClustering(g, 1, rng)
+	some := SampleClustering(g, 1, rng, 1)
 	if len(some) != 1 {
 		t.Fatalf("sample size = %d, want 1", len(some))
 	}
@@ -384,11 +384,11 @@ func TestRelationReciprocity(t *testing.T) {
 func TestGlobalReciprocity(t *testing.T) {
 	// 3 edges, 2 of them in a mutual pair => 2/3.
 	g := FromEdges(3, 0, 1, 1, 0, 0, 2)
-	got := GlobalReciprocity(g)
+	got := GlobalReciprocity(g, 1)
 	if math.Abs(got-2.0/3.0) > 1e-12 {
 		t.Errorf("GlobalReciprocity = %v, want 2/3", got)
 	}
-	if r := GlobalReciprocity(NewBuilder(0, 0).Build()); r != 0 {
+	if r := GlobalReciprocity(NewBuilder(0, 0).Build(), 1); r != 0 {
 		t.Errorf("empty graph reciprocity = %v", r)
 	}
 }
@@ -398,11 +398,11 @@ func TestReciprocityPropertyBounds(t *testing.T) {
 		r := rand.New(rand.NewPCG(seed, seed<<1|1))
 		n := 2 + r.IntN(50)
 		g := randomGraph(n, 3*n, r)
-		gr := GlobalReciprocity(g)
+		gr := GlobalReciprocity(g, 1)
 		if gr < 0 || gr > 1 {
 			return false
 		}
-		for _, rr := range AllReciprocities(g) {
+		for _, rr := range AllReciprocities(g, 1) {
 			if rr < 0 || rr > 1 {
 				return false
 			}
@@ -427,10 +427,10 @@ func TestFullyReciprocalGraph(t *testing.T) {
 		b.AddEdge(v, u)
 	}
 	g := b.Build()
-	if gr := GlobalReciprocity(g); gr != 1.0 {
+	if gr := GlobalReciprocity(g, 1); gr != 1.0 {
 		t.Errorf("GlobalReciprocity = %v, want 1", gr)
 	}
-	for _, rr := range AllReciprocities(g) {
+	for _, rr := range AllReciprocities(g, 1) {
 		if rr != 1.0 {
 			t.Errorf("RR = %v, want 1", rr)
 		}
@@ -514,11 +514,11 @@ func TestTopByInDegree(t *testing.T) {
 		0, 3, 1, 3, 2, 3,
 		0, 2, 1, 2,
 		0, 1)
-	top := TopByInDegree(g, 2)
+	top := TopByInDegree(g, 2, 1)
 	if len(top) != 2 || top[0] != 3 || top[1] != 2 {
 		t.Fatalf("top = %v, want [3 2]", top)
 	}
-	all := TopByInDegree(g, 10)
+	all := TopByInDegree(g, 10, 1)
 	if len(all) != 4 {
 		t.Fatalf("top-10 of 4 nodes = %v", all)
 	}
@@ -528,7 +528,7 @@ func TestTopByInDegree(t *testing.T) {
 			t.Fatalf("all = %v, want %v", all, want)
 		}
 	}
-	if got := TopByInDegree(g, 0); got != nil {
+	if got := TopByInDegree(g, 0, 1); got != nil {
 		t.Fatalf("top-0 = %v, want nil", got)
 	}
 }
@@ -536,7 +536,7 @@ func TestTopByInDegree(t *testing.T) {
 func TestTopByInDegreeTies(t *testing.T) {
 	// Both 1 and 2 have in-degree 1: smaller id wins the tie.
 	g := FromEdges(3, 0, 1, 0, 2)
-	top := TopByInDegree(g, 1)
+	top := TopByInDegree(g, 1, 1)
 	if len(top) != 1 || top[0] != 1 {
 		t.Fatalf("top = %v, want [1]", top)
 	}
@@ -544,7 +544,7 @@ func TestTopByInDegreeTies(t *testing.T) {
 
 func TestTopByOutDegree(t *testing.T) {
 	g := FromEdges(4, 0, 1, 0, 2, 0, 3, 1, 2)
-	top := TopByOutDegree(g, 2)
+	top := TopByOutDegree(g, 2, 1)
 	if top[0] != 0 || top[1] != 1 {
 		t.Fatalf("top = %v, want [0 1]", top)
 	}
@@ -552,7 +552,7 @@ func TestTopByOutDegree(t *testing.T) {
 
 func TestInOutDegreeSlices(t *testing.T) {
 	g := FromEdges(3, 0, 1, 0, 2, 1, 2)
-	in, out := InDegrees(g), OutDegrees(g)
+	in, out := InDegrees(g, 1), OutDegrees(g, 1)
 	if in[2] != 2 || out[0] != 2 || in[0] != 0 || out[2] != 0 {
 		t.Fatalf("in=%v out=%v", in, out)
 	}

@@ -75,7 +75,7 @@ func BenchmarkWCC(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = WCC(g)
+		_ = WCC(g, 1)
 	}
 }
 
@@ -84,7 +84,7 @@ func BenchmarkGlobalReciprocity(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = GlobalReciprocity(g)
+		_ = GlobalReciprocity(g, 1)
 	}
 }
 
@@ -122,6 +122,6 @@ func BenchmarkTopByInDegree(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = TopByInDegree(g, 20)
+		_ = TopByInDegree(g, 20, 1)
 	}
 }

@@ -192,7 +192,7 @@ func SamplePathLengths(ctx context.Context, g *Graph, dir Direction, opt PathLen
 		if ctx.Err() != nil {
 			return res
 		}
-		counts := bfsBatch(ctx, g, dir, sources[res.Sources:res.Sources+batch], scratch)
+		counts, done := bfsBatch(ctx, g, dir, sources[res.Sources:res.Sources+batch], scratch)
 		for h, c := range counts {
 			for h >= len(res.Counts) {
 				res.Counts = append(res.Counts, 0)
@@ -200,7 +200,13 @@ func SamplePathLengths(ctx context.Context, g *Graph, dir Direction, opt PathLen
 			res.Counts[h] += c
 			res.Reachable += c
 		}
-		res.Sources += batch
+		// Count only the sources whose BFS actually completed: on
+		// cancellation mid-batch, done < batch, and crediting the full
+		// batch would make Sources (and the convergence check) lie.
+		res.Sources += done
+		if done < batch {
+			return res
+		}
 
 		prob := res.Probability()
 		if res.Sources >= opt.MinSources && prevProb != nil && linfDelta(prevProb, prob) < opt.Tolerance {
@@ -212,14 +218,17 @@ func SamplePathLengths(ctx context.Context, g *Graph, dir Direction, opt PathLen
 }
 
 // bfsBatch runs BFS from each source, fanned out over len(scratch)
-// goroutines, and returns the summed distance histogram. Each worker
-// reuses a distance slice between sources.
-func bfsBatch(ctx context.Context, g *Graph, dir Direction, sources []NodeID, scratch [][]int32) []int64 {
+// goroutines, and returns the summed distance histogram along with how
+// many sources actually completed (fewer than len(sources) only when the
+// context was cancelled mid-batch). Each worker reuses a distance slice
+// between sources.
+func bfsBatch(ctx context.Context, g *Graph, dir Direction, sources []NodeID, scratch [][]int32) ([]int64, int) {
 	workers := len(scratch)
 	if workers <= 1 || len(sources) < 2 {
 		return bfsBatchSeq(ctx, g, dir, sources, &scratch[0])
 	}
 	partial := make([][]int64, workers)
+	completed := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -230,12 +239,14 @@ func bfsBatch(ctx context.Context, g *Graph, dir Direction, sources []NodeID, sc
 			for i := w; i < len(sources); i += workers {
 				mine = append(mine, sources[i])
 			}
-			partial[w] = bfsBatchSeq(ctx, g, dir, mine, &scratch[w])
+			partial[w], completed[w] = bfsBatchSeq(ctx, g, dir, mine, &scratch[w])
 		}(w)
 	}
 	wg.Wait()
 	var out []int64
-	for _, p := range partial {
+	done := 0
+	for w, p := range partial {
+		done += completed[w]
 		for h, c := range p {
 			for h >= len(out) {
 				out = append(out, 0)
@@ -243,14 +254,16 @@ func bfsBatch(ctx context.Context, g *Graph, dir Direction, sources []NodeID, sc
 			out[h] += c
 		}
 	}
-	return out
+	return out, done
 }
 
-func bfsBatchSeq(ctx context.Context, g *Graph, dir Direction, sources []NodeID, dist *[]int32) []int64 {
+// bfsBatchSeq runs BFS from each source in order and returns the summed
+// histogram plus the number of sources it finished before cancellation.
+func bfsBatchSeq(ctx context.Context, g *Graph, dir Direction, sources []NodeID, dist *[]int32) ([]int64, int) {
 	var counts []int64
-	for _, src := range sources {
+	for i, src := range sources {
 		if ctx.Err() != nil {
-			return counts
+			return counts, i
 		}
 		*dist = BFSDistances(g, src, dir, *dist)
 		for _, d := range *dist {
@@ -263,7 +276,7 @@ func bfsBatchSeq(ctx context.Context, g *Graph, dir Direction, sources []NodeID,
 			counts[d]++
 		}
 	}
-	return counts
+	return counts, len(sources)
 }
 
 func linfDelta(a, b []float64) float64 {

@@ -50,14 +50,25 @@ func sortedIntersectionSize(a, b []NodeID) int {
 // one-million-node sample. It returns one coefficient per sampled node.
 // If sampleSize >= the number of eligible nodes, all eligible nodes are
 // used exactly once.
-func SampleClustering(g *Graph, sampleSize int, rng *rand.Rand) []float64 {
+//
+// The eligibility scan and the per-node coefficients fan out over
+// parallelism workers; the Fisher-Yates draw stays serial so the RNG
+// stream is consumed in a fixed order. For a fixed rng seed the result is
+// identical for any parallelism.
+func SampleClustering(g *Graph, sampleSize int, rng *rand.Rand, parallelism int) []float64 {
 	n := g.NumNodes()
-	eligible := make([]NodeID, 0, n)
-	for u := 0; u < n; u++ {
-		if g.OutDegree(NodeID(u)) > 1 {
-			eligible = append(eligible, NodeID(u))
+	elBounds := uniformBounds(n, parallelism)
+	elParts := make([][]NodeID, len(elBounds)-1)
+	runShards(elBounds, func(shard, lo, hi int) {
+		part := make([]NodeID, 0, hi-lo)
+		for u := lo; u < hi; u++ {
+			if g.OutDegree(NodeID(u)) > 1 {
+				part = append(part, NodeID(u))
+			}
 		}
-	}
+		elParts[shard] = part
+	})
+	eligible := concatShards(elParts)
 	if sampleSize <= 0 || sampleSize > len(eligible) {
 		sampleSize = len(eligible)
 	} else {
@@ -68,19 +79,24 @@ func SampleClustering(g *Graph, sampleSize int, rng *rand.Rand) []float64 {
 			eligible[i], eligible[j] = eligible[j], eligible[i]
 		}
 	}
-	coeffs := make([]float64, 0, sampleSize)
-	for _, u := range eligible[:sampleSize] {
-		if c, ok := ClusteringCoefficient(g, u); ok {
-			coeffs = append(coeffs, c)
+	// Each sampled node's coefficient lands in its own slot, so the
+	// output order matches the serial scan over the sample.
+	selected := eligible[:sampleSize]
+	coeffs := make([]float64, sampleSize)
+	runShards(uniformBounds(sampleSize, parallelism), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			// Sampled nodes have out-degree > 1, so the coefficient is
+			// always defined.
+			coeffs[i], _ = ClusteringCoefficient(g, selected[i])
 		}
-	}
+	})
 	return coeffs
 }
 
 // GlobalClustering returns the mean clustering coefficient over a sample
 // (convenience for Table 4-style summaries).
-func GlobalClustering(g *Graph, sampleSize int, rng *rand.Rand) float64 {
-	coeffs := SampleClustering(g, sampleSize, rng)
+func GlobalClustering(g *Graph, sampleSize int, rng *rand.Rand, parallelism int) float64 {
+	coeffs := SampleClustering(g, sampleSize, rng, parallelism)
 	if len(coeffs) == 0 {
 		return 0
 	}

@@ -20,7 +20,7 @@ func Example() {
 	fmt.Println("nodes:", g.NumNodes())
 	fmt.Println("edges:", g.NumEdges())
 	fmt.Println("in-degree of 3:", g.InDegree(3))
-	fmt.Printf("reciprocity: %.2f\n", graph.GlobalReciprocity(g))
+	fmt.Printf("reciprocity: %.2f\n", graph.GlobalReciprocity(g, 1))
 	// Output:
 	// nodes: 4
 	// edges: 5

@@ -27,8 +27,15 @@ type Graph struct {
 	inAdj  []NodeID
 }
 
-// NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.outOff) - 1 }
+// NumNodes returns the number of nodes. A zero-value Graph (no offset
+// arrays yet) has zero nodes, not -1, so the degree and component
+// analyses are safe on it.
+func (g *Graph) NumNodes() int {
+	if len(g.outOff) == 0 {
+		return 0
+	}
+	return len(g.outOff) - 1
+}
 
 // NumEdges returns the number of directed edges.
 func (g *Graph) NumEdges() int64 { return int64(len(g.outAdj)) }
@@ -79,6 +86,15 @@ func (g *Graph) AvgDegree() float64 {
 // binary decoder to reject corrupt inputs.
 func (g *Graph) Validate() error {
 	n := g.NumNodes()
+	if len(g.outOff) == 0 {
+		// Zero-value graph: valid exactly when every array is empty, so
+		// validateCSR never indexes off[0] of a nil slice.
+		if len(g.inOff) != 0 || len(g.outAdj) != 0 || len(g.inAdj) != 0 {
+			return fmt.Errorf("graph: zero-value graph with non-empty arrays: %d in offsets, %d out adj, %d in adj",
+				len(g.inOff), len(g.outAdj), len(g.inAdj))
+		}
+		return nil
+	}
 	if len(g.inOff) != len(g.outOff) {
 		return fmt.Errorf("graph: offset arrays disagree: %d out vs %d in", len(g.outOff), len(g.inOff))
 	}

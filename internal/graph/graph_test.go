@@ -75,7 +75,7 @@ func TestIsolatedNodes(t *testing.T) {
 	if d := g.OutDegree(3); d != 0 {
 		t.Fatalf("isolated node out-degree = %d", d)
 	}
-	w := WCC(g)
+	w := WCC(g, 1)
 	if w.Count != 4 { // {0,1,5}, {2}, {3}, {4}
 		t.Fatalf("WCC count = %d, want 4", w.Count)
 	}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file holds the shared fan-out machinery behind every parallelized
+// analysis in the package. The contract, inherited from SamplePathLengths
+// and extended to all of internal/graph by this layer, is strict
+// determinism: for a fixed graph (and RNG seed, where one applies) the
+// result is byte-identical for any parallelism. The helpers guarantee it
+// structurally — nodes are split into contiguous ranges, every shard
+// writes only its own slot, and merges either preserve shard order
+// (concatenation) or are exact (integer sums, total-order selection,
+// canonical component relabeling). Nothing here depends on goroutine
+// scheduling.
+
+// normShards clamps a requested parallelism to [1, n] shards for n items.
+func normShards(n, parallelism int) int {
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return parallelism
+}
+
+// uniformBounds splits [0, n) into s contiguous ranges of near-equal node
+// count: cut points bounds[0] = 0 <= bounds[1] <= ... <= bounds[s] = n.
+func uniformBounds(n, parallelism int) []int {
+	s := normShards(n, parallelism)
+	bounds := make([]int, s+1)
+	for k := 1; k <= s; k++ {
+		bounds[k] = k * n / s
+	}
+	return bounds
+}
+
+// workBounds splits [0, n) into contiguous ranges of near-equal *work*
+// for algorithms whose per-node cost is proportional to degree: the
+// weight of node u is outdeg(u) + indeg(u) + 1, read straight off the CSR
+// offset arrays. On the crawl's heavy-tailed graphs a node-uniform split
+// would hand the shard holding the celebrity head most of the edges; this
+// split keeps shard runtimes level so the slowest worker bounds speedup.
+func (g *Graph) workBounds(parallelism int) []int {
+	n := g.NumNodes()
+	s := normShards(n, parallelism)
+	bounds := make([]int, s+1)
+	bounds[s] = n
+	if s == 1 {
+		return bounds
+	}
+	// weight prefix W(u) = outOff[u] + inOff[u] + u is monotonic, so each
+	// cut point is a binary search; no prefix array is materialized.
+	w := func(u int) int64 { return g.outOff[u] + g.inOff[u] + int64(u) }
+	total := w(n)
+	for k := 1; k < s; k++ {
+		target := total * int64(k) / int64(s)
+		lo := bounds[k-1]
+		bounds[k] = lo + sort.Search(n-lo, func(i int) bool { return w(lo+i) >= target })
+	}
+	return bounds
+}
+
+// runShards invokes fn(shard, lo, hi) for each consecutive bounds pair,
+// concurrently when there is more than one shard, and waits for all of
+// them. fn must confine its writes to shard-owned state.
+func runShards(bounds []int, fn func(shard, lo, hi int)) {
+	shards := len(bounds) - 1
+	if shards <= 1 {
+		if shards == 1 {
+			fn(0, bounds[0], bounds[1])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for k := 0; k < shards; k++ {
+		go func(k int) {
+			defer wg.Done()
+			fn(k, bounds[k], bounds[k+1])
+		}(k)
+	}
+	wg.Wait()
+}
+
+// concatShards merges per-shard result slices in shard order, so the
+// output is identical to a serial left-to-right scan.
+func concatShards[T any](parts [][]T) []T {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// relabelByFirstAppearance rewrites the component labels in comp to the
+// package's canonical numbering — ids count up in order of each
+// component's first appearance by node id — and returns the component
+// sizes under that numbering. Input labels must lie in [0, maxOld). The
+// canonical form is what makes component results comparable across
+// algorithms (Tarjan vs forward-backward SCC) and byte-identical across
+// parallelism levels, whatever order workers discovered the components.
+func relabelByFirstAppearance(comp []int32, maxOld int) []int32 {
+	remap := make([]int32, maxOld)
+	for i := range remap {
+		remap[i] = -1
+	}
+	var sizes []int32
+	for i, c := range comp {
+		id := remap[c]
+		if id < 0 {
+			id = int32(len(sizes))
+			remap[c] = id
+			sizes = append(sizes, 0)
+		}
+		comp[i] = id
+		sizes[id]++
+	}
+	return sizes
+}

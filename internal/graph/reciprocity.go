@@ -17,29 +17,46 @@ func RelationReciprocity(g *Graph, u NodeID) (float64, bool) {
 }
 
 // AllReciprocities returns RR(u) for every node with at least one
-// out-edge, the population plotted in Figure 4(a).
-func AllReciprocities(g *Graph) []float64 {
-	n := g.NumNodes()
-	out := make([]float64, 0, n)
-	for u := 0; u < n; u++ {
-		if rr, ok := RelationReciprocity(g, NodeID(u)); ok {
-			out = append(out, rr)
+// out-edge, the population plotted in Figure 4(a). The scan fans out over
+// parallelism workers on degree-balanced node ranges; per-shard results
+// concatenate in shard order, so the output is identical for any
+// parallelism.
+func AllReciprocities(g *Graph, parallelism int) []float64 {
+	bounds := g.workBounds(parallelism)
+	parts := make([][]float64, len(bounds)-1)
+	runShards(bounds, func(shard, lo, hi int) {
+		part := make([]float64, 0, hi-lo)
+		for u := lo; u < hi; u++ {
+			if rr, ok := RelationReciprocity(g, NodeID(u)); ok {
+				part = append(part, rr)
+			}
 		}
-	}
-	return out
+		parts[shard] = part
+	})
+	return concatShards(parts)
 }
 
 // GlobalReciprocity returns the fraction of directed edges that are
 // reciprocated (u->v exists and v->u exists). The paper measures 32% for
-// Google+ versus 22.1% reported for Twitter.
-func GlobalReciprocity(g *Graph) float64 {
+// Google+ versus 22.1% reported for Twitter. The per-node intersection
+// counts are summed as integers per shard and then across shards, so the
+// result is identical for any parallelism.
+func GlobalReciprocity(g *Graph, parallelism int) float64 {
 	if g.NumEdges() == 0 {
 		return 0
 	}
+	bounds := g.workBounds(parallelism)
+	partial := make([]int64, len(bounds)-1)
+	runShards(bounds, func(shard, lo, hi int) {
+		var sum int64
+		for u := lo; u < hi; u++ {
+			sum += int64(sortedIntersectionSize(g.Out(NodeID(u)), g.In(NodeID(u))))
+		}
+		partial[shard] = sum
+	})
 	var reciprocal int64
-	n := g.NumNodes()
-	for u := 0; u < n; u++ {
-		reciprocal += int64(sortedIntersectionSize(g.Out(NodeID(u)), g.In(NodeID(u))))
+	for _, p := range partial {
+		reciprocal += p
 	}
 	return float64(reciprocal) / float64(g.NumEdges())
 }

@@ -75,13 +75,16 @@ func Collect(ctx context.Context, s *core.Study) (*Results, error) {
 	if r.Tel.TotalAll > 0 {
 		r.TelFraction = float64(r.Tel.TotalTel) / float64(r.Tel.TotalAll)
 	}
-	r.Reciprocity = s.Reciprocity()
-	r.Clustering = s.Clustering()
-	r.Paths = s.PathLengths(ctx)
-	var err error
-	if r.Degrees, err = s.Degrees(); err != nil {
-		return nil, fmt.Errorf("paper: degree analysis: %w", err)
+	// The structural analyses run once through Structure, which fans the
+	// independent stages out under the study's parallelism budget.
+	st, err := s.Structure(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("paper: structural analyses: %w", err)
 	}
+	r.Reciprocity = st.Reciprocity
+	r.Clustering = st.Clustering
+	r.Paths = st.Paths
+	r.Degrees = st.Degrees
 	r.Topology = s.Topology(ctx)
 	for _, c := range s.TopCountries(0) {
 		r.Countries[c.Country] = c.Fraction

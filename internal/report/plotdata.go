@@ -54,32 +54,33 @@ func WritePlotData(ctx context.Context, dir string, s *core.Study) error {
 		return err
 	}
 
-	dd, err := s.Degrees()
+	// One Structure call computes every figure-3/4/5 series, fanning the
+	// independent stages out under the study's parallelism budget.
+	st, err := s.Structure(ctx)
 	if err != nil {
 		return err
 	}
-	if err := writeSeries("fig3_in.dat", dd.In); err != nil {
+	if err := writeSeries("fig3_in.dat", st.Degrees.In); err != nil {
 		return err
 	}
-	if err := writeSeries("fig3_out.dat", dd.Out); err != nil {
-		return err
-	}
-
-	if err := writeSeries("fig4a_rr.dat", s.Reciprocity().CDF); err != nil {
-		return err
-	}
-	if err := writeSeries("fig4b_cc.dat", s.Clustering().CDF); err != nil {
-		return err
-	}
-	if err := writeSeries("fig4c_scc.dat", s.SCC().SizeCCDF); err != nil {
+	if err := writeSeries("fig3_out.dat", st.Degrees.Out); err != nil {
 		return err
 	}
 
-	pl := s.PathLengths(ctx)
-	if err := writeHops(filepath.Join(dir, "fig5_directed.dat"), pl.Directed.Probability()); err != nil {
+	if err := writeSeries("fig4a_rr.dat", st.Reciprocity.CDF); err != nil {
 		return err
 	}
-	if err := writeHops(filepath.Join(dir, "fig5_undirected.dat"), pl.Undirected.Probability()); err != nil {
+	if err := writeSeries("fig4b_cc.dat", st.Clustering.CDF); err != nil {
+		return err
+	}
+	if err := writeSeries("fig4c_scc.dat", st.SCC.SizeCCDF); err != nil {
+		return err
+	}
+
+	if err := writeHops(filepath.Join(dir, "fig5_directed.dat"), st.Paths.Directed.Probability()); err != nil {
+		return err
+	}
+	if err := writeHops(filepath.Join(dir, "fig5_undirected.dat"), st.Paths.Undirected.Probability()); err != nil {
 		return err
 	}
 

@@ -135,7 +135,7 @@ func Fig3(w io.Writer, dd core.DegreeDistributions) {
 
 // Connectivity renders the §3.3.4 component summary.
 func Connectivity(w io.Writer, wcc core.WCCResult, scc core.SCCResult) {
-	fmt.Fprintf(w, "Connectivity: %d WCC (giant %.1f%% of users); %d SCC (giant %.1f%%)\n",
+	fmt.Fprintf(w, "Connectivity: %d WCC (giant %.1f%% of graph nodes); %d SCC (giant %.1f%%)\n",
 		wcc.Count, 100*wcc.GiantFraction, scc.Count, 100*scc.GiantFraction)
 }
 

@@ -23,7 +23,7 @@ func sampleGraph(t *testing.T) (*graph.Graph, graph.NodeID) {
 			panic(err)
 		}
 		sampG = u.Graph
-		sampSeed = graph.TopByInDegree(u.Graph, 1)[0]
+		sampSeed = graph.TopByInDegree(u.Graph, 1, 1)[0]
 	})
 	return sampG, sampSeed
 }

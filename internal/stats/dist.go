@@ -15,36 +15,39 @@ type Point struct {
 }
 
 // CCDF returns the complementary cumulative distribution function of the
-// samples: for each distinct value x, the fraction of samples strictly
-// greater than or equal to x is plotted at x, i.e. P(X >= x). The input
-// slice is not modified. Points come out sorted by X ascending.
+// samples: for each distinct value x, the fraction of samples greater
+// than or equal to x is plotted at x, i.e. P(X >= x). The input slice is
+// not modified. Points come out sorted by X ascending.
 func CCDF(samples []float64) []Point {
-	return ccdfFrom(sortedCopy(samples))
+	return ccdfOwned(sortedCopy(samples))
 }
 
-// CCDFInts is CCDF for integer-valued samples such as node degrees.
+// CCDFInts is CCDF for integer-valued samples such as node degrees. It
+// converts once and runs through the same sort+scan path as CCDF.
 func CCDFInts(samples []int) []Point {
 	vals := make([]float64, len(samples))
 	for i, s := range samples {
 		vals[i] = float64(s)
 	}
-	sort.Float64s(vals)
-	return ccdfFrom(vals)
+	return ccdfOwned(vals)
 }
 
-func ccdfFrom(sorted []float64) []Point {
-	n := len(sorted)
+// ccdfOwned is the one shared CCDF path: it sorts vals in place (the
+// caller must own the slice) and scans out one point per distinct value.
+func ccdfOwned(vals []float64) []Point {
+	sort.Float64s(vals)
+	n := len(vals)
 	if n == 0 {
 		return nil
 	}
 	var pts []Point
 	for i := 0; i < n; {
 		j := i
-		for j < n && sorted[j] == sorted[i] {
+		for j < n && vals[j] == vals[i] {
 			j++
 		}
-		// P(X >= sorted[i]) = (n - i) / n.
-		pts = append(pts, Point{X: sorted[i], Y: float64(n-i) / float64(n)})
+		// P(X >= vals[i]) = (n - i) / n.
+		pts = append(pts, Point{X: vals[i], Y: float64(n-i) / float64(n)})
 		i = j
 	}
 	return pts

@@ -49,6 +49,33 @@ func TestCCDFInts(t *testing.T) {
 	}
 }
 
+func TestCCDFIntsMatchesCCDF(t *testing.T) {
+	// Both entry points share one sort+scan path; on equivalent inputs
+	// they must emit identical curves, without touching the input.
+	rng := rand.New(rand.NewPCG(11, 12))
+	ints := make([]int, 200)
+	floats := make([]float64, len(ints))
+	for i := range ints {
+		ints[i] = rng.IntN(20)
+		floats[i] = float64(ints[i])
+	}
+	orig := append([]float64(nil), floats...)
+	a, b := CCDFInts(ints), CCDF(floats)
+	if len(a) != len(b) {
+		t.Fatalf("CCDFInts emitted %d points, CCDF %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d: CCDFInts %v vs CCDF %v", i, a[i], b[i])
+		}
+	}
+	for i := range floats {
+		if floats[i] != orig[i] {
+			t.Fatal("CCDF modified its input slice")
+		}
+	}
+}
+
 func TestCCDFAtCDFAt(t *testing.T) {
 	s := []float64{1, 2, 3, 4}
 	if got := CCDFAt(s, 3); got != 0.5 {

@@ -289,7 +289,7 @@ func (u *Universe) generateEdges(rng *rand.Rand) {
 			p.Occupation = sampleOccupation(u.HomeCountry[node], true, choosers, rng)
 		}
 	}
-	for _, node := range graph.TopByInDegree(u.Graph, 100) {
+	for _, node := range graph.TopByInDegree(u.Graph, 100, 1) {
 		codeOccupation(node)
 	}
 	// Top located users per country (Table 5's ranking population).
@@ -339,7 +339,7 @@ func paShareFor(cfg Config, d int) float64 {
 // TopOccupationCounts tallies the occupations of the k most-followed
 // users, the summary behind Table 1's "7 out of 20 are IT" observation.
 func (u *Universe) TopOccupationCounts(k int) map[profile.Occupation]int {
-	top := graph.TopByInDegree(u.Graph, k)
+	top := graph.TopByInDegree(u.Graph, k, 1)
 	counts := make(map[profile.Occupation]int)
 	for _, id := range top {
 		counts[u.Profiles[id].Occupation]++

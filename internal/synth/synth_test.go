@@ -119,12 +119,12 @@ func TestCalibrationStructural(t *testing.T) {
 	if avg := g.AvgDegree(); avg < 13 || avg > 20 {
 		t.Errorf("avg degree = %.2f, want ~16.4 (band 13-20)", avg)
 	}
-	if rec := graph.GlobalReciprocity(g); rec < 0.25 || rec > 0.45 {
+	if rec := graph.GlobalReciprocity(g, 1); rec < 0.25 || rec > 0.45 {
 		t.Errorf("global reciprocity = %.3f, want ~0.32 (band 0.25-0.45)", rec)
 	}
 
 	// Figure 4(a): the bulk of ordinary users keep high RR.
-	rrs := graph.AllReciprocities(g)
+	rrs := graph.AllReciprocities(g, 1)
 	over := 0
 	for _, r := range rrs {
 		if r > 0.6 {
@@ -137,7 +137,7 @@ func TestCalibrationStructural(t *testing.T) {
 
 	// Figure 4(b): a large minority of users with CC > 0.2.
 	rng := rand.New(rand.NewPCG(7, 7))
-	ccs := graph.SampleClustering(g, 10_000, rng)
+	ccs := graph.SampleClustering(g, 10_000, rng, 1)
 	over = 0
 	for _, c := range ccs {
 		if c > 0.2 {
@@ -161,7 +161,7 @@ func TestCalibrationDegreeDistributions(t *testing.T) {
 	u := testUniverse(t)
 	g := u.Graph
 
-	fin, err := stats.FitDegreeDistribution(graph.InDegrees(g))
+	fin, err := stats.FitDegreeDistribution(graph.InDegrees(g, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestCalibrationDegreeDistributions(t *testing.T) {
 	if fin.R2 < 0.85 {
 		t.Errorf("in-degree fit R2 = %.3f, want >= 0.85", fin.R2)
 	}
-	fout, err := stats.FitDegreeDistribution(graph.OutDegrees(g))
+	fout, err := stats.FitDegreeDistribution(graph.OutDegrees(g, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestCalibrationProfiles(t *testing.T) {
 
 func TestTopUsersAreCelebrities(t *testing.T) {
 	u := testUniverse(t)
-	top := graph.TopByInDegree(u.Graph, 20)
+	top := graph.TopByInDegree(u.Graph, 20, 1)
 	celebs := 0
 	for _, id := range top {
 		if u.Celebrity[id] {
@@ -358,17 +358,17 @@ func TestGenerateBaselines(t *testing.T) {
 	}
 
 	// Table 4 orderings.
-	twRec := graph.GlobalReciprocity(tw)
+	twRec := graph.GlobalReciprocity(tw, 1)
 	if twRec < 0.12 || twRec > 0.33 {
 		t.Errorf("Twitter-like reciprocity = %.3f, want ~0.22", twRec)
 	}
-	if gRec := graph.GlobalReciprocity(gplus); gRec <= twRec {
+	if gRec := graph.GlobalReciprocity(gplus, 1); gRec <= twRec {
 		t.Errorf("Google+ reciprocity %.3f must exceed Twitter-like %.3f", gRec, twRec)
 	}
-	if fbRec := graph.GlobalReciprocity(fb); fbRec != 1 {
+	if fbRec := graph.GlobalReciprocity(fb, 1); fbRec != 1 {
 		t.Errorf("Facebook-like reciprocity = %.3f, want 1 (all links mutual)", fbRec)
 	}
-	if okRec := graph.GlobalReciprocity(ok); okRec != 1 {
+	if okRec := graph.GlobalReciprocity(ok, 1); okRec != 1 {
 		t.Errorf("Orkut-like reciprocity = %.3f, want 1", okRec)
 	}
 	if fb.AvgDegree() <= gplus.AvgDegree() {
