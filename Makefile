@@ -8,7 +8,7 @@ GO ?= go
 # the rule set). It is never downloaded — no network access is required.
 STATICCHECK_VERSION ?= 2024.1
 
-.PHONY: all check help build vet test race staticcheck chaos trace-demo bench bench-hotpath bench-analysis ablations fuzz fuzz-short verify examples report clean
+.PHONY: all check help build vet test race staticcheck hygiene chaos trace-demo dash-demo bench bench-hotpath bench-analysis ablations fuzz fuzz-short verify examples report clean
 
 # Default check path: the tier-1 verify (build + test) plus vet and the
 # race suite over the concurrent packages.
@@ -16,15 +16,18 @@ all: build vet test race
 
 # check is the conventional entry point for the same gate; the race leg
 # covers the sharded rate limiter and the batched crawl frontier, the
-# short fuzz leg shakes the checkpoint/journal parser, and staticcheck
-# runs when the pinned version is installed.
-check: all staticcheck fuzz-short
+# short fuzz leg shakes the checkpoint/journal parser, the hygiene leg
+# gates the metric exposition, and staticcheck runs when the pinned
+# version is installed.
+check: all staticcheck hygiene fuzz-short
 
 help:
 	@echo "make all            build + vet + test + race (default)"
 	@echo "make check          all + staticcheck + fuzz-short"
+	@echo "make hygiene        metrics-hygiene gate: naming grammar + HELP lines"
 	@echo "make chaos          kill/resume convergence under the fault suite"
 	@echo "make trace-demo     chaos crawl with request tracing on both sides"
+	@echo "make dash-demo      short chaos crawl rendered on the live dashboard"
 	@echo "make bench          one benchmark per table/figure"
 	@echo "make bench-hotpath  serving/crawling hot paths -> BENCH_hotpath.json"
 	@echo "make bench-analysis graph analytics at P=1/4/8/NumCPU -> BENCH_analysis.json"
@@ -44,7 +47,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/crawler/ ./internal/gplusd/ ./internal/graph/
+	$(GO) test -race ./internal/obs/ ./internal/obs/series/ ./internal/crawler/ ./internal/gplusd/ ./internal/graph/
+
+# The metrics-hygiene gate: every family either registry exposes after a
+# faulted crawl must match the Prometheus naming grammar and carry a
+# HELP line, and every sample must belong to a declared TYPE.
+hygiene:
+	$(GO) test -count=1 -run TestMetricsHygiene ./internal/crawler/
 
 # Lint with the pinned staticcheck when (and only when) it is installed;
 # a missing or differently versioned binary skips with a notice instead
@@ -73,6 +82,13 @@ chaos:
 trace-demo:
 	$(GO) test -count=1 -run TestTraceDemo -v ./internal/crawler/
 
+# The dashboard demo: a short chaos crawl rendered frame-by-frame on the
+# live dashboard, exactly as `gpluscrawl -dash` wires it; -v prints the
+# final frame and the offline health report replayed from the same
+# rings (outage spike, SLO violation span, alert transition).
+dash-demo:
+	$(GO) test -count=1 -run TestDashDemo -v ./internal/crawler/
+
 # One benchmark per table and figure, headline values as custom metrics.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
@@ -81,8 +97,8 @@ bench:
 # count, scheduler offer/next by worker count, rate limiter, fault
 # injection), recorded as a JSON baseline future PRs can diff against.
 bench-hotpath:
-	$(GO) test -run '^$$' -bench 'ServerThroughput|SchedulerOffer|RateLimiterAllow|FaultInjection' \
-	    -benchmem -count=1 . ./internal/crawler ./internal/gplusd \
+	$(GO) test -run '^$$' -bench 'ServerThroughput|SchedulerOffer|RateLimiterAllow|FaultInjection|CollectorSample' \
+	    -benchmem -count=1 . ./internal/crawler ./internal/gplusd ./internal/obs/series \
 	    | $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
 
 # The graph-analytics suite behind the parallelized analysis stage: every

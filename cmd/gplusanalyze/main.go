@@ -14,6 +14,14 @@
 // amplification per operation, and the slowest requests as span trees.
 //
 //	gplusanalyze traces [-top N] traces.jsonl [server.jsonl ...]
+//
+// The metrics subcommand replays a crawl's metric time-series dump
+// (JSONL from gpluscrawl -series-dir or /debug/timeseries?format=jsonl)
+// into a crawl health report: the throughput curve, the error-rate
+// timeline with spike spans, stall detection, and the violation spans of
+// the SLO objectives re-evaluated at every recorded tick.
+//
+//	gplusanalyze metrics [-width N] [-slo spec] series.jsonl [shard2.jsonl ...]
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 
 	"gplus/internal/core"
 	"gplus/internal/dataset"
+	"gplus/internal/obs/series"
 	"gplus/internal/obs/trace"
 	"gplus/internal/report"
 	"gplus/internal/synth"
@@ -70,9 +79,58 @@ func runTraces(args []string) {
 	}
 }
 
+// runMetrics is the `gplusanalyze metrics` subcommand: replay a crawl's
+// time-series dump into a crawl health report.
+func runMetrics(args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	width := fs.Int("width", 60, "sparkline width")
+	sloSpec := fs.String("slo", "default", `SLO objectives to replay over the dump ("default" = the crawl defaults, "" skips SLO replay)`)
+	stallAfter := fs.Int("stall-after", 3, "consecutive zero-throughput ticks (with work queued) that count as a stall")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gplusanalyze metrics [-width N] [-slo spec] series.jsonl [more.jsonl ...]")
+		fmt.Fprintln(os.Stderr, "dumps come from gpluscrawl -series-dir or /debug/timeseries?format=jsonl;")
+		fmt.Fprintln(os.Stderr, "multiple dumps (crawl shards) merge into one report")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck — ExitOnError
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	dump := series.NewDump()
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("opening series dump: %v", err)
+		}
+		err = dump.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading %s: %v", path, err)
+		}
+	}
+	opts := series.ReportOptions{Width: *width, StallAfter: *stallAfter}
+	switch *sloSpec {
+	case "default":
+	case "":
+		opts.Objectives = []series.Objective{}
+	default:
+		objs, err := series.ParseObjectives(*sloSpec)
+		if err != nil {
+			log.Fatalf("parsing -slo: %v", err)
+		}
+		opts.Objectives = objs
+	}
+	series.BuildReport(dump, opts).WriteText(os.Stdout, *width)
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "traces" {
 		runTraces(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		runMetrics(os.Args[2:])
 		return
 	}
 	var (

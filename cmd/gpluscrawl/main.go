@@ -2,9 +2,18 @@
 // a gplusd instance and writes the collected dataset to disk.
 //
 // With -metrics-addr it serves live crawler telemetry (/metrics in
-// Prometheus text, /debug/vars, /debug/pprof/) while the crawl runs, and
-// -progress emits a periodic structured progress line — the operational
-// view the paper's 45-day crawl depended on.
+// Prometheus text, /debug/vars, /debug/pprof/, and /debug/timeseries —
+// in-process metric history sampled every -sample-interval) while the
+// crawl runs, and -progress emits a periodic structured progress line
+// with a frontier-drain ETA — the operational view the paper's 45-day
+// crawl depended on.
+//
+// -dash replaces the progress lines with a live ANSI dashboard on
+// stdout: sparkline panels for throughput, edge discovery, frontier
+// depth, and API errors, plus headline counters and the burn-rate state
+// of the -slo objectives (logs keep flowing to stderr). -series-dir
+// spools the sampled series to <dir>/series.jsonl at exit; `gplusanalyze
+// metrics` replays that dump into a crawl health report offline.
 //
 // With -journal the crawl streams every profile, edge, and discovered id
 // into an append-only journal as it runs, flushed and fsynced every
@@ -51,8 +60,26 @@ import (
 	"gplus/internal/dataset"
 	"gplus/internal/gplusapi"
 	"gplus/internal/obs"
+	"gplus/internal/obs/series"
 	"gplus/internal/obs/trace"
 )
+
+// writeSeries spools the collector's retained time series to path.
+func writeSeries(c *series.Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("wrote metric time series -> %s (analyze with: gplusanalyze metrics %s)", path, path)
+	return nil
+}
 
 func main() {
 	var (
@@ -76,13 +103,42 @@ func main() {
 		traceDir    = flag.String("trace-dir", "", "stream exemplar traces to <dir>/exemplars.jsonl as they trip and dump every retained trace to <dir>/traces.jsonl at exit (requires -trace-sample)")
 		traceSlow   = flag.Duration("trace-slow", 500*time.Millisecond, "exemplar rule: retain traces whose root exceeds this duration")
 		traceRetry  = flag.Int("trace-retries", 3, "exemplar rule: retain traces where any span burned at least this many retries")
+		seriesDir   = flag.String("series-dir", "", "write the sampled metric time series to <dir>/series.jsonl at exit (feed it to `gplusanalyze metrics`)")
+		dashOn      = flag.Bool("dash", false, "render a live terminal dashboard on stdout (sparkline throughput/frontier/error panels, SLO state) instead of periodic progress lines")
+		sampleInt   = flag.Duration("sample-interval", time.Second, "time-series sampling cadence for -series-dir/-dash/-metrics-addr (0 disables the collector)")
+		sloSpec     = flag.String("slo", "default", `SLO objectives evaluated over the crawl's metric time series ("default" = API availability <1% + p99 latency <1s, "" disables)`)
 	)
 	flag.Parse()
 
+	wantSeries := *sampleInt > 0 && (*seriesDir != "" || *dashOn || *metricsAddr != "")
+	if *dashOn && !wantSeries {
+		log.Fatalf("-dash requires -sample-interval > 0")
+	}
 	var reg *obs.Registry
-	if *metricsAddr != "" {
+	if *metricsAddr != "" || wantSeries {
 		reg = obs.NewRegistry()
 		obs.PublishExpvar("gpluscrawl", reg)
+		obs.RegisterRuntimeMetrics(reg)
+	}
+
+	// Time-series collector over the crawl registry: backs the live
+	// dashboard, the /debug/timeseries endpoint, and the series.jsonl
+	// spool that `gplusanalyze metrics` replays offline.
+	var collector *series.Collector
+	var eng *series.Engine
+	if wantSeries {
+		collector = series.NewCollector(reg, series.Options{Interval: *sampleInt})
+		if *sloSpec != "" {
+			objs := series.DefaultCrawlObjectives()
+			if *sloSpec != "default" {
+				var err error
+				if objs, err = series.ParseObjectives(*sloSpec); err != nil {
+					log.Fatalf("parsing -slo: %v", err)
+				}
+			}
+			eng = series.NewEngine(collector, objs, reg)
+			collector.OnSample(eng.Eval)
+		}
 	}
 
 	if *traceDir != "" && *traceSample <= 0 {
@@ -142,6 +198,7 @@ func main() {
 		}
 		mux := obs.NewDebugMux(reg)
 		mux.Handle("/debug/traces", tracer.Recorder())
+		series.Mount(mux, collector, eng)
 		log.Printf("serving crawl metrics on http://%s/metrics (traces at /debug/traces)", ln.Addr())
 		go func() {
 			if err := http.Serve(ln, mux); err != nil {
@@ -152,6 +209,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Sampling starts before the seed fetch: a service that is down when
+	// the crawl launches shows up as 503/retry series from the very
+	// first request, instead of as invisible pre-collection history.
+	collector.Start()
 
 	var seedList []string
 	if *seeds != "" {
@@ -236,6 +298,33 @@ func main() {
 		log.Printf("journaling live crawl state -> %s (flush+fsync every %v)", *journal, *flushEvery)
 	}
 
+	// With -dash the periodic progress line would scribble over the
+	// dashboard: capture it instead and render it inside the dash frame
+	// (the final summary still goes to the log, which writes to stderr
+	// while the dashboard owns stdout).
+	var onProgress func(crawler.Progress)
+	if *dashOn {
+		var progMu sync.Mutex
+		var lastProgress crawler.Progress
+		onProgress = func(p crawler.Progress) {
+			progMu.Lock()
+			lastProgress = p
+			progMu.Unlock()
+			if p.Final {
+				log.Print(p)
+			}
+		}
+		dash := series.NewDash(collector, eng, os.Stdout, series.DashOptions{Extra: func() []string {
+			progMu.Lock()
+			defer progMu.Unlock()
+			if lastProgress.Elapsed == 0 {
+				return nil
+			}
+			return []string{lastProgress.String()}
+		}})
+		collector.OnSample(dash.Frame)
+	}
+
 	res, err := crawler.Crawl(ctx, crawler.Config{
 		BaseURL:          *url,
 		Seeds:            seedList,
@@ -251,6 +340,7 @@ func main() {
 		Journal:          jrnl,
 		Metrics:          reg,
 		ProgressInterval: *progress,
+		OnProgress:       onProgress,
 		Tracer:           tracer,
 	})
 	if cerr := jrnl.Close(); cerr != nil {
@@ -258,6 +348,16 @@ func main() {
 	}
 	if traceDump != nil {
 		traceDump()
+	}
+	if collector != nil {
+		collector.Stop()
+		if *seriesDir != "" {
+			if err := os.MkdirAll(*seriesDir, 0o755); err != nil {
+				log.Printf("creating -series-dir: %v", err)
+			} else if err := writeSeries(collector, filepath.Join(*seriesDir, "series.jsonl")); err != nil {
+				log.Printf("writing series dump: %v", err)
+			}
+		}
 	}
 	if err != nil && res == nil {
 		log.Fatalf("crawl: %v", err)

@@ -4,8 +4,10 @@
 // /seed endpoint naming a popular user to start crawls from.
 //
 // Operational endpoints ride on the same listener: /metrics (Prometheus
-// text; ?format=json for the snapshot), /debug/vars (expvar), and the
-// /debug/pprof/ suite for go tool pprof.
+// text; ?format=json for the snapshot), /debug/vars (expvar), the
+// /debug/pprof/ suite for go tool pprof, /debug/timeseries (in-process
+// metric history at -sample-interval cadence; ?format=jsonl dumps it),
+// and /debug/slo (burn-rate state of the -slo objectives).
 //
 // The hot path holds no global locks: fault injection draws from
 // per-goroutine RNG streams and the per-crawler rate limiter is striped
@@ -40,6 +42,7 @@ import (
 
 	"gplus/internal/gplusd"
 	"gplus/internal/obs"
+	"gplus/internal/obs/series"
 	"gplus/internal/obs/trace"
 	"gplus/internal/synth"
 )
@@ -59,6 +62,8 @@ func main() {
 		traceOn   = flag.Bool("trace", false, "record server-side spans and join crawler traces propagated via X-Gplus-Trace (browse at /debug/traces)")
 		traceRate = flag.Float64("trace-sample", 1, "head sampling rate for requests arriving without a trace header (propagated traces are always joined)")
 		alogEvery = flag.Int("access-log-sample", 0, "log 1 in N served requests, with trace id (0 disables)")
+		sloSpec   = flag.String("slo", "default", `SLO objectives evaluated over the metric time series ("default" = availability <1% + p99 latency <250ms, "" disables, or a spec like "avail,error_ratio,bad=gplusd_faults_injected_total,total=gplusd_requests_total,max=1%,window=1m"); report at /debug/slo`)
+		sampleInt = flag.Duration("sample-interval", time.Second, "time-series sampling cadence (0 disables the collector and /debug/timeseries)")
 	)
 	flag.Parse()
 
@@ -102,12 +107,37 @@ func main() {
 		AccessLogSample: *alogEvery,
 	})
 	obs.PublishExpvar("gplusd", reg)
+	obs.RegisterRuntimeMetrics(reg)
 
 	// The debug mux takes /metrics, /debug/vars, /debug/pprof/, and
 	// /debug/traces; every other path falls through to the simulator.
 	root := obs.NewDebugMux(reg)
 	root.Handle("/debug/traces", tracer.Recorder())
 	root.Handle("/", srv)
+
+	// Time-series collector + SLO engine over the same registry:
+	// /debug/timeseries serves ring-buffer window queries and JSONL
+	// dumps, /debug/slo the burn-rate report.
+	if *sampleInt > 0 {
+		collector := series.NewCollector(reg, series.Options{Interval: *sampleInt})
+		var eng *series.Engine
+		if *sloSpec != "" {
+			objs := series.DefaultGplusdObjectives()
+			if *sloSpec != "default" {
+				if objs, err = series.ParseObjectives(*sloSpec); err != nil {
+					log.Fatalf("parsing -slo: %v", err)
+				}
+			}
+			eng = series.NewEngine(collector, objs, reg)
+			collector.OnSample(eng.Eval)
+			for _, o := range objs {
+				log.Printf("slo armed: %s: %s", o.Name, o)
+			}
+		}
+		series.Mount(root, collector, eng)
+		collector.Start()
+		defer collector.Stop()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

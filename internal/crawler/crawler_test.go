@@ -630,4 +630,30 @@ func TestCrawlProgressReports(t *testing.T) {
 	if line := final.String(); !strings.Contains(line, "crawled=") || !strings.Contains(line, "frontier=") {
 		t.Errorf("progress line missing fields: %q", line)
 	}
+	// Once the crawl is moving, reports with a non-empty frontier carry a
+	// drain estimate from the smoothed rate.
+	sawETA := false
+	for _, p := range reports {
+		if p.ETA > 0 && p.Frontier > 0 {
+			sawETA = true
+			break
+		}
+	}
+	if !sawETA {
+		t.Error("no progress report carried an ETA despite a live frontier")
+	}
+	if line := final.String(); !strings.Contains(line, "eta=") {
+		t.Errorf("progress line missing eta: %q", line)
+	}
+}
+
+func TestProgressETARendering(t *testing.T) {
+	p := Progress{Frontier: 100}
+	if !strings.Contains(p.String(), "eta=?") {
+		t.Errorf("zero ETA should render as unknown: %q", p.String())
+	}
+	p.ETA = 90 * time.Second
+	if !strings.Contains(p.String(), "eta=1m30s") {
+		t.Errorf("ETA not rendered: %q", p.String())
+	}
 }

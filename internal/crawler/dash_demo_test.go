@@ -1,0 +1,97 @@
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"gplus/internal/gplusd"
+	"gplus/internal/obs"
+	"gplus/internal/obs/series"
+)
+
+// ansiRe strips the terminal control sequences the dashboard emits so
+// its frames are readable in test logs.
+var ansiRe = regexp.MustCompile(`\x1b\[[0-9;]*[A-Za-z]`)
+
+// TestDashDemo is the `make dash-demo` entry point: a short chaos crawl
+// rendered through the live dashboard, frame by frame, exactly as
+// `gpluscrawl -dash` wires it. -v prints the final frame and the
+// offline health report rebuilt from the same rings.
+func TestDashDemo(t *testing.T) {
+	u := crawlUniverse(t)
+	url := startService(t, u, gplusd.Options{
+		Faults: &gplusd.FaultSpec{Seed: 42, Rules: []gplusd.FaultRule{
+			{Kind: gplusd.FaultOutage, Every: 10 * time.Minute, Down: 200 * time.Millisecond},
+		}},
+	})
+
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	collector := series.NewCollector(reg, series.Options{Interval: 25 * time.Millisecond, Capacity: 4096})
+	eng := series.NewEngine(collector, series.DefaultCrawlObjectives(), reg)
+	collector.OnSample(eng.Eval)
+
+	var screen bytes.Buffer
+	dash := series.NewDash(collector, eng, &screen, series.DashOptions{Window: 30 * time.Second})
+	collector.OnSample(dash.Frame)
+
+	collector.Start()
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		FetchIn: true, FetchOut: true,
+		MaxProfiles:      400,
+		Politeness:       time.Millisecond,
+		MaxRetries:       16,
+		RetryBackoffBase: 2 * time.Millisecond,
+		Metrics:          reg,
+	})
+	collector.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ProfilesCrawled == 0 {
+		t.Fatal("demo crawl made no progress")
+	}
+	if dash.Frames() < 2 {
+		t.Fatalf("dashboard rendered %d frames, want a live sequence", dash.Frames())
+	}
+
+	// The final frame, as the terminal would show it after the last
+	// repaint: everything since the last clear/home sequence.
+	frames := ansiRe.Split(screen.String(), -1)
+	last := strings.TrimSpace(strings.Join(frames, ""))
+	if !strings.Contains(last, "profiles/s") || !strings.Contains(last, "totals") {
+		t.Fatalf("final frame missing panels:\n%s", last)
+	}
+	t.Logf("dashboard: %d frames rendered; final frame:\n%s", dash.Frames(), ansiRe.ReplaceAllString(lastFrame(screen.String()), ""))
+
+	// The same rings replay into the offline health report.
+	var dumpBuf bytes.Buffer
+	if err := collector.WriteJSONL(&dumpBuf); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := series.ReadDump(&dumpBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report strings.Builder
+	series.BuildReport(dump, series.ReportOptions{}).WriteText(&report, 60)
+	if !strings.Contains(report.String(), "crawl health") {
+		t.Fatalf("health report missing:\n%s", report.String())
+	}
+	t.Logf("offline replay of the same rings:\n%s", report.String())
+}
+
+// lastFrame returns everything after the final cursor-home sequence —
+// the content of the terminal's last repaint.
+func lastFrame(s string) string {
+	const home = "\x1b[H"
+	if i := strings.LastIndex(s, home); i >= 0 {
+		return s[i+len(home):]
+	}
+	return s
+}

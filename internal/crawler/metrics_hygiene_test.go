@@ -1,0 +1,127 @@
+package crawler
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"gplus/internal/gplusd"
+	"gplus/internal/obs"
+	"gplus/internal/obs/series"
+)
+
+// promFamilyRe is the Prometheus metric-name grammar; every family the
+// repo registers must match it or scrapes break.
+var promFamilyRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// TestMetricsHygiene populates both registries the way a real chaos
+// crawl does — server with faults armed, client crawl with runtime
+// metrics, collector, and SLO engine — then parses the Prometheus
+// exposition of each and asserts every family matches the naming
+// grammar, carries a HELP line, and every sample belongs to a declared
+// TYPE. This is the `make check` gate against unparseable or
+// undocumented metrics sneaking in.
+func TestMetricsHygiene(t *testing.T) {
+	u := crawlUniverse(t)
+
+	sreg := obs.NewRegistry()
+	url := startService(t, u, gplusd.Options{
+		Metrics:       sreg,
+		RatePerSecond: 10_000,
+		FaultRate:     0.05,
+		FaultSeed:     7,
+		Faults: &gplusd.FaultSpec{Seed: 7, Rules: []gplusd.FaultRule{
+			{Kind: gplusd.FaultOutage, Every: time.Hour, Down: 10 * time.Millisecond},
+		}},
+	})
+
+	creg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(creg)
+	collector := series.NewCollector(creg, series.Options{Interval: 10 * time.Millisecond, Capacity: 256})
+	eng := series.NewEngine(collector, series.DefaultCrawlObjectives(), creg)
+	collector.OnSample(eng.Eval)
+	collector.Start()
+	_, err := Crawl(context.Background(), Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		FetchIn: true, FetchOut: true,
+		MaxProfiles: 80,
+		MaxRetries:  16, RetryBackoffBase: time.Millisecond,
+		Metrics: creg,
+	})
+	collector.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkExposition(t, "gplusd", sreg)
+	checkExposition(t, "crawl", creg)
+}
+
+func checkExposition(t *testing.T, side string, reg *obs.Registry) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("%s: WritePrometheus: %v", side, err)
+	}
+	help := map[string]bool{}
+	typed := map[string]string{} // family -> counter|gauge|histogram
+	families := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || strings.TrimSpace(parts[1]) == "" {
+				t.Errorf("%s: HELP line without text: %q", side, line)
+				continue
+			}
+			help[parts[0]] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Errorf("%s: malformed TYPE line: %q", side, line)
+				continue
+			}
+			fam, kind := parts[0], parts[1]
+			if !promFamilyRe.MatchString(fam) {
+				t.Errorf("%s: family %q violates the Prometheus naming grammar", side, fam)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Errorf("%s: family %q has unknown type %q", side, fam, kind)
+			}
+			if !help[fam] {
+				t.Errorf("%s: family %q has no HELP line", side, fam)
+			}
+			typed[fam] = kind
+			families++
+		case line == "":
+		default:
+			// A sample line: family is the text before '{' or ' '.
+			fam := line
+			if i := strings.IndexAny(fam, "{ "); i >= 0 {
+				fam = fam[:i]
+			}
+			base := fam
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if s, ok := strings.CutSuffix(fam, suf); ok && typed[s] == "histogram" {
+					base = s
+					break
+				}
+			}
+			if _, ok := typed[base]; !ok {
+				t.Errorf("%s: sample %q has no TYPE declaration", side, line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("%s: scanning exposition: %v", side, err)
+	}
+	if families == 0 {
+		t.Fatalf("%s: exposition is empty; the fixture populated nothing", side)
+	}
+}

@@ -1,0 +1,133 @@
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"gplus/internal/gplusd"
+	"gplus/internal/obs"
+	"gplus/internal/obs/series"
+)
+
+// TestSeriesChaosReportE2E is the observability pipeline proof: a crawl
+// against a service with a scheduled outage runs under the time-series
+// collector, the rings are spooled to the JSONL dump format, and the
+// offline health report built from that dump must surface the injected
+// outage as both an error-rate spike and an SLO violation span whose
+// timestamps match the chaos schedule.
+func TestSeriesChaosReportE2E(t *testing.T) {
+	u := crawlUniverse(t)
+
+	// One outage at the start of the service's life: the rule is "down
+	// when (time since start) % Every < Down", so with Every far beyond
+	// the test's runtime the outage is exactly [t0, t0+Down).
+	const outageDown = 400 * time.Millisecond
+	t0 := time.Now()
+	url := startService(t, u, gplusd.Options{
+		Faults: &gplusd.FaultSpec{Seed: 42, Rules: []gplusd.FaultRule{
+			{Kind: gplusd.FaultOutage, Every: 10 * time.Minute, Down: outageDown},
+		}},
+	})
+	outageEnd := t0.Add(outageDown)
+
+	reg := obs.NewRegistry()
+	collector := series.NewCollector(reg, series.Options{Interval: 25 * time.Millisecond, Capacity: 4096})
+	collector.Start()
+
+	// Retries ride out the outage (cumulative backoff comfortably spans
+	// 400ms); politeness stretches the crawl so the collector records a
+	// healthy recovery phase after the outage.
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
+		FetchIn: true, FetchOut: true,
+		MaxProfiles:      600,
+		Politeness:       time.Millisecond,
+		HTTPTimeout:      time.Second,
+		MaxRetries:       16,
+		RetryBackoffBase: 4 * time.Millisecond,
+		Metrics:          reg,
+	})
+	collector.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ProfilesCrawled == 0 {
+		t.Fatal("crawl made no progress")
+	}
+
+	// Spool the rings through the dump format, exactly as gpluscrawl
+	// -series-dir does, and rebuild the report offline.
+	var buf bytes.Buffer
+	if err := collector.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := series.ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := series.BuildReport(dump, series.ReportOptions{
+		Objectives: []series.Objective{{
+			Name: "availability", Kind: series.ErrorRatio,
+			Bad:   []string{`gplusapi_responses_total{code="503"}`},
+			Total: []string{"gplusapi_responses_total"},
+			Max:   0.01,
+			// A short window keeps the violation span tight around the
+			// outage instead of smearing a minute past it.
+			Window: 500 * time.Millisecond,
+			Fast:   100 * time.Millisecond,
+		}},
+	})
+
+	if report.Ticks < 10 {
+		t.Fatalf("only %d ticks collected; crawl too fast for the 25ms cadence", report.Ticks)
+	}
+	if report.TotalProfiles == 0 || report.PeakThroughput == 0 {
+		t.Errorf("throughput curve empty: %+v", report)
+	}
+	// Outage 503s are retried into successes, so the dataset is clean but
+	// the error timeline must still record them.
+	if report.TotalErrors == 0 {
+		t.Fatal("no 503s recorded despite the outage")
+	}
+
+	// Timestamps are sample-aligned: allow a few ticks of slack on each
+	// edge of the schedule.
+	const slack = 250 * time.Millisecond
+
+	if len(report.ErrorSpikes) == 0 {
+		t.Fatal("outage produced no error-rate spike span")
+	}
+	for _, s := range report.ErrorSpikes {
+		if s.Start.Before(t0.Add(-slack)) || s.End.After(outageEnd.Add(slack)) {
+			t.Errorf("error spike %v..%v outside the outage schedule %v..%v",
+				s.Start, s.End, t0, outageEnd)
+		}
+	}
+
+	if len(report.Violations) == 0 {
+		t.Fatal("outage produced no SLO violation span")
+	}
+	v := report.Violations[0]
+	if v.Name != "availability" {
+		t.Errorf("violation objective = %q", v.Name)
+	}
+	if v.Start.Before(t0.Add(-slack)) || v.Start.After(outageEnd.Add(slack)) {
+		t.Errorf("violation starts %v, want during the outage %v..%v", v.Start, t0, outageEnd)
+	}
+	// The long window holds the errors for Window past the outage; beyond
+	// that the SLI must have recovered.
+	if v.End.After(outageEnd.Add(500*time.Millisecond + slack)) {
+		t.Errorf("violation ends %v, want within a window of the outage end %v", v.End, outageEnd)
+	}
+
+	// The rendered report names the outage both ways.
+	var sb strings.Builder
+	report.WriteText(&sb, 60)
+	out := sb.String()
+	if !strings.Contains(out, "spike") || !strings.Contains(out, "VIOLATION availability") {
+		t.Errorf("report text missing outage evidence:\n%s", out)
+	}
+}

@@ -43,8 +43,13 @@ func newTelemetry(reg *obs.Registry, nWorkers int) *telemetry {
 		workers:    make([]*obs.Counter, nWorkers),
 	}
 	reg.Help("crawler_profiles_crawled_total", "Profiles fetched successfully.")
+	reg.Help("crawler_pages_fetched_total", "Circle pages fetched.")
+	reg.Help("crawler_edges_observed_total", "Edge observations collected from circle pages.")
+	reg.Help("crawler_profile_errors_total", "Permanent profile-fetch failures.")
+	reg.Help("crawler_circle_errors_total", "Permanent circle-page-fetch failures.")
 	reg.Help("crawler_journal_torn_records_total", "Torn journal records dropped when loading resume state.")
 	reg.Help("crawler_frontier_depth", "Ids queued for crawling but not yet claimed.")
+	reg.Help("crawler_discovered_users", "All user ids ever seen, crawled or not.")
 	reg.Help("crawler_worker_profiles_total", "Profiles fetched per crawl machine.")
 	for i := range t.workers {
 		t.workers[i] = reg.Counter(fmt.Sprintf(`crawler_worker_profiles_total{worker="machine-%02d"}`, i))
@@ -73,6 +78,12 @@ type Progress struct {
 	// TornRecords counts journal records dropped as torn when this
 	// session's resume state was loaded.
 	TornRecords int64
+	// ETA estimates how long draining the current frontier will take at
+	// the smoothed crawl rate (an exponentially weighted average of
+	// profiles/s across reports, so one slow or fast interval does not
+	// whipsaw the estimate). Zero when the rate is zero or not yet
+	// established — an unknown ETA, not an imminent finish.
+	ETA time.Duration
 	// Final marks the end-of-crawl summary report, emitted exactly once
 	// when the crawl finishes regardless of ProgressInterval.
 	Final bool
@@ -80,10 +91,14 @@ type Progress struct {
 
 // String renders the single structured progress line.
 func (p Progress) String() string {
+	eta := "?"
+	if p.ETA > 0 {
+		eta = p.ETA.Round(time.Second).String()
+	}
 	return fmt.Sprintf(
-		"crawl progress: crawled=%d discovered=%d frontier=%d profile_errors=%d circle_errors=%d pages=%d edges=%d profiles/s=%.1f edges/s=%.1f journal_lag=%s torn=%d elapsed=%s final=%t",
+		"crawl progress: crawled=%d discovered=%d frontier=%d profile_errors=%d circle_errors=%d pages=%d edges=%d profiles/s=%.1f edges/s=%.1f eta=%s journal_lag=%s torn=%d elapsed=%s final=%t",
 		p.Crawled, p.Discovered, p.Frontier, p.ProfileErrors, p.CircleErrors,
-		p.PagesFetched, p.EdgesObserved, p.ProfilesPerSec, p.EdgesPerSec,
+		p.PagesFetched, p.EdgesObserved, p.ProfilesPerSec, p.EdgesPerSec, eta,
 		p.JournalFlushLag.Round(time.Millisecond), p.TornRecords,
 		p.Elapsed.Round(time.Second), p.Final)
 }
@@ -121,6 +136,20 @@ func (t *telemetry) reportProgress(interval time.Duration, emit func(Progress), 
 	}
 	start := time.Now()
 	prev, prevAt := Progress{}, start
+	// Smoothed profiles/s for the ETA: an EWMA across reports so a
+	// single bursty or stalled interval doesn't whipsaw the estimate.
+	const etaAlpha = 0.3
+	rate, haveRate := 0.0, false
+	finish := func(p *Progress) {
+		if haveRate {
+			rate = etaAlpha*p.ProfilesPerSec + (1-etaAlpha)*rate
+		} else if p.ProfilesPerSec > 0 {
+			rate, haveRate = p.ProfilesPerSec, true
+		}
+		if rate > 0 && p.Frontier > 0 {
+			p.ETA = time.Duration(float64(p.Frontier) / rate * float64(time.Second))
+		}
+	}
 	var tick <-chan time.Time
 	if interval > 0 {
 		ticker := time.NewTicker(interval)
@@ -131,11 +160,13 @@ func (t *telemetry) reportProgress(interval time.Duration, emit func(Progress), 
 		select {
 		case <-done:
 			p := t.snapshot(start, prev, prevAt, time.Now())
+			finish(&p)
 			p.Final = true
 			emit(p)
 			return
 		case now := <-tick:
 			p := t.snapshot(start, prev, prevAt, now)
+			finish(&p)
 			emit(p)
 			prev, prevAt = p, now
 		}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"gplus/internal/obs"
@@ -53,11 +54,19 @@ type Client struct {
 	// injects an X-Gplus-Trace header so gplusd joins the trace and
 	// records its server-side spans. nil costs one pointer check.
 	Tracer *trace.Tracer
+
+	helpOnce sync.Once // registers the HELP lines of the client families
 }
 
 // Instrumentation series names; the endpoint label is one of "profile",
 // "profile_html", "circle", "seed", or "stats".
 func (c *Client) latencyHist(op string) *obs.Histogram {
+	c.helpOnce.Do(func() {
+		c.Metrics.Help("gplusapi_request_seconds", "End-to-end API request latency, by endpoint.")
+		c.Metrics.Help("gplusapi_responses_total", "API responses received, by endpoint and status code.")
+		c.Metrics.Help("gplusapi_retries_total", "Request retries burned, by endpoint.")
+		c.Metrics.Help("gplusapi_transport_errors_total", "Requests failing below HTTP (resets, timeouts, torn bodies), by endpoint.")
+	})
 	return c.Metrics.Histogram(`gplusapi_request_seconds{endpoint="`+op+`"}`, nil)
 }
 

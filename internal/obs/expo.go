@@ -40,14 +40,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, v := range snap.Counters {
 		name, v := name, v
 		add(name, "counter", func(w io.Writer) error {
-			_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+			_, err := fmt.Fprintf(w, "%s %d\n", sanitizeSeries(name), v)
 			return err
 		})
 	}
 	for name, v := range snap.Gauges {
 		name, v := name, v
 		add(name, "gauge", func(w io.Writer) error {
-			_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+			_, err := fmt.Fprintf(w, "%s %d\n", sanitizeSeries(name), v)
 			return err
 		})
 	}
@@ -65,7 +65,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, fam := range names {
 		if h := help[fam]; h != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, h); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, escapeHelp(h)); err != nil {
 				return err
 			}
 		}
@@ -86,7 +86,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // writeHistogram emits the _bucket (cumulative, with le labels), _sum,
 // and _count series of one histogram.
 func writeHistogram(w io.Writer, name string, hs HistogramSnapshot) error {
-	fam, labels := familyOf(name), labelsOf(name)
+	fam, labels := familyOf(name), sanitizeLabels(labelsOf(name))
 	cum := int64(0)
 	for i, bound := range hs.Bounds {
 		cum += hs.Counts[i]
@@ -119,6 +119,160 @@ func seriesName(fam, labels, extra string) string {
 	default:
 		return fam + "{" + labels + "," + extra + "}"
 	}
+}
+
+// escapeHelp escapes HELP text per the exposition format: backslash and
+// newline (a raw newline would start a bogus exposition line).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a (decoded) label value per the exposition
+// format: backslash, double-quote, and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// sanitizeSeries re-emits a registered series name with its label values
+// escaped per the exposition format. Series are registered as literal
+// `family{k="v",...}` strings, so adversarial values (quotes, newlines,
+// backslashes interpolated into the name) would otherwise be emitted raw
+// and produce unparseable exposition output.
+func sanitizeSeries(name string) string {
+	labels := labelsOf(name)
+	if labels == "" {
+		return name
+	}
+	return familyOf(name) + "{" + sanitizeLabels(labels) + "}"
+}
+
+// sanitizeLabels parses a label body (the text between the braces) and
+// re-emits it with every value escaped. The scanner decodes the valid
+// escapes (\\, \", \n) and treats everything else — including raw
+// newlines and interior quotes not followed by ',' or end-of-body — as
+// literal value content. A body that does not parse as k="v" pairs at
+// all is returned unchanged (never making output worse than the input).
+func sanitizeLabels(body string) string {
+	pairs, ok := parseLabelPairs(body)
+	if !ok {
+		return body
+	}
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.val))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+type labelPair struct{ key, val string }
+
+// parseLabelPairs tolerantly scans `k="v",k2="v2"` with escape handling;
+// val is the decoded value. ok is false when the body's structure is not
+// key="value" pairs.
+func parseLabelPairs(body string) ([]labelPair, bool) {
+	var pairs []labelPair
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 || eq+i+1 >= len(body) || body[i+eq+1] != '"' {
+			return nil, false
+		}
+		key := strings.TrimSpace(body[i : i+eq])
+		if key == "" {
+			return nil, false
+		}
+		j := i + eq + 2 // first value byte
+		var val strings.Builder
+		closed := false
+		for j < len(body) {
+			switch c := body[j]; c {
+			case '\\':
+				if j+1 < len(body) {
+					switch body[j+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						// Unknown escape: keep the backslash literal; the
+						// re-escape doubles it.
+						val.WriteByte('\\')
+						val.WriteByte(body[j+1])
+					}
+					j += 2
+					continue
+				}
+				val.WriteByte('\\')
+				j++
+			case '"':
+				// Closing quote only at end-of-body or before ','; an
+				// interior raw quote is value content.
+				if j+1 == len(body) || body[j+1] == ',' {
+					closed = true
+					j++
+				} else {
+					val.WriteByte('"')
+					j++
+				}
+			default:
+				val.WriteByte(c)
+				j++
+			}
+			if closed {
+				break
+			}
+		}
+		if !closed {
+			return nil, false
+		}
+		pairs = append(pairs, labelPair{key: key, val: val.String()})
+		i = j
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, false
+			}
+			i++
+		}
+	}
+	return pairs, len(pairs) > 0
 }
 
 // ServeHTTP serves the registry: Prometheus text by default, the JSON

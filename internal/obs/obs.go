@@ -219,6 +219,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	help     map[string]string // keyed by family name
+	samplers []func()          // run before every Snapshot
 }
 
 // NewRegistry returns an empty registry.
@@ -334,6 +335,21 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
+// RegisterSampler schedules fn to run at the start of every Snapshot —
+// and therefore before every exposition and every time-series collector
+// tick. The hook refreshes pull-style metrics (runtime stats, depths
+// read from elsewhere) just in time to be read. fn must not call back
+// into Snapshot. Hooks cannot be unregistered; a nil registry or fn is
+// a no-op.
+func (r *Registry) RegisterSampler(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.samplers = append(r.samplers, fn)
+	r.mu.Unlock()
+}
+
 // Snapshot copies out the current value of every registered metric. A nil
 // registry yields an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {
@@ -344,6 +360,14 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	if r == nil {
 		return snap
+	}
+	// Samplers run outside the lock: they write metrics (atomic, no lock
+	// needed) and the slice is append-only, so the copied header is safe.
+	r.mu.RLock()
+	samplers := r.samplers
+	r.mu.RUnlock()
+	for _, fn := range samplers {
+		fn()
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -1,0 +1,99 @@
+package obs
+
+import "math"
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the snapshot's
+// observations from its bucket counts, linearly interpolating inside the
+// bucket that contains the quantile rank — the estimator behind
+// Prometheus's histogram_quantile. The first bucket interpolates from a
+// lower bound of zero (the histograms here record non-negative
+// latencies); a rank landing in the +Inf overflow bucket returns the
+// largest finite bound, since the buckets cannot resolve anything above
+// it. Returns NaN for an empty snapshot or q outside [0, 1].
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	if hs.Count <= 0 || math.IsNaN(q) || q < 0 || q > 1 ||
+		len(hs.Bounds) == 0 || len(hs.Counts) != len(hs.Bounds)+1 {
+		return math.NaN()
+	}
+	rank := q * float64(hs.Count)
+	if rank == 0 {
+		// q = 0 means "the smallest observation": the first non-empty
+		// bucket's lower edge, not a hard zero.
+		rank = math.SmallestNonzeroFloat64
+	}
+	var cum float64
+	for i, ci := range hs.Counts {
+		c := float64(ci)
+		if c > 0 && cum+c >= rank {
+			if i == len(hs.Counts)-1 {
+				return hs.Bounds[len(hs.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = hs.Bounds[i-1]
+			}
+			return lo + (hs.Bounds[i]-lo)*(rank-cum)/c
+		}
+		cum += c
+	}
+	// Unreachable for a consistent snapshot (cumulative count reaches
+	// hs.Count >= rank); kept as a defensive cap.
+	return hs.Bounds[len(hs.Bounds)-1]
+}
+
+// CountBelow estimates how many observations were <= v, linearly
+// interpolating within the bucket containing v. Observations in the +Inf
+// overflow bucket count only when v is +Inf: for a finite v past the
+// last bound the estimate is deliberately conservative (those
+// observations are treated as above v).
+func (hs HistogramSnapshot) CountBelow(v float64) float64 {
+	if len(hs.Counts) != len(hs.Bounds)+1 {
+		return 0
+	}
+	var cum float64
+	for i, b := range hs.Bounds {
+		c := float64(hs.Counts[i])
+		if v >= b {
+			cum += c
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = hs.Bounds[i-1]
+		}
+		if v <= lo {
+			return cum
+		}
+		return cum + c*(v-lo)/(b-lo)
+	}
+	if math.IsInf(v, 1) {
+		cum += float64(hs.Counts[len(hs.Counts)-1])
+	}
+	return cum
+}
+
+// Sub returns the observations recorded between prev and hs — the
+// per-bucket difference, with Count and Sum differenced to match. A
+// counter reset (any bucket shrinking, the total count shrinking, or
+// mismatched bucket layouts — the process restarted between the two
+// snapshots) returns hs unchanged: after a restart the newer snapshot
+// is itself the whole window's content.
+func (hs HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Counts) != len(hs.Counts) || len(prev.Bounds) != len(hs.Bounds) || prev.Count > hs.Count {
+		return hs
+	}
+	out := HistogramSnapshot{
+		Bounds: hs.Bounds,
+		Counts: make([]int64, len(hs.Counts)),
+		Count:  hs.Count - prev.Count,
+		Sum:    hs.Sum - prev.Sum,
+	}
+	for i := range hs.Counts {
+		d := hs.Counts[i] - prev.Counts[i]
+		if d < 0 {
+			return hs
+		}
+		out.Counts[i] = d
+	}
+	return out
+}

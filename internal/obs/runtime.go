@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// GCPauseBuckets are histogram bounds suited to Go stop-the-world pause
+// times, in seconds: microseconds through a pathological 100ms.
+var GCPauseBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1,
+}
+
+// RegisterRuntimeMetrics registers Go runtime health series on reg —
+// goroutine count, heap bytes, GC cycle counter, and a GC pause
+// histogram — refreshed by a Snapshot sampler hook, so every /metrics
+// scrape and every time-series collector tick reads current values
+// without a background goroutine. Call at most once per registry (each
+// call adds an independent sampler); a nil registry is a no-op.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help("go_goroutines", "Goroutines currently live.")
+	reg.Help("go_heap_alloc_bytes", "Heap bytes allocated and still in use.")
+	reg.Help("go_heap_sys_bytes", "Heap bytes obtained from the OS.")
+	reg.Help("go_gc_cycles_total", "Completed GC cycles.")
+	reg.Help("go_gc_pause_seconds", "Stop-the-world GC pause durations.")
+	var (
+		goroutines = reg.Gauge("go_goroutines")
+		heapAlloc  = reg.Gauge("go_heap_alloc_bytes")
+		heapSys    = reg.Gauge("go_heap_sys_bytes")
+		gcCycles   = reg.Counter("go_gc_cycles_total")
+		gcPause    = reg.Histogram("go_gc_pause_seconds", GCPauseBuckets)
+	)
+	var mu sync.Mutex // snapshots of one registry can race; the cursor must not
+	var seenGC uint32
+	reg.RegisterSampler(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		// PauseNs is a circular buffer of the last 256 pauses; cycle c
+		// (1-based) lands at PauseNs[(c+255)%256]. Feed only the cycles
+		// completed since the previous sample, skipping any overwritten
+		// when more than 256 elapsed between samples.
+		first := seenGC + 1
+		if ms.NumGC > 256 && ms.NumGC-256 > seenGC {
+			first = ms.NumGC - 256 + 1
+		}
+		for c := first; c <= ms.NumGC; c++ {
+			gcPause.Observe(float64(ms.PauseNs[(c+255)%256]) / 1e9)
+		}
+		if ms.NumGC > seenGC {
+			gcCycles.Add(int64(ms.NumGC - seenGC))
+			seenGC = ms.NumGC
+		}
+	})
+}

@@ -1,0 +1,327 @@
+package series
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// ReportOptions configures BuildReport.
+type ReportOptions struct {
+	// Throughput is the counter family plotted as the crawl's
+	// profiles-per-second curve (default crawler_pages_fetched_total).
+	Throughput string
+	// Frontier is the gauge consulted by stall detection (default
+	// crawler_frontier_depth): zero throughput only counts as a stall
+	// while work remained queued.
+	Frontier string
+	// Errors are the counter selectors summed into the error-rate
+	// timeline (default: API 503 responses, transport errors, and
+	// permanent profile/circle failures).
+	Errors []string
+	// Objectives are evaluated at every tick of the dump to find SLO
+	// violation spans (default DefaultCrawlObjectives).
+	Objectives []Objective
+	// StallAfter is how many consecutive zero-throughput ticks (with a
+	// non-empty frontier) open a stall (default 3).
+	StallAfter int
+	// Width is the sparkline width of the text report (default 60).
+	Width int
+}
+
+func (o ReportOptions) withDefaults() ReportOptions {
+	if o.Throughput == "" {
+		o.Throughput = "crawler_pages_fetched_total"
+	}
+	if o.Frontier == "" {
+		o.Frontier = "crawler_frontier_depth"
+	}
+	if len(o.Errors) == 0 {
+		o.Errors = []string{
+			`gplusapi_responses_total{code="503"}`,
+			"gplusapi_transport_errors_total",
+			"crawler_profile_errors_total",
+			"crawler_circle_errors_total",
+		}
+	}
+	if o.Objectives == nil {
+		o.Objectives = DefaultCrawlObjectives()
+	}
+	if o.StallAfter <= 0 {
+		o.StallAfter = 3
+	}
+	if o.Width <= 0 {
+		o.Width = 60
+	}
+	return o
+}
+
+// Span is a contiguous run of ticks in some condition.
+type Span struct {
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Peak is the condition's worst value inside the span (error rate
+	// for spikes, burn rate for SLO violations, seconds for stalls).
+	Peak float64 `json:"peak"`
+	// Name tags SLO spans with the violated objective.
+	Name string `json:"name,omitempty"`
+}
+
+func (s Span) dur() time.Duration { return s.End.Sub(s.Start) }
+
+// HealthReport is the offline crawl health analysis built from a dump.
+type HealthReport struct {
+	Start, End time.Time
+	Ticks      int
+
+	// Throughput curve (per-second rates at each tick).
+	Throughput     []Point
+	AvgThroughput  float64
+	PeakThroughput float64
+	TotalProfiles  float64
+
+	// Error timeline (per-second error rates) and spikes: ticks where
+	// the rate exceeds max(5x the run average, 0.05/s).
+	Errors      []Point
+	TotalErrors float64
+	ErrorSpikes []Span
+
+	// Stalls: runs of >= StallAfter ticks with zero throughput while the
+	// frontier was non-empty.
+	Stalls []Span
+
+	// SLO evaluation replayed over every tick.
+	Statuses   map[string]Status // final status per objective
+	Violations []Span
+}
+
+// BuildReport replays a dump into a crawl health report.
+func BuildReport(d *Dump, opts ReportOptions) *HealthReport {
+	opts = opts.withDefaults()
+	r := &HealthReport{Statuses: make(map[string]Status)}
+	ticks := d.Times()
+	r.Ticks = len(ticks)
+	if len(ticks) == 0 {
+		return r
+	}
+	r.Start, r.End = ticks[0], ticks[len(ticks)-1]
+
+	r.Throughput = sumRatePoints(d, []string{opts.Throughput}, ticks)
+	r.TotalProfiles = sumIncrease(d, []string{opts.Throughput}, time.Time{}, time.Time{})
+	for _, p := range r.Throughput {
+		r.AvgThroughput += p.V
+		if p.V > r.PeakThroughput {
+			r.PeakThroughput = p.V
+		}
+	}
+	if len(r.Throughput) > 0 {
+		r.AvgThroughput /= float64(len(r.Throughput))
+	}
+
+	r.Errors = sumRatePoints(d, opts.Errors, ticks)
+	r.TotalErrors = sumIncrease(d, opts.Errors, time.Time{}, time.Time{})
+	r.ErrorSpikes = errorSpikes(r.Errors)
+	r.Stalls = stalls(d, r.Throughput, opts)
+	r.Violations = ViolationSpans(d, opts.Objectives, ticks)
+	for _, o := range opts.Objectives {
+		r.Statuses[o.Name] = Evaluate(d, o, r.End)
+	}
+	return r
+}
+
+// sumRatePoints sums the per-interval rate series of every series
+// matching any selector, aligned on the dump's tick sequence.
+func sumRatePoints(src Source, selectors []string, ticks []time.Time) []Point {
+	byTick := make(map[int64]float64)
+	for _, name := range src.Names() {
+		if k, ok := src.SeriesKind(name); !ok || k == KindGauge {
+			continue
+		}
+		matched := false
+		for _, sel := range selectors {
+			if matchesSelector(sel, name) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		for _, p := range RatePoints(src.PointsSince(name, time.Time{})) {
+			byTick[p.T.UnixNano()] += p.V
+		}
+	}
+	out := make([]Point, 0, len(ticks))
+	for _, t := range ticks[1:] { // rates exist from the second tick on
+		out = append(out, Point{T: t, V: byTick[t.UnixNano()]})
+	}
+	return out
+}
+
+// errorSpikes finds contiguous runs where the error rate exceeds
+// max(5x the run average, 0.05/s).
+func errorSpikes(errs []Point) []Span {
+	if len(errs) == 0 {
+		return nil
+	}
+	var avg float64
+	for _, p := range errs {
+		avg += p.V
+	}
+	avg /= float64(len(errs))
+	threshold := math.Max(5*avg, 0.05)
+	var spans []Span
+	open := -1
+	peak := 0.0
+	for i, p := range errs {
+		if p.V > threshold {
+			if open < 0 {
+				open = i
+				peak = p.V
+			} else if p.V > peak {
+				peak = p.V
+			}
+			continue
+		}
+		if open >= 0 {
+			spans = append(spans, Span{Start: errs[open].T, End: errs[i-1].T, Peak: peak})
+			open = -1
+		}
+	}
+	if open >= 0 {
+		spans = append(spans, Span{Start: errs[open].T, End: errs[len(errs)-1].T, Peak: peak})
+	}
+	return spans
+}
+
+// stalls finds runs of >= StallAfter consecutive zero-throughput ticks
+// during which the frontier gauge stayed non-empty.
+func stalls(d *Dump, throughput []Point, opts ReportOptions) []Span {
+	frontierAt := make(map[int64]float64)
+	for _, name := range d.Names() {
+		if !matchesSelector(opts.Frontier, name) {
+			continue
+		}
+		for _, p := range d.PointsSince(name, time.Time{}) {
+			frontierAt[p.T.UnixNano()] += p.V
+		}
+	}
+	var spans []Span
+	run := make([]Point, 0, 8)
+	flush := func() {
+		if len(run) >= opts.StallAfter {
+			spans = append(spans, Span{
+				Start: run[0].T, End: run[len(run)-1].T,
+				Peak: run[len(run)-1].T.Sub(run[0].T).Seconds(),
+			})
+		}
+		run = run[:0]
+	}
+	for _, p := range throughput {
+		if p.V == 0 && frontierAt[p.T.UnixNano()] > 0 {
+			run = append(run, p)
+			continue
+		}
+		flush()
+	}
+	flush()
+	return spans
+}
+
+// ViolationSpans replays the objectives over every tick and returns the
+// contiguous spans during which each objective's long-window SLI was out
+// of bounds (Status.Violating), sorted by start time.
+func ViolationSpans(src Source, objs []Objective, ticks []time.Time) []Span {
+	var spans []Span
+	for _, o := range objs {
+		open := -1
+		peak := 0.0
+		for i, t := range ticks {
+			st := Evaluate(src, o, t)
+			if st.Violating {
+				if open < 0 {
+					open = i
+					peak = st.BurnLong
+				} else if st.BurnLong > peak {
+					peak = st.BurnLong
+				}
+				continue
+			}
+			if open >= 0 {
+				spans = append(spans, Span{Start: ticks[open], End: ticks[i-1], Peak: peak, Name: o.Name})
+				open = -1
+			}
+		}
+		if open >= 0 {
+			spans = append(spans, Span{Start: ticks[open], End: ticks[len(ticks)-1], Peak: peak, Name: o.Name})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	return spans
+}
+
+// WriteText renders the report for terminals.
+func (r *HealthReport) WriteText(w io.Writer, width int) {
+	if width <= 0 {
+		width = 60
+	}
+	if r.Ticks == 0 {
+		fmt.Fprintln(w, "no samples in dump")
+		return
+	}
+	fmt.Fprintf(w, "crawl health  %s .. %s  (%s, %d ticks)\n\n",
+		r.Start.Format(time.RFC3339), r.End.Format(time.RFC3339),
+		r.End.Sub(r.Start).Round(time.Second), r.Ticks)
+
+	fmt.Fprintf(w, "throughput   %s\n", Sparkline(values(r.Throughput), width))
+	fmt.Fprintf(w, "             avg %.2f/s  peak %.2f/s  total %.0f profiles\n\n",
+		r.AvgThroughput, r.PeakThroughput, r.TotalProfiles)
+
+	fmt.Fprintf(w, "errors       %s\n", Sparkline(values(r.Errors), width))
+	fmt.Fprintf(w, "             total %.0f errors\n", r.TotalErrors)
+	for _, s := range r.ErrorSpikes {
+		fmt.Fprintf(w, "  spike  %s .. %s  peak %.2f err/s\n",
+			s.Start.Format("15:04:05"), s.End.Format("15:04:05"), s.Peak)
+	}
+	if len(r.ErrorSpikes) == 0 {
+		fmt.Fprintln(w, "  no error spikes")
+	}
+	fmt.Fprintln(w)
+
+	if len(r.Stalls) > 0 {
+		for _, s := range r.Stalls {
+			fmt.Fprintf(w, "stall  %s .. %s  (%.0fs with work queued)\n",
+				s.Start.Format("15:04:05"), s.End.Format("15:04:05"), s.Peak)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w, "SLOs:")
+	names := make([]string, 0, len(r.Statuses))
+	for name := range r.Statuses {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := r.Statuses[name]
+		fmt.Fprintf(w, "  %-16s %-48s final burn=%.2f\n", name, st.Objective, st.BurnLong)
+	}
+	if len(r.Violations) == 0 {
+		fmt.Fprintln(w, "  no violation spans")
+	}
+	for _, s := range r.Violations {
+		fmt.Fprintf(w, "  VIOLATION %-12s %s .. %s  (%s, peak burn %.2f)\n",
+			s.Name, s.Start.Format("15:04:05"), s.End.Format("15:04:05"),
+			s.dur().Round(time.Second), s.Peak)
+	}
+}
+
+func values(pts []Point) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.V
+	}
+	return out
+}

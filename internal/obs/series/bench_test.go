@@ -1,0 +1,115 @@
+package series
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"gplus/internal/obs"
+)
+
+// loadedRegistry builds a registry about the size a real crawl carries:
+// a few dozen counters (some labeled), gauges, and histograms.
+func loadedRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	for i := 0; i < 30; i++ {
+		reg.Counter(fmt.Sprintf(`bench_requests_total{endpoint="e%d"}`, i)).Add(int64(i))
+	}
+	for i := 0; i < 10; i++ {
+		reg.Gauge(fmt.Sprintf("bench_depth_%d", i)).Set(int64(i))
+	}
+	for i := 0; i < 5; i++ {
+		h := reg.Histogram(fmt.Sprintf("bench_seconds_%d", i), nil)
+		for j := 0; j < 100; j++ {
+			h.Observe(float64(j) * 0.001)
+		}
+	}
+	return reg
+}
+
+// TestCollectorOverheadBudget enforces the acceptance bound: sampling
+// must cost well under 1% of the sampling interval, so the collector is
+// invisible next to a crawl's real work.
+func TestCollectorOverheadBudget(t *testing.T) {
+	reg := loadedRegistry()
+	c := NewCollector(reg, Options{Interval: time.Second, Capacity: 720})
+	const rounds = 200
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		c.Sample(tick(i))
+	}
+	mean := time.Since(start) / rounds
+	budget := c.Interval() / 100 // 1% of the interval
+	if mean > budget {
+		t.Errorf("mean Sample() cost %v exceeds 1%% of the %v interval (%v)", mean, c.Interval(), budget)
+	}
+	t.Logf("mean Sample() cost %v over %d series (budget %v)", mean, len(c.Names()), budget)
+}
+
+func BenchmarkCollectorSample(b *testing.B) {
+	reg := loadedRegistry()
+	c := NewCollector(reg, Options{Interval: time.Second, Capacity: 720})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sample(tick(i))
+	}
+}
+
+func BenchmarkEvaluateObjective(b *testing.B) {
+	reg := obs.NewRegistry()
+	bad := reg.Counter("errs_total")
+	total := reg.Counter("reqs_total")
+	c := NewCollector(reg, Options{Capacity: 720})
+	for i := 0; i < 120; i++ {
+		bad.Add(1)
+		total.Add(100)
+		c.Sample(tick(i))
+	}
+	o := Objective{Name: "avail", Kind: ErrorRatio,
+		Bad: []string{"errs_total"}, Total: []string{"reqs_total"},
+		Max: 0.01, Window: time.Minute}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(c, o, tick(120))
+	}
+}
+
+// TestDashFrame exercises the dashboard renderer against a populated
+// collector: frames must carry the panels, headline, and SLO rows, and
+// repaint in place (cursor-home, per-line erase) rather than scrolling.
+func TestDashFrame(t *testing.T) {
+	reg := obs.NewRegistry()
+	profiles := reg.Counter("crawler_pages_fetched_total")
+	reg.Counter("crawler_edges_observed_total").Add(10)
+	reg.Gauge("crawler_frontier_depth").Set(42)
+	c := NewCollector(reg, Options{Capacity: 64})
+	eng := NewEngine(c, DefaultCrawlObjectives(), reg)
+
+	var sb strings.Builder
+	d := NewDash(c, eng, &sb, DashOptions{Width: 20, Extra: func() []string {
+		return []string{"extra status line"}
+	}})
+	for i := 0; i < 5; i++ {
+		profiles.Add(7)
+		c.Sample(tick(i))
+		eng.Eval(tick(i))
+		d.Frame(tick(i))
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, ansiClear) {
+		t.Error("first frame should clear the screen")
+	}
+	if strings.Count(out, ansiHome) != 5 {
+		t.Errorf("every frame should home the cursor, got %d", strings.Count(out, ansiHome))
+	}
+	for _, want := range []string{"profiles/s", "frontier", "totals", "profiles=35", "slo availability", "extra status line"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q", want)
+		}
+	}
+	// Rates render: 7 profiles per 1s tick.
+	if !strings.Contains(out, "7.00/s") {
+		t.Errorf("throughput rate not rendered:\n%s", out)
+	}
+}

@@ -1,0 +1,160 @@
+package series
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"gplus/internal/obs"
+)
+
+// dumpRecord is one JSONL line of a series dump: one point of one
+// series.
+type dumpRecord struct {
+	Name string                 `json:"name"`
+	Kind Kind                   `json:"kind"`
+	T    time.Time              `json:"t"`
+	V    float64                `json:"v"`
+	Hist *obs.HistogramSnapshot `json:"hist,omitempty"`
+}
+
+// WriteJSONL dumps every retained point of every series, one JSON
+// object per line — series sorted by name, points oldest first. The
+// format round-trips through ReadDump for offline analysis.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, name := range c.Names() {
+		kind, _ := c.SeriesKind(name)
+		for _, p := range c.PointsSince(name, time.Time{}) {
+			rec := dumpRecord{Name: name, Kind: kind, T: p.T, V: p.V, Hist: p.Hist}
+			if err := enc.Encode(&rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Dump is an offline, replayable set of series read back from one or
+// more JSONL dumps. It implements Source, so the SLO evaluator and the
+// health-report analyzers run identically over live rings and dumps.
+type Dump struct {
+	series map[string]*dumpSeries
+}
+
+type dumpSeries struct {
+	kind   Kind
+	pts    []Point
+	sorted bool
+}
+
+// NewDump returns an empty dump; feed it with ReadJSONL.
+func NewDump() *Dump { return &Dump{series: make(map[string]*dumpSeries)} }
+
+// ReadDump reads one JSONL stream into a fresh Dump.
+func ReadDump(r io.Reader) (*Dump, error) {
+	d := NewDump()
+	if err := d.ReadJSONL(r); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadJSONL merges one JSONL stream into the dump (multiple files from
+// one crawl — or shards of a fleet — accumulate).
+func (d *Dump) ReadJSONL(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec dumpRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("series: dump line %d: %w", line, err)
+		}
+		if rec.Name == "" {
+			return fmt.Errorf("series: dump line %d: missing series name", line)
+		}
+		s := d.series[rec.Name]
+		if s == nil {
+			s = &dumpSeries{kind: rec.Kind}
+			d.series[rec.Name] = s
+		}
+		s.pts = append(s.pts, Point{T: rec.T, V: rec.V, Hist: rec.Hist})
+		s.sorted = false
+	}
+	return sc.Err()
+}
+
+func (s *dumpSeries) sort() {
+	if s.sorted {
+		return
+	}
+	sort.SliceStable(s.pts, func(i, j int) bool { return s.pts[i].T.Before(s.pts[j].T) })
+	s.sorted = true
+}
+
+// Names implements Source.
+func (d *Dump) Names() []string {
+	names := make([]string, 0, len(d.series))
+	for name := range d.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SeriesKind implements Source.
+func (d *Dump) SeriesKind(name string) (Kind, bool) {
+	s := d.series[name]
+	if s == nil {
+		return "", false
+	}
+	return s.kind, true
+}
+
+// PointsSince implements Source.
+func (d *Dump) PointsSince(name string, since time.Time) []Point {
+	s := d.series[name]
+	if s == nil {
+		return nil
+	}
+	s.sort()
+	start := 0
+	if !since.IsZero() {
+		start = sort.Search(len(s.pts), func(i int) bool { return !s.pts[i].T.Before(since) })
+		if start > 0 {
+			start--
+		}
+	}
+	return append([]Point(nil), s.pts[start:]...)
+}
+
+// Times returns the sorted, deduplicated union of every point's
+// timestamp — the collector samples all series at one instant per tick,
+// so this reconstructs the tick sequence.
+func (d *Dump) Times() []time.Time {
+	seen := make(map[int64]time.Time)
+	for _, s := range d.series {
+		for _, p := range s.pts {
+			seen[p.T.UnixNano()] = p.T
+		}
+	}
+	out := make([]time.Time, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}

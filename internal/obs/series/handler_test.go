@@ -1,0 +1,105 @@
+package series
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gplus/internal/obs"
+)
+
+func handlerFixture(t *testing.T) *Collector {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ctr := reg.Counter(`api_total{code="200"}`)
+	reg.Gauge("depth")
+	c := NewCollector(reg, Options{Capacity: 32})
+	for i := 0; i < 5; i++ {
+		ctr.Add(10)
+		c.Sample(tick(i))
+	}
+	return c
+}
+
+func get(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+	return rr
+}
+
+func TestHandlerListing(t *testing.T) {
+	h := Handler{C: handlerFixture(t)}
+	rr := get(t, h, "/debug/timeseries")
+	var listing struct {
+		Interval string `json:"interval"`
+		Samples  int64  `json:"samples"`
+		Series   []struct {
+			Name   string `json:"name"`
+			Kind   Kind   `json:"kind"`
+			Points int    `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &listing); err != nil {
+		t.Fatalf("listing not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if listing.Samples != 5 || len(listing.Series) != 2 {
+		t.Errorf("listing: %+v", listing)
+	}
+}
+
+func TestHandlerWindowQuery(t *testing.T) {
+	h := Handler{C: handlerFixture(t)}
+	rr := get(t, h, "/debug/timeseries?name=api_total")
+	var windows []seriesWindow
+	if err := json.Unmarshal(rr.Body.Bytes(), &windows); err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 1 || len(windows[0].Points) != 5 {
+		t.Fatalf("window: %+v", windows)
+	}
+	// rate=1 derives per-interval rates: 10/s for each pair.
+	rr = get(t, h, "/debug/timeseries?name=api_total&rate=1")
+	windows = nil
+	if err := json.Unmarshal(rr.Body.Bytes(), &windows); err != nil {
+		t.Fatal(err)
+	}
+	if len(windows[0].Points) != 4 || windows[0].Points[0].V != 10 {
+		t.Errorf("rate query: %+v", windows[0].Points)
+	}
+	// An unknown name returns an empty array, not null.
+	rr = get(t, h, "/debug/timeseries?name=nope")
+	if strings.TrimSpace(rr.Body.String()) != "[]" {
+		t.Errorf("unknown name: %q", rr.Body.String())
+	}
+	// A malformed since is a 400.
+	rr = get(t, h, "/debug/timeseries?name=api_total&since=wat")
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("bad since: code %d", rr.Code)
+	}
+}
+
+func TestHandlerJSONLDump(t *testing.T) {
+	h := Handler{C: handlerFixture(t)}
+	rr := get(t, h, "/debug/timeseries?format=jsonl")
+	d, err := ReadDump(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Names()) != 2 {
+		t.Errorf("dump names: %v", d.Names())
+	}
+}
+
+func TestMount(t *testing.T) {
+	c := handlerFixture(t)
+	mux := http.NewServeMux()
+	Mount(mux, c, nil)
+	rr := get(t, mux, "/debug/timeseries")
+	if rr.Code != http.StatusOK {
+		t.Errorf("mounted handler: code %d", rr.Code)
+	}
+	Mount(nil, c, nil) // no-op
+}

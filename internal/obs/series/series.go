@@ -1,0 +1,353 @@
+// Package series adds the time dimension to the obs metrics layer. A
+// Collector goroutine samples a Registry.Snapshot() at a fixed interval
+// into per-series bounded ring buffers; counter rates and histogram
+// quantiles are derived from successive samples on demand. The rings
+// back a JSON window-query endpoint (/debug/timeseries), a JSONL dump
+// for offline analysis (`gplusanalyze metrics`), a live ANSI terminal
+// dashboard, and an SLO engine evaluating declarative objectives with
+// multi-window burn-rate alerting.
+//
+// The paper's 45-day, 11-machine crawl was operable because its
+// operators could watch throughput and error rates *over time*; a
+// point-in-time /metrics scrape cannot show a stall, a decaying fetch
+// rate, or a creeping error fraction. This package is the layer that
+// makes those visible.
+package series
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"gplus/internal/obs"
+)
+
+// Kind classifies a series for derivation: counters accumulate (rates
+// come from successive deltas, resets detected by decreases), gauges are
+// instantaneous, histograms carry their full cumulative snapshot per
+// point.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Point is one sample of one series. V holds the counter value, gauge
+// value, or — for histogram series — the cumulative observation count;
+// Hist is set only on histogram points.
+type Point struct {
+	T    time.Time              `json:"t"`
+	V    float64                `json:"v"`
+	Hist *obs.HistogramSnapshot `json:"hist,omitempty"`
+}
+
+// Source is a queryable set of series — the live Collector or an
+// offline Dump — shared by the SLO engine, the dashboard, and the
+// analyzers.
+type Source interface {
+	// Names lists every series, sorted.
+	Names() []string
+	// SeriesKind reports a series' kind.
+	SeriesKind(name string) (Kind, bool)
+	// PointsSince returns the series' points at or after since (oldest
+	// first) plus the closest retained point before since — the baseline
+	// a windowed increase needs. A zero since returns everything
+	// retained.
+	PointsSince(name string, since time.Time) []Point
+}
+
+// ring is a bounded circular buffer of Points; pushing past capacity
+// overwrites the oldest.
+type ring struct {
+	buf     []Point
+	head, n int
+}
+
+func newRing(capacity int) *ring { return &ring{buf: make([]Point, capacity)} }
+
+func (r *ring) push(p Point) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = p
+		r.n++
+		return
+	}
+	r.buf[r.head] = p
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+func (r *ring) at(i int) Point { return r.buf[(r.head+i)%len(r.buf)] }
+func (r *ring) len() int       { return r.n }
+
+// pointsSince implements the Source contract for one ring.
+func (r *ring) pointsSince(since time.Time) []Point {
+	start := 0
+	if !since.IsZero() {
+		// First index at or after since, minus one for the baseline.
+		start = sort.Search(r.n, func(i int) bool { return !r.at(i).T.Before(since) })
+		if start > 0 {
+			start--
+		}
+	}
+	out := make([]Point, 0, r.n-start)
+	for i := start; i < r.n; i++ {
+		out = append(out, r.at(i))
+	}
+	return out
+}
+
+// Increase sums a cumulative counter's growth across pts, applying the
+// Prometheus reset rule: a decrease means the process restarted and the
+// post-reset value counts as new growth in full.
+func Increase(pts []Point) float64 {
+	var inc float64
+	for i := 1; i < len(pts); i++ {
+		d := pts[i].V - pts[i-1].V
+		if d < 0 {
+			d = pts[i].V
+		}
+		inc += d
+	}
+	return inc
+}
+
+// RatePoints derives a per-interval rate series from cumulative counter
+// points: one point per consecutive pair, timestamped at the later
+// sample, reset-aware. Zero-duration intervals are skipped.
+func RatePoints(pts []Point) []Point {
+	out := make([]Point, 0, len(pts))
+	for i := 1; i < len(pts); i++ {
+		dt := pts[i].T.Sub(pts[i-1].T).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		d := pts[i].V - pts[i-1].V
+		if d < 0 {
+			d = pts[i].V
+		}
+		out = append(out, Point{T: pts[i].T, V: d / dt})
+	}
+	return out
+}
+
+// Rate is the average per-second growth across pts (reset-aware), or 0
+// when the points span no time.
+func Rate(pts []Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	dt := pts[len(pts)-1].T.Sub(pts[0].T).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return Increase(pts) / dt
+}
+
+// HistIncrease accumulates the histogram observations recorded across
+// pts — the pairwise snapshot deltas, each reset-aware — into one
+// window-scoped snapshot. ok is false when fewer than two histogram
+// points exist (no interval to difference).
+func HistIncrease(pts []Point) (obs.HistogramSnapshot, bool) {
+	var acc obs.HistogramSnapshot
+	started := false
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Hist == nil || pts[i-1].Hist == nil {
+			continue
+		}
+		d := pts[i].Hist.Sub(*pts[i-1].Hist)
+		if !started {
+			acc = obs.HistogramSnapshot{
+				Bounds: d.Bounds,
+				Counts: append([]int64(nil), d.Counts...),
+				Count:  d.Count,
+				Sum:    d.Sum,
+			}
+			started = true
+			continue
+		}
+		if !addHist(&acc, d) {
+			// Bucket layouts diverge (should not happen within one
+			// series); keep what accumulated so far.
+			break
+		}
+	}
+	return acc, started
+}
+
+// addHist folds b into acc; false when the bucket layouts differ.
+func addHist(acc *obs.HistogramSnapshot, b obs.HistogramSnapshot) bool {
+	if len(acc.Counts) != len(b.Counts) {
+		return false
+	}
+	for i := range b.Counts {
+		acc.Counts[i] += b.Counts[i]
+	}
+	acc.Count += b.Count
+	acc.Sum += b.Sum
+	return true
+}
+
+// familyOf returns the metric family of a series name: the text before
+// any '{'.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// matchesSelector reports whether a series name matches a selector: the
+// families must be equal and every label pair spelled in the selector
+// must appear verbatim in the series name. A bare family selects every
+// series of that family.
+func matchesSelector(selector, name string) bool {
+	if familyOf(selector) != familyOf(name) {
+		return false
+	}
+	i := strings.IndexByte(selector, '{')
+	if i < 0 {
+		return true
+	}
+	body := strings.TrimSuffix(selector[i+1:], "}")
+	nameBody := ""
+	if j := strings.IndexByte(name, '{'); j >= 0 {
+		nameBody = strings.TrimSuffix(name[j+1:], "}")
+	}
+	for _, pair := range strings.Split(body, ",") {
+		if pair = strings.TrimSpace(pair); pair == "" {
+			continue
+		}
+		if !containsPair(nameBody, pair) {
+			return false
+		}
+	}
+	return true
+}
+
+// containsPair reports whether one k="v" pair appears in a label body.
+func containsPair(body, pair string) bool {
+	for _, p := range strings.Split(body, ",") {
+		if strings.TrimSpace(p) == pair {
+			return true
+		}
+	}
+	return false
+}
+
+// clampUntil drops points after until (zero until keeps everything).
+// Live sources never have future points, but offline replay evaluates
+// at historical ticks and must not see past them.
+func clampUntil(pts []Point, until time.Time) []Point {
+	if until.IsZero() {
+		return pts
+	}
+	n := len(pts)
+	for n > 0 && pts[n-1].T.After(until) {
+		n--
+	}
+	return pts[:n]
+}
+
+// sumIncrease sums Increase over every series of src matching any of
+// the selectors, over their points in (since, until].
+func sumIncrease(src Source, selectors []string, since, until time.Time) float64 {
+	var total float64
+	for _, name := range src.Names() {
+		if k, ok := src.SeriesKind(name); !ok || k == KindGauge {
+			continue
+		}
+		for _, sel := range selectors {
+			if matchesSelector(sel, name) {
+				total += Increase(clampUntil(src.PointsSince(name, since), until))
+				break
+			}
+		}
+	}
+	return total
+}
+
+// sumHistIncrease accumulates HistIncrease over every histogram series
+// matching the selector, over their points in (since, until].
+func sumHistIncrease(src Source, selector string, since, until time.Time) (obs.HistogramSnapshot, bool) {
+	var acc obs.HistogramSnapshot
+	started := false
+	for _, name := range src.Names() {
+		if k, ok := src.SeriesKind(name); !ok || k != KindHistogram {
+			continue
+		}
+		if !matchesSelector(selector, name) {
+			continue
+		}
+		d, ok := HistIncrease(clampUntil(src.PointsSince(name, since), until))
+		if !ok {
+			continue
+		}
+		if !started {
+			acc = d
+			started = true
+			continue
+		}
+		addHist(&acc, d)
+	}
+	return acc, started
+}
+
+// Sparkline renders values as a fixed-width unicode sparkline, scaling
+// to the maximum value (an all-zero series renders as baseline ticks).
+// Values are downsampled into width buckets by taking each bucket's
+// maximum, so short spikes survive.
+func Sparkline(values []float64, width int) string {
+	if width <= 0 || len(values) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	cells := bucketMax(values, width)
+	var max float64
+	for _, v := range cells {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range cells {
+		if max <= 0 || math.IsNaN(v) {
+			b.WriteRune(glyphs[0])
+			continue
+		}
+		i := int(v / max * float64(len(glyphs)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(glyphs) {
+			i = len(glyphs) - 1
+		}
+		b.WriteRune(glyphs[i])
+	}
+	return b.String()
+}
+
+// bucketMax downsamples values into at most width buckets, keeping each
+// bucket's maximum. Fewer values than buckets pass through unchanged.
+func bucketMax(values []float64, width int) []float64 {
+	if len(values) <= width {
+		return values
+	}
+	out := make([]float64, width)
+	for i := range out {
+		lo := i * len(values) / width
+		hi := (i + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m := values[lo]
+		for _, v := range values[lo+1 : hi] {
+			if v > m {
+				m = v
+			}
+		}
+		out[i] = m
+	}
+	return out
+}

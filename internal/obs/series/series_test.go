@@ -1,0 +1,254 @@
+package series
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gplus/internal/obs"
+)
+
+func tick(n int) time.Time { return time.Unix(1_000_000, 0).Add(time.Duration(n) * time.Second) }
+
+func TestRingWraparound(t *testing.T) {
+	r := newRing(4)
+	for i := 0; i < 10; i++ {
+		r.push(Point{T: tick(i), V: float64(i)})
+	}
+	if r.len() != 4 {
+		t.Fatalf("len = %d, want 4", r.len())
+	}
+	// The ring retains the newest 4 points: 6, 7, 8, 9.
+	for i := 0; i < 4; i++ {
+		if got := r.at(i).V; got != float64(6+i) {
+			t.Errorf("at(%d) = %g, want %g", i, got, float64(6+i))
+		}
+	}
+	// pointsSince returns the window plus one baseline point before it.
+	pts := r.pointsSince(tick(8))
+	if len(pts) != 3 || pts[0].V != 7 || pts[2].V != 9 {
+		t.Errorf("pointsSince(8) = %+v, want baseline 7 then 8, 9", pts)
+	}
+	// since before everything retained: all points, no phantom baseline.
+	if pts := r.pointsSince(tick(0)); len(pts) != 4 {
+		t.Errorf("pointsSince(0) returned %d points, want 4", len(pts))
+	}
+	// zero since: everything.
+	if pts := r.pointsSince(time.Time{}); len(pts) != 4 {
+		t.Errorf("pointsSince(zero) returned %d points, want 4", len(pts))
+	}
+}
+
+func TestIncreaseCounterReset(t *testing.T) {
+	pts := []Point{
+		{T: tick(0), V: 100},
+		{T: tick(1), V: 150}, // +50
+		{T: tick(2), V: 10},  // reset: the post-reset value counts in full
+		{T: tick(3), V: 30},  // +20
+	}
+	if got := Increase(pts); got != 80 {
+		t.Errorf("Increase = %g, want 80", got)
+	}
+	rates := RatePoints(pts)
+	if len(rates) != 3 || rates[0].V != 50 || rates[1].V != 10 || rates[2].V != 20 {
+		t.Errorf("RatePoints = %+v", rates)
+	}
+	if got := Rate(pts); math.Abs(got-80.0/3) > 1e-9 {
+		t.Errorf("Rate = %g, want %g", got, 80.0/3)
+	}
+	if got := Rate(pts[:1]); got != 0 {
+		t.Errorf("Rate of one point = %g, want 0", got)
+	}
+}
+
+func TestMatchesSelector(t *testing.T) {
+	cases := []struct {
+		sel, name string
+		want      bool
+	}{
+		{"reqs_total", "reqs_total", true},
+		{"reqs_total", `reqs_total{code="503"}`, true},
+		{`reqs_total{code="503"}`, `reqs_total{code="503"}`, true},
+		{`reqs_total{code="503"}`, `reqs_total{endpoint="profile",code="503"}`, true},
+		{`reqs_total{code="503"}`, `reqs_total{code="200"}`, false},
+		{`reqs_total{code="503"}`, "reqs_total", false},
+		{"reqs_total", "other_total", false},
+		{`reqs_total{a="1",b="2"}`, `reqs_total{b="2",a="1"}`, true},
+		{`reqs_total{a="1",b="2"}`, `reqs_total{a="1"}`, false},
+	}
+	for _, c := range cases {
+		if got := matchesSelector(c.sel, c.name); got != c.want {
+			t.Errorf("matchesSelector(%q, %q) = %v, want %v", c.sel, c.name, got, c.want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8); got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("Sparkline ramp = %q", got)
+	}
+	if got := Sparkline([]float64{0, 0, 0}, 3); got != "▁▁▁" {
+		t.Errorf("all-zero = %q", got)
+	}
+	// Downsampling keeps each bucket's max, so a single spike survives.
+	vals := make([]float64, 100)
+	vals[50] = 10
+	got := Sparkline(vals, 10)
+	if len([]rune(got)) != 10 {
+		t.Fatalf("width = %d, want 10", len([]rune(got)))
+	}
+	if []rune(got)[5] != '█' {
+		t.Errorf("spike lost in downsampling: %q", got)
+	}
+	if Sparkline(nil, 10) != "" || Sparkline([]float64{1}, 0) != "" {
+		t.Error("degenerate inputs should render empty")
+	}
+}
+
+func TestCollectorSamplesRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("c_total")
+	g := reg.Gauge("g_depth")
+	h := reg.Histogram("h_seconds", []float64{1})
+
+	c := NewCollector(reg, Options{Capacity: 8})
+	ctr.Add(5)
+	g.Set(3)
+	h.Observe(0.5)
+	c.Sample(tick(0))
+	ctr.Add(5)
+	h.Observe(2)
+	c.Sample(tick(1))
+
+	if n := c.Samples(); n != 2 {
+		t.Fatalf("Samples = %d, want 2", n)
+	}
+	names := c.Names()
+	if len(names) != 3 {
+		t.Fatalf("Names = %v", names)
+	}
+	if k, _ := c.SeriesKind("c_total"); k != KindCounter {
+		t.Errorf("c_total kind = %q", k)
+	}
+	pts := c.PointsSince("c_total", time.Time{})
+	if len(pts) != 2 || pts[0].V != 5 || pts[1].V != 10 {
+		t.Errorf("counter points = %+v", pts)
+	}
+	hp, ok := c.Latest("h_seconds")
+	if !ok || hp.Hist == nil || hp.Hist.Count != 2 || hp.V != 2 {
+		t.Errorf("histogram latest = %+v", hp)
+	}
+	if _, ok := c.Latest("nope"); ok {
+		t.Error("Latest of unknown series should report !ok")
+	}
+
+	// OnSample hooks observe each tick's timestamp.
+	var seen []time.Time
+	c.OnSample(func(now time.Time) { seen = append(seen, now) })
+	c.Sample(tick(2))
+	if len(seen) != 1 || !seen[0].Equal(tick(2)) {
+		t.Errorf("hook saw %v", seen)
+	}
+}
+
+// A counter born after sampling has begun accumulated its whole value
+// since the previous tick; the collector must synthesize a zero
+// baseline there so Increase sees the initial burst (an outage's 503s
+// all land in the first few samples and then never grow again).
+func TestCollectorSeriesBornMidCollection(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCollector(reg, Options{Capacity: 8})
+	c.Sample(tick(0)) // empty registry: no series yet
+
+	reg.Counter("late_total").Add(7)
+	reg.Histogram("late_seconds", []float64{1}).Observe(0.5)
+	c.Sample(tick(1))
+	c.Sample(tick(2))
+
+	pts := c.PointsSince("late_total", time.Time{})
+	if len(pts) != 3 || !pts[0].T.Equal(tick(0)) || pts[0].V != 0 {
+		t.Fatalf("counter points = %+v, want zero baseline at tick 0", pts)
+	}
+	if got := Increase(pts); got != 7 {
+		t.Errorf("Increase = %v, want the full first-seen value 7", got)
+	}
+	hp := c.PointsSince("late_seconds", time.Time{})
+	if len(hp) != 3 || hp[0].V != 0 || hp[0].Hist == nil || hp[0].Hist.Count != 0 {
+		t.Fatalf("histogram points = %+v, want zero baseline", hp)
+	}
+	if d, ok := HistIncrease(hp); !ok || d.Count != 1 {
+		t.Errorf("HistIncrease = %+v (ok=%v), want the full first-seen count 1", d, ok)
+	}
+
+	// Series present from the very first sample get no synthetic point:
+	// whatever they accumulated before collection started is history.
+	reg2 := obs.NewRegistry()
+	reg2.Counter("early_total").Add(3)
+	c2 := NewCollector(reg2, Options{Capacity: 8})
+	c2.Sample(tick(0))
+	c2.Sample(tick(1))
+	if pts := c2.PointsSince("early_total", time.Time{}); len(pts) != 2 {
+		t.Errorf("early counter points = %+v, want exactly the 2 samples", pts)
+	}
+}
+
+func TestCollectorNilSafety(t *testing.T) {
+	var c *Collector
+	c.Start()
+	c.Stop()
+	c.Sample(tick(0))
+	if c.Names() != nil || c.Samples() != 0 {
+		t.Error("nil collector should be empty")
+	}
+	if _, ok := c.SeriesKind("x"); ok {
+		t.Error("nil collector has no kinds")
+	}
+	var e *Engine
+	e.Eval(tick(0))
+	if e.Statuses() != nil || e.Transitions() != nil || e.Objectives() != nil {
+		t.Error("nil engine should be empty")
+	}
+	var d *Dash
+	d.Frame(tick(0))
+}
+
+func TestCollectorStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c_total").Add(1)
+	c := NewCollector(reg, Options{Interval: 5 * time.Millisecond, Capacity: 64})
+	c.Start()
+	time.Sleep(30 * time.Millisecond)
+	c.Stop()
+	c.Stop() // idempotent
+	n := c.Samples()
+	if n < 2 {
+		t.Fatalf("Samples = %d, want at least an initial sample plus ticks", n)
+	}
+	time.Sleep(15 * time.Millisecond)
+	if c.Samples() != n {
+		t.Error("sampling continued after Stop")
+	}
+}
+
+func TestHistIncrease(t *testing.T) {
+	mk := func(c0, c1 int64) *obs.HistogramSnapshot {
+		return &obs.HistogramSnapshot{
+			Bounds: []float64{1},
+			Counts: []int64{c0, c1},
+			Count:  c0 + c1,
+			Sum:    float64(c0)*0.5 + float64(c1)*2,
+		}
+	}
+	pts := []Point{
+		{T: tick(0), Hist: mk(2, 0)},
+		{T: tick(1), Hist: mk(5, 1)}, // +3, +1
+		{T: tick(2), Hist: mk(6, 1)}, // +1, +0
+	}
+	d, ok := HistIncrease(pts)
+	if !ok || d.Count != 5 || d.Counts[0] != 4 || d.Counts[1] != 1 {
+		t.Errorf("HistIncrease = %+v ok=%v", d, ok)
+	}
+	if _, ok := HistIncrease(pts[:1]); ok {
+		t.Error("single point has no increase")
+	}
+}

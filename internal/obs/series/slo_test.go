@@ -1,0 +1,249 @@
+package series
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gplus/internal/obs"
+)
+
+func TestParseObjectives(t *testing.T) {
+	spec := `availability,error_ratio,bad=api_responses_total{code="503"}+api_transport_errors_total,total=api_responses_total,max=1%,window=2m,fast=10s;` +
+		`latency,latency,hist=svc_seconds,q=0.99,max=250ms,page=10,warn=5`
+	objs, err := ParseObjectives(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("parsed %d objectives", len(objs))
+	}
+	a := objs[0]
+	if a.Name != "availability" || a.Kind != ErrorRatio {
+		t.Errorf("first objective: %+v", a)
+	}
+	// The comma inside the label selector must not split the option.
+	if len(a.Bad) != 2 || a.Bad[0] != `api_responses_total{code="503"}` {
+		t.Errorf("bad selectors: %v", a.Bad)
+	}
+	if a.Max != 0.01 || a.Window != 2*time.Minute || a.Fast != 10*time.Second {
+		t.Errorf("options: %+v", a)
+	}
+	l := objs[1]
+	if l.Kind != Latency || l.Q != 0.99 || l.Max != 0.25 || l.PageFactor != 10 || l.WarnFactor != 5 {
+		t.Errorf("latency objective: %+v", l)
+	}
+	// Defaults.
+	if a.fast() != a.window()/12 || a.pageFactor() != 14.4 || a.warnFactor() != 6 {
+		t.Errorf("defaults: fast=%v page=%g warn=%g", a.fast(), a.pageFactor(), a.warnFactor())
+	}
+	if b := l.budget(); math.Abs(b-0.01) > 1e-9 {
+		t.Errorf("latency budget = %g, want 1-q", b)
+	}
+
+	bad := []string{
+		"",
+		"nameonly",
+		"x,bogus_kind",
+		"x,error_ratio,bad=b,total=t",              // missing max
+		"x,error_ratio,bad=b,total=t,max=150%",     // ratio out of range
+		"x,latency,hist=h,q=1.5,max=250ms",         // q out of range
+		"x,latency,q=0.99,max=250ms",               // missing hist
+		"x,error_ratio,bad=b,total=t,max=1%,zz=1",  // unknown option
+		"x,error_ratio,bad=b,total=t,max=1%,window=-1s",
+	}
+	for _, spec := range bad {
+		if _, err := ParseObjectives(spec); err == nil {
+			t.Errorf("ParseObjectives(%q) should fail", spec)
+		}
+	}
+}
+
+func TestParseThreshold(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1%", 0.01},
+		{"0.05", 0.05},
+		{"250ms", 0.25},
+		{"2s", 2},
+	}
+	for _, c := range cases {
+		got, err := parseThreshold(c.in)
+		if err != nil || math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("parseThreshold(%q) = %g, %v; want %g", c.in, got, err, c.want)
+		}
+	}
+	if _, err := parseThreshold("wat"); err == nil {
+		t.Error("parseThreshold(wat) should fail")
+	}
+}
+
+// TestBurnRateStateTransitions drives an error-ratio objective through
+// healthy traffic, an outage, and recovery, asserting the multi-window
+// state machine pages during the outage and resolves after it.
+func TestBurnRateStateTransitions(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := reg.Counter("errs_total")
+	total := reg.Counter("reqs_total")
+	c := NewCollector(reg, Options{Capacity: 128})
+	o := Objective{
+		Name: "avail", Kind: ErrorRatio,
+		Bad: []string{"errs_total"}, Total: []string{"reqs_total"},
+		Max: 0.01, Window: 20 * time.Second, Fast: 5 * time.Second,
+	}
+	eng := NewEngine(c, []Objective{o}, reg)
+	c.OnSample(eng.Eval)
+
+	states := make(map[int]State)
+	step := func(n int, errs, reqs int64) {
+		bad.Add(errs)
+		total.Add(reqs)
+		c.Sample(tick(n))
+		eng.Eval(tick(n))
+		states[n] = eng.Statuses()[0].State
+	}
+
+	n := 0
+	for i := 0; i < 10; i++ { // healthy: 100 req/s, no errors
+		step(n, 0, 100)
+		n++
+	}
+	if states[n-1] != StateOK {
+		t.Fatalf("healthy traffic: state = %v", states[n-1])
+	}
+	for i := 0; i < 10; i++ { // outage: 50% errors
+		step(n, 50, 100)
+		n++
+	}
+	if states[n-1] != StatePage {
+		st := eng.Statuses()[0]
+		t.Fatalf("outage: state = %v (burn long %.2f short %.2f)", st.State, st.BurnLong, st.BurnShort)
+	}
+	if !eng.Statuses()[0].Violating {
+		t.Error("outage: SLI should be violating")
+	}
+	for i := 0; i < 30; i++ { // recovery: long window drains
+		step(n, 0, 100)
+		n++
+	}
+	if states[n-1] != StateOK {
+		t.Fatalf("recovered: state = %v", states[n-1])
+	}
+
+	// Transition log must show the escalation to PAGE and the final
+	// resolution back to OK.
+	var seq []string
+	paged := false
+	for _, tr := range eng.Transitions() {
+		seq = append(seq, tr.From.String()+">"+tr.To.String())
+		if tr.To == StatePage {
+			paged = true
+		}
+	}
+	if !paged {
+		t.Errorf("transitions %v never reached PAGE", seq)
+	}
+	last := eng.Transitions()[len(eng.Transitions())-1]
+	if last.To != StateOK {
+		t.Errorf("final transition should resolve to OK, got %v", seq)
+	}
+
+	// The engine exports its own state as gauges, sampled next tick.
+	snap := reg.Snapshot()
+	if v, ok := snap.Gauges[`slo_state{slo="avail"}`]; !ok || v != 0 {
+		t.Errorf("slo_state gauge = %d (ok=%v), want 0", v, ok)
+	}
+}
+
+// TestLatencyObjective drives a latency SLO from fast to slow requests.
+func TestLatencyObjective(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("svc_seconds", nil)
+	c := NewCollector(reg, Options{Capacity: 128})
+	o := Objective{
+		Name: "lat", Kind: Latency,
+		Hist: "svc_seconds", Q: 0.99, Max: 0.25,
+		Window: 20 * time.Second, Fast: 5 * time.Second,
+	}
+	eng := NewEngine(c, []Objective{o}, reg)
+
+	n := 0
+	step := func(observe float64, count int) {
+		for i := 0; i < count; i++ {
+			h.Observe(observe)
+		}
+		c.Sample(tick(n))
+		eng.Eval(tick(n))
+		n++
+	}
+
+	step(0.01, 100) // baseline tick so increases exist
+	for i := 0; i < 5; i++ {
+		step(0.01, 100)
+	}
+	st := eng.Statuses()[0]
+	if st.State != StateOK || st.Violating {
+		t.Fatalf("fast traffic: %+v", st)
+	}
+	if st.Quantile <= 0 || st.Quantile > 0.025 {
+		t.Errorf("fast p99 = %g, want within the 10ms bucket's neighborhood", st.Quantile)
+	}
+	for i := 0; i < 8; i++ { // every request slower than the bound
+		step(0.5, 100)
+	}
+	st = eng.Statuses()[0]
+	if st.State != StatePage || !st.Violating {
+		t.Fatalf("slow traffic: %+v", st)
+	}
+	// With all requests above Max the bad fraction is ~1 and the burn is
+	// ~1/budget = ~100.
+	if st.BurnLong < 30 {
+		t.Errorf("slow burn = %g, want near 1/budget", st.BurnLong)
+	}
+	if st.Quantile < 0.25 {
+		t.Errorf("slow p99 = %g, want above the bound", st.Quantile)
+	}
+}
+
+func TestEngineServeHTTP(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("errs_total")
+	reg.Counter("reqs_total").Add(100)
+	c := NewCollector(reg, Options{Capacity: 16})
+	o := Objective{Name: "avail", Kind: ErrorRatio, Bad: []string{"errs_total"}, Total: []string{"reqs_total"}, Max: 0.01}
+	eng := NewEngine(c, []Objective{o}, reg)
+	c.Sample(tick(0))
+	c.Sample(tick(1))
+	eng.Eval(tick(1))
+
+	rr := httptest.NewRecorder()
+	eng.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo", nil))
+	if !strings.Contains(rr.Body.String(), "avail") || !strings.Contains(rr.Body.String(), "state=OK") {
+		t.Errorf("text report: %q", rr.Body.String())
+	}
+	rr = httptest.NewRecorder()
+	eng.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo?format=json", nil))
+	if !strings.Contains(rr.Body.String(), `"objectives"`) {
+		t.Errorf("json report: %q", rr.Body.String())
+	}
+}
+
+func TestDefaultObjectiveSets(t *testing.T) {
+	for _, objs := range [][]Objective{DefaultCrawlObjectives(), DefaultGplusdObjectives()} {
+		if len(objs) == 0 {
+			t.Fatal("empty default objective set")
+		}
+		for _, o := range objs {
+			if o.Name == "" || o.budget() <= 0 || o.budget() >= 1 {
+				t.Errorf("objective %+v has a degenerate budget", o)
+			}
+			if o.String() == "" {
+				t.Errorf("objective %q renders empty", o.Name)
+			}
+		}
+	}
+}
