@@ -5,6 +5,7 @@
 //
 //	gplusanalyze -data ./data                  # all experiments
 //	gplusanalyze -data ./data -only table4,fig5
+//	gplusanalyze -data ./data -only motifs     # exact triangle + triad census
 //	gplusanalyze -data ./data -baselines       # include Table 4 baselines
 //
 // The traces subcommand analyzes request-trace dumps instead (JSONL from
@@ -135,7 +136,7 @@ func main() {
 	}
 	var (
 		dataDir   = flag.String("data", "data", "dataset directory (from gpluscrawl or gplusgen)")
-		only      = flag.String("only", "", "comma-separated experiment ids (table1..table5, fig2..fig10, lostedges); empty = all")
+		only      = flag.String("only", "", "comma-separated experiment ids (table1..table5, fig2..fig10, connectivity, motifs, lostedges); empty = all")
 		baselines = flag.Bool("baselines", false, "regenerate Twitter/Facebook/Orkut-like baselines for Table 4")
 		seed      = flag.Uint64("analysis-seed", 2012, "seed for sampled analyses")
 		circleCap = flag.Int("cap", 10_000, "assumed circle cap for the lost-edge estimate")
@@ -244,6 +245,7 @@ func main() {
 		st := structure()
 		report.Connectivity(w, st.WCC, st.SCC)
 	})
+	run("motifs", func() { report.Motifs(w, structure().Motifs) })
 	run("lostedges", func() { report.LostEdges(w, study.LostEdges(*circleCap)) })
 }
 

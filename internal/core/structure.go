@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math/rand/v2"
 	"sync"
 	"time"
@@ -126,20 +127,33 @@ func (s *Study) reciprocity(ctx context.Context) ReciprocityResult {
 
 // ClusteringResult is Figure 4(b).
 type ClusteringResult struct {
-	// CDF is the distribution of sampled clustering coefficients over
-	// nodes with out-degree > 1.
+	// CDF is the distribution of clustering coefficients over nodes
+	// with out-degree > 1 (sampled or exact; see Exact).
 	CDF []stats.Point
-	// Mean is the sample mean.
+	// Mean is the mean coefficient over the scanned nodes.
 	Mean float64
 	// FractionAbove02 is the paper's headline: ~40% of users with
 	// CC > 0.2.
 	FractionAbove02 float64
-	// Sampled is how many nodes entered the sample.
+	// Sampled is how many nodes entered the scan.
 	Sampled int
+	// Exact reports that every eligible node was scanned instead of the
+	// paper's one-million-node sample, removing the sampling error.
+	Exact bool
+	// ByDegree is the exact C(k) curve (mean coefficient by out-degree),
+	// computed only on the exact path.
+	ByDegree []graph.DegreeClustering
 }
 
-// Clustering computes Figure 4(b) on a node sample (the paper sampled
-// one million nodes).
+// exactClusteringWedgeBudget bounds the out-wedge count (the exact
+// scan's work measure) under which the study computes clustering
+// exactly instead of sampling. 2^31 wedges is a few seconds of
+// intersection work; past it the paper's sampled estimate stands in.
+const exactClusteringWedgeBudget = int64(1) << 31
+
+// Clustering computes Figure 4(b): exactly over every eligible node
+// when the graph's wedge count fits the exact budget, otherwise on a
+// node sample (the paper sampled one million nodes).
 func (s *Study) Clustering() ClusteringResult {
 	return s.clustering(context.Background())
 }
@@ -147,8 +161,17 @@ func (s *Study) Clustering() ClusteringResult {
 func (s *Study) clustering(ctx context.Context) ClusteringResult {
 	_, finish := s.stage(ctx, "clustering")
 	defer finish()
-	coeffs := graph.SampleClustering(s.ds.Graph, s.opts.ClusteringSample, s.rng(2), s.opts.Parallelism)
-	res := ClusteringResult{CDF: stats.CDF(coeffs), Sampled: len(coeffs)}
+	var res ClusteringResult
+	var coeffs []float64
+	if graph.WedgeCount(s.ds.Graph, s.opts.Parallelism) <= exactClusteringWedgeBudget {
+		coeffs = graph.AllClustering(s.ds.Graph, s.opts.Parallelism)
+		res.Exact = true
+		res.ByDegree = graph.ClusteringByDegree(s.ds.Graph, s.opts.Parallelism)
+	} else {
+		coeffs = graph.SampleClustering(s.ds.Graph, s.opts.ClusteringSample, s.rng(2), s.opts.Parallelism)
+	}
+	res.CDF = stats.CDF(coeffs)
+	res.Sampled = len(coeffs)
 	if len(coeffs) == 0 {
 		return res
 	}
@@ -163,6 +186,45 @@ func (s *Study) clustering(ctx context.Context) ClusteringResult {
 	res.Mean = sum / float64(len(coeffs))
 	res.FractionAbove02 = float64(over) / float64(len(coeffs))
 	return res
+}
+
+// MotifResult is the exact triangle count and directed 3-node motif
+// census — the follow-up analysis of Schiöberg et al. on the same
+// crawl, replacing sampled closed-triple estimates with exact counts.
+type MotifResult struct {
+	// Census is the full 16-class directed triad census.
+	Census *graph.MotifCensus
+	// TriangleTotal is the number of triangles in the undirected
+	// projection, and TriangleMethod the kernel the auto-selector
+	// picked for it.
+	TriangleTotal  int64
+	TriangleMethod graph.TriangleMethod
+	// Transitivity is the global transitivity ratio of the projection
+	// (closed wedges over all wedges).
+	Transitivity float64
+}
+
+// Motifs computes the exact triangle count and triad census.
+func (s *Study) Motifs() (MotifResult, error) {
+	return s.motifs(context.Background())
+}
+
+func (s *Study) motifs(ctx context.Context) (MotifResult, error) {
+	_, finish := s.stage(ctx, "motifs")
+	defer finish()
+	tri := graph.Triangles(s.ds.Graph, graph.TriangleAuto, s.opts.Parallelism)
+	census := graph.Motifs(s.ds.Graph, s.opts.Parallelism)
+	if got := census.Triangles(); got != tri.Total {
+		return MotifResult{}, fmt.Errorf(
+			"motif census disagrees with triangle kernel %v: %d closed triads vs %d triangles",
+			tri.Method, got, tri.Total)
+	}
+	return MotifResult{
+		Census:         census,
+		TriangleTotal:  tri.Total,
+		TriangleMethod: tri.Method,
+		Transitivity:   tri.Transitivity(),
+	}, nil
 }
 
 // SCCResult is Figure 4(c).
@@ -287,8 +349,9 @@ type StructureResult struct {
 	SCC         SCCResult
 	WCC         WCCResult
 	Paths       PathLengthResult
+	Motifs      MotifResult
 	// Timings holds per-stage wall-clock in the fixed stage order
-	// degrees, reciprocity, clustering, scc, wcc, paths.
+	// degrees, reciprocity, clustering, scc, wcc, paths, motifs.
 	Timings []StageTiming
 }
 
@@ -302,7 +365,7 @@ func (s *Study) Structure(ctx context.Context) (*StructureResult, error) {
 	defer finish()
 
 	res := &StructureResult{}
-	var degErr error
+	var degErr, motifErr error
 	stages := []struct {
 		name string
 		run  func(context.Context)
@@ -313,6 +376,7 @@ func (s *Study) Structure(ctx context.Context) (*StructureResult, error) {
 		{"scc", func(ctx context.Context) { res.SCC = s.scc(ctx) }},
 		{"wcc", func(ctx context.Context) { res.WCC = s.wcc(ctx) }},
 		{"paths", func(ctx context.Context) { res.Paths = s.PathLengths(ctx) }},
+		{"motifs", func(ctx context.Context) { res.Motifs, motifErr = s.motifs(ctx) }},
 	}
 	res.Timings = make([]StageTiming, len(stages))
 
@@ -339,6 +403,9 @@ func (s *Study) Structure(ctx context.Context) (*StructureResult, error) {
 	wg.Wait()
 	if degErr != nil {
 		return nil, degErr
+	}
+	if motifErr != nil {
+		return nil, motifErr
 	}
 	return res, nil
 }

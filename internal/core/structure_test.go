@@ -94,7 +94,7 @@ func TestStructureTimingsAndSpans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantStages := []string{"degrees", "reciprocity", "clustering", "scc", "wcc", "paths"}
+	wantStages := []string{"degrees", "reciprocity", "clustering", "scc", "wcc", "paths", "motifs"}
 	if len(st.Timings) != len(wantStages) {
 		t.Fatalf("got %d timings, want %d", len(st.Timings), len(wantStages))
 	}
@@ -121,5 +121,48 @@ func TestStructureTimingsAndSpans(t *testing.T) {
 	}
 	if !spanNames["analyze.structure"] {
 		t.Error("no analyze.structure parent span recorded")
+	}
+}
+
+// TestClusteringExactPathAndMotifs checks that a graph whose wedge
+// count fits the exact budget takes the exact clustering path — every
+// eligible node scanned regardless of the configured sample size, with
+// the C(k) curve filled — and that the motif stage's internal
+// triangle/census cross-check holds on study data.
+func TestClusteringExactPathAndMotifs(t *testing.T) {
+	u, err := synth.Generate(synth.DefaultConfig(3_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.FromUniverse(u)
+	s := New(ds, Options{Seed: 11, ClusteringSample: 100})
+	cl := s.Clustering()
+	if !cl.Exact {
+		t.Fatal("small graph did not take the exact clustering path")
+	}
+	eligible := 0
+	for v := 0; v < ds.Graph.NumNodes(); v++ {
+		if ds.Graph.OutDegree(graph.NodeID(v)) > 1 {
+			eligible++
+		}
+	}
+	if cl.Sampled != eligible {
+		t.Fatalf("exact path scanned %d nodes, want every eligible node (%d)", cl.Sampled, eligible)
+	}
+	if len(cl.ByDegree) == 0 {
+		t.Fatal("exact path returned no C(k) curve")
+	}
+	m, err := s.Motifs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TriangleMethod == graph.TriangleAuto {
+		t.Fatal("motif result did not resolve the auto method")
+	}
+	if m.Census == nil || m.Census.Triangles() != m.TriangleTotal {
+		t.Fatalf("census triangles disagree with kernel total %d", m.TriangleTotal)
+	}
+	if m.Census.Nodes != ds.Graph.NumNodes() {
+		t.Fatalf("census ran on %d nodes, graph has %d", m.Census.Nodes, ds.Graph.NumNodes())
 	}
 }

@@ -117,6 +117,62 @@ func benchmarkPaths(b *testing.B, par int) {
 	}
 }
 
+// BenchmarkIntersect pits intersectSorted (which gallops once one list
+// is gallopSkewFactor× the other) against a pure linear merge on the
+// shape the skew matters for: a short adjacency list probed against a
+// celebrity-sized one. The "balanced" case pins that the galloping
+// branch costs nothing when it does not trigger.
+func BenchmarkIntersect(b *testing.B) {
+	mk := func(n, stride int) []NodeID {
+		s := make([]NodeID, n)
+		for i := range s {
+			s[i] = NodeID(i * stride)
+		}
+		return s
+	}
+	linear := func(a, bs []NodeID) int {
+		c, i, j := 0, 0, 0
+		for i < len(a) && j < len(bs) {
+			switch {
+			case a[i] < bs[j]:
+				i++
+			case a[i] > bs[j]:
+				j++
+			default:
+				c++
+				i++
+				j++
+			}
+		}
+		return c
+	}
+	cases := []struct {
+		name   string
+		na, nb int
+	}{
+		{"balanced/1kx1k", 1_000, 1_000},
+		{"skewed/32x100k", 32, 100_000},
+		{"skewed/8x1M", 8, 1_000_000},
+	}
+	for _, c := range cases {
+		// The short list spreads across the long list's whole value
+		// range: the regime where a linear merge must walk the entire
+		// long list but galloping skips ahead.
+		a := mk(c.na, 3*c.nb/c.na+1)
+		bl := mk(c.nb, 3)
+		b.Run(c.name+"/gallop", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = sortedIntersectionSize(a, bl)
+			}
+		})
+		b.Run(c.name+"/linear", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = linear(a, bl)
+			}
+		})
+	}
+}
+
 func BenchmarkTopByInDegree(b *testing.B) {
 	g := benchGraphOnce(b)
 	b.ReportAllocs()

@@ -222,31 +222,57 @@ func SamplePathLengths(ctx context.Context, g *Graph, dir Direction, opt PathLen
 // many sources actually completed (fewer than len(sources) only when the
 // context was cancelled mid-batch). Each worker reuses a distance slice
 // between sources.
+//
+// The pair (histogram, done) always means "the first done sources, in
+// order": the caller advances its Sources cursor by done, so the merged
+// histogram must cover exactly the prefix sources[:done]. Workers take
+// strided source indices, so under cancellation they complete a
+// *scattered* subset; merging everything completed while reporting its
+// count as a prefix would credit later sources' distances to earlier
+// positions and make a cancelled P>1 run disagree with the P=1 run.
+// Instead each source keeps its own histogram and only the longest
+// fully-completed prefix merges — completed work beyond the first gap is
+// discarded, exactly as if the serial scan had been cancelled there.
 func bfsBatch(ctx context.Context, g *Graph, dir Direction, sources []NodeID, scratch [][]int32) ([]int64, int) {
 	workers := len(scratch)
 	if workers <= 1 || len(sources) < 2 {
 		return bfsBatchSeq(ctx, g, dir, sources, &scratch[0])
 	}
-	partial := make([][]int64, workers)
-	completed := make([]int, workers)
+	perSrc := make([][]int64, len(sources))
+	finished := make([]bool, len(sources))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			// Strided assignment keeps the partition deterministic.
-			var mine []NodeID
 			for i := w; i < len(sources); i += workers {
-				mine = append(mine, sources[i])
+				if ctx.Err() != nil {
+					return
+				}
+				scratch[w] = BFSDistances(g, sources[i], dir, scratch[w])
+				var counts []int64
+				for _, d := range scratch[w] {
+					if d < 0 {
+						continue
+					}
+					for int(d) >= len(counts) {
+						counts = append(counts, 0)
+					}
+					counts[d]++
+				}
+				perSrc[i] = counts
+				finished[i] = true
 			}
-			partial[w], completed[w] = bfsBatchSeq(ctx, g, dir, mine, &scratch[w])
 		}(w)
 	}
 	wg.Wait()
-	var out []int64
 	done := 0
-	for w, p := range partial {
-		done += completed[w]
+	for done < len(sources) && finished[done] {
+		done++
+	}
+	var out []int64
+	for _, p := range perSrc[:done] {
 		for h, c := range p {
 			for h >= len(out) {
 				out = append(out, 0)

@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// triadReps maps each triad class to a representative arc set on nodes
+// {0,1,2}. The brute-force census classifies a triple by checking which
+// representative it is isomorphic to (under the 6 node permutations) —
+// an oracle entirely independent of the census implementation.
+var triadReps = [NumTriadClasses][][2]int{
+	Triad003:  {},
+	Triad012:  {{0, 1}},
+	Triad102:  {{0, 1}, {1, 0}},
+	Triad021D: {{1, 0}, {1, 2}},
+	Triad021U: {{0, 1}, {2, 1}},
+	Triad021C: {{0, 1}, {1, 2}},
+	Triad111D: {{0, 1}, {1, 0}, {2, 1}},
+	Triad111U: {{0, 1}, {1, 0}, {1, 2}},
+	Triad030T: {{0, 1}, {0, 2}, {1, 2}},
+	Triad030C: {{0, 1}, {1, 2}, {2, 0}},
+	Triad201:  {{0, 1}, {1, 0}, {1, 2}, {2, 1}},
+	Triad120D: {{0, 2}, {2, 0}, {1, 0}, {1, 2}},
+	Triad120U: {{0, 2}, {2, 0}, {0, 1}, {2, 1}},
+	Triad120C: {{0, 2}, {2, 0}, {0, 1}, {1, 2}},
+	Triad210:  {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}},
+	Triad300:  {{0, 1}, {1, 0}, {0, 2}, {2, 0}, {1, 2}, {2, 1}},
+}
+
+// arcMask encodes a 3-node digraph as a 6-bit mask over the ordered
+// pairs (0,1),(0,2),(1,0),(1,2),(2,0),(2,1).
+func arcMask(arcs [][2]int) int {
+	bit := map[[2]int]int{
+		{0, 1}: 0, {0, 2}: 1, {1, 0}: 2, {1, 2}: 3, {2, 0}: 4, {2, 1}: 5,
+	}
+	m := 0
+	for _, a := range arcs {
+		m |= 1 << bit[a]
+	}
+	return m
+}
+
+// triadClassOf classifies a 3-node arc set by isomorphism against the
+// representatives, asserting exactly one class matches.
+func triadClassOf(t *testing.T, arcs [][2]int) TriadClass {
+	t.Helper()
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	masks := map[int]bool{}
+	for _, p := range perms {
+		mapped := make([][2]int, len(arcs))
+		for i, a := range arcs {
+			mapped[i] = [2]int{p[a[0]], p[a[1]]}
+		}
+		masks[arcMask(mapped)] = true
+	}
+	found := TriadClass(-1)
+	for c := TriadClass(0); int(c) < NumTriadClasses; c++ {
+		if masks[arcMask(triadReps[c])] {
+			if found >= 0 {
+				t.Fatalf("arc set %v matches both %v and %v", arcs, found, c)
+			}
+			found = c
+		}
+	}
+	if found < 0 {
+		t.Fatalf("arc set %v matches no triad class", arcs)
+	}
+	return found
+}
+
+// bruteMotifs enumerates every triple and classifies it via the
+// isomorphism oracle. Cubic; small graphs only.
+func bruteMotifs(t *testing.T, g *Graph) [NumTriadClasses]int64 {
+	t.Helper()
+	n := g.NumNodes()
+	var counts [NumTriadClasses]int64
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				triple := [3]NodeID{NodeID(a), NodeID(b), NodeID(c)}
+				var arcs [][2]int
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						if i != j && g.HasEdge(triple[i], triple[j]) {
+							arcs = append(arcs, [2]int{i, j})
+						}
+					}
+				}
+				counts[triadClassOf(t, arcs)]++
+			}
+		}
+	}
+	return counts
+}
+
+func TestMotifsAgainstBruteForce(t *testing.T) {
+	small := map[string]*Graph{
+		"triangle": triangle(),
+		"isolated": FromEdges(6, 0, 1, 5, 0),
+		"star":     testGraphs()["star"],
+		"chain":    testGraphs()["chain"],
+	}
+	rng := rand.New(rand.NewPCG(9, 10))
+	small["random-dense"] = randomGraph(40, 400, rng)
+	small["random-sparse"] = randomGraph(60, 90, rng)
+	for name, g := range small {
+		want := bruteMotifs(t, g)
+		for _, par := range []int{1, 4, 16} {
+			got := Motifs(g, par)
+			if got.Counts != want {
+				t.Errorf("%s (P=%d): census\n got %v\nwant %v", name, par, got.Counts, want)
+			}
+		}
+	}
+}
+
+// TestMotifsCountsSumToTriples is the satellite invariant: the 16
+// classes partition all C(n,3) triples, and the 13 connected classes
+// sum to the number of connected triples — which equals wedges minus
+// 2·triangles (each closed triple holds three wedges but is one triple;
+// each open connected triple holds exactly one).
+func TestMotifsCountsSumToTriples(t *testing.T) {
+	for name, g := range testGraphs() {
+		m := Motifs(g, 4)
+		n := int64(g.NumNodes())
+		var sum int64
+		for _, c := range m.Counts {
+			sum += c
+		}
+		if want := choose3(n); sum != want {
+			t.Errorf("%s: class counts sum to %d, want C(%d,3) = %d", name, sum, n, want)
+		}
+		tri := Triangles(g, TriangleAuto, 4)
+		if got, want := m.ConnectedTriples(), tri.Wedges-2*tri.Total; got != want {
+			t.Errorf("%s: ConnectedTriples = %d, want wedges-2*triangles = %d", name, got, want)
+		}
+		if got, want := m.Triangles(), tri.Total; got != want {
+			t.Errorf("%s: census Triangles = %d, TriangleResult.Total = %d", name, got, want)
+		}
+		for c, v := range m.Counts {
+			if v < 0 {
+				t.Errorf("%s: class %v count %d negative", name, TriadClass(c), v)
+			}
+		}
+	}
+}
+
+// TestMotifsTransitiveClosuresMatchClustering ties the census to the
+// §3.3.3 clustering pipeline: the transitive-closure total must equal
+// the exact sum of every node's clustering-coefficient numerator.
+func TestMotifsTransitiveClosuresMatchClustering(t *testing.T) {
+	for name, g := range testGraphs() {
+		m := Motifs(g, 4)
+		var want int64
+		for u := 0; u < g.NumNodes(); u++ {
+			want += int64(clusteringLinks(g, NodeID(u)))
+		}
+		if got := m.TransitiveClosures(); got != want {
+			t.Errorf("%s: TransitiveClosures = %d, Σ clusteringLinks = %d", name, got, want)
+		}
+	}
+}
+
+// TestMotifsDyadTotals pins the dyad bookkeeping: mutual+asym dyads
+// must cover the projection's edges, and 2·mutual+asym the directed
+// edge count.
+func TestMotifsDyadTotals(t *testing.T) {
+	for name, g := range testGraphs() {
+		m := Motifs(g, 4)
+		u := buildUndirected(g, 4)
+		undirectedEdges := int64(len(u.adj)) / 2
+		if m.MutualDyads+m.AsymDyads != undirectedEdges {
+			t.Errorf("%s: mutual %d + asym %d != undirected edges %d",
+				name, m.MutualDyads, m.AsymDyads, undirectedEdges)
+		}
+		if 2*m.MutualDyads+m.AsymDyads != int64(g.NumEdges()) {
+			t.Errorf("%s: 2*mutual+asym = %d, directed edges %d",
+				name, 2*m.MutualDyads+m.AsymDyads, g.NumEdges())
+		}
+	}
+}
+
+func TestMotifsQuickFuzz(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, seed^0x27d4eb2f))
+		n := 3 + r.IntN(30)
+		g := randomGraph(n, 1+r.IntN(6*n), r)
+		want := bruteMotifs(t, g)
+		got := Motifs(g, 1+r.IntN(8))
+		return got.Counts == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMotifsKnownTriads pins each single-triad graph to its class.
+func TestMotifsKnownTriads(t *testing.T) {
+	for c := TriadClass(0); int(c) < NumTriadClasses; c++ {
+		b := NewBuilder(3, 0)
+		for _, a := range triadReps[c] {
+			b.AddEdge(NodeID(a[0]), NodeID(a[1]))
+		}
+		m := Motifs(b.Build(), 2)
+		for k, v := range m.Counts {
+			want := int64(0)
+			if TriadClass(k) == c {
+				want = 1
+			}
+			if v != want {
+				t.Errorf("representative of %v: census[%v] = %d, want %d", c, TriadClass(k), v, want)
+			}
+		}
+	}
+}
+
+func TestChoose3(t *testing.T) {
+	cases := map[int64]int64{0: 0, 2: 0, 3: 1, 4: 4, 5: 10, 10: 120, 100: 161700}
+	for n, want := range cases {
+		if got := choose3(n); got != want {
+			t.Errorf("choose3(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if got := choose3(1 << 40); got != -1 {
+		t.Errorf("choose3(2^40) = %d, want -1 (overflow)", got)
+	}
+	// Largest exactly representable region: 3.8M nodes stays exact.
+	if got := choose3(3_800_000); got <= 0 {
+		t.Errorf("choose3(3.8M) = %d, want positive exact value", got)
+	}
+}
+
+func TestMotifsReflectsReciprocity(t *testing.T) {
+	// A 4-cycle of mutual edges: every connected triple is 201 or 102.
+	b := NewBuilder(4, 0)
+	for i := 0; i < 4; i++ {
+		j := (i + 1) % 4
+		b.AddEdge(NodeID(i), NodeID(j))
+		b.AddEdge(NodeID(j), NodeID(i))
+	}
+	m := Motifs(b.Build(), 3)
+	want := [NumTriadClasses]int64{Triad201: 4}
+	if !reflect.DeepEqual(m.Counts, want) {
+		t.Errorf("mutual 4-cycle census = %v, want only 201=4", m.Counts)
+	}
+	if m.MutualDyads != 4 || m.AsymDyads != 0 {
+		t.Errorf("mutual 4-cycle dyads = (%d,%d), want (4,0)", m.MutualDyads, m.AsymDyads)
+	}
+}

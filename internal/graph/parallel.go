@@ -38,23 +38,19 @@ func uniformBounds(n, parallelism int) []int {
 	return bounds
 }
 
-// workBounds splits [0, n) into contiguous ranges of near-equal *work*
-// for algorithms whose per-node cost is proportional to degree: the
-// weight of node u is outdeg(u) + indeg(u) + 1, read straight off the CSR
-// offset arrays. On the crawl's heavy-tailed graphs a node-uniform split
-// would hand the shard holding the celebrity head most of the edges; this
-// split keeps shard runtimes level so the slowest worker bounds speedup.
-func (g *Graph) workBounds(parallelism int) []int {
-	n := g.NumNodes()
+// prefixWorkBounds splits [0, n) into contiguous ranges of near-equal
+// weight, given a monotonic prefix-weight function w (w(0) <= w(1) <=
+// ... <= w(n), with w(n) the total). Each cut point is a binary search
+// on w, so no prefix array is materialized. It is the shared core of
+// the degree-balanced sharding used by Graph.workBounds and by the
+// undirected projection behind the triangle/motif kernels.
+func prefixWorkBounds(n, parallelism int, w func(int) int64) []int {
 	s := normShards(n, parallelism)
 	bounds := make([]int, s+1)
 	bounds[s] = n
 	if s == 1 {
 		return bounds
 	}
-	// weight prefix W(u) = outOff[u] + inOff[u] + u is monotonic, so each
-	// cut point is a binary search; no prefix array is materialized.
-	w := func(u int) int64 { return g.outOff[u] + g.inOff[u] + int64(u) }
 	total := w(n)
 	for k := 1; k < s; k++ {
 		target := total * int64(k) / int64(s)
@@ -62,6 +58,18 @@ func (g *Graph) workBounds(parallelism int) []int {
 		bounds[k] = lo + sort.Search(n-lo, func(i int) bool { return w(lo+i) >= target })
 	}
 	return bounds
+}
+
+// workBounds splits [0, n) into contiguous ranges of near-equal *work*
+// for algorithms whose per-node cost is proportional to degree: the
+// weight of node u is outdeg(u) + indeg(u) + 1, read straight off the CSR
+// offset arrays. On the crawl's heavy-tailed graphs a node-uniform split
+// would hand the shard holding the celebrity head most of the edges; this
+// split keeps shard runtimes level so the slowest worker bounds speedup.
+func (g *Graph) workBounds(parallelism int) []int {
+	return prefixWorkBounds(g.NumNodes(), parallelism, func(u int) int64 {
+		return g.outOff[u] + g.inOff[u] + int64(u)
+	})
 }
 
 // runShards invokes fn(shard, lo, hi) for each consecutive bounds pair,

@@ -120,6 +120,65 @@ func BenchmarkAnalysisSCC(b *testing.B) {
 	})
 }
 
+// The triangle suite skips the Cohen wedge-check kernel on the 1M-node
+// graph: its probe count is the full wedge total (~1e9 here), an order
+// of magnitude past what the other kernels pay — the same reason the
+// auto selector only picks it under the wedge budget.
+
+func BenchmarkAnalysisTrianglesBurkhardt(b *testing.B) {
+	g := analysisGraphOnce(b)
+	benchOverParallelisms(b, func(b *testing.B, par int) {
+		for i := 0; i < b.N; i++ {
+			_ = Triangles(g, TriangleBurkhardt, par)
+		}
+	})
+}
+
+func BenchmarkAnalysisTrianglesSandiaLL(b *testing.B) {
+	g := analysisGraphOnce(b)
+	benchOverParallelisms(b, func(b *testing.B, par int) {
+		for i := 0; i < b.N; i++ {
+			_ = Triangles(g, TriangleSandiaLL, par)
+		}
+	})
+}
+
+func BenchmarkAnalysisTrianglesSandiaUU(b *testing.B) {
+	g := analysisGraphOnce(b)
+	benchOverParallelisms(b, func(b *testing.B, par int) {
+		for i := 0; i < b.N; i++ {
+			_ = Triangles(g, TriangleSandiaUU, par)
+		}
+	})
+}
+
+func BenchmarkAnalysisTrianglesAuto(b *testing.B) {
+	g := analysisGraphOnce(b)
+	benchOverParallelisms(b, func(b *testing.B, par int) {
+		for i := 0; i < b.N; i++ {
+			_ = Triangles(g, TriangleAuto, par)
+		}
+	})
+}
+
+func BenchmarkAnalysisMotifs(b *testing.B) {
+	g := analysisGraphOnce(b)
+	benchOverParallelisms(b, func(b *testing.B, par int) {
+		for i := 0; i < b.N; i++ {
+			_ = Motifs(g, par)
+		}
+	})
+}
+
+func BenchmarkAnalysisAllClustering(b *testing.B) {
+	g := analysisGraphOnce(b)
+	benchOverParallelisms(b, func(b *testing.B, par int) {
+		for i := 0; i < b.N; i++ {
+			_ = AllClustering(g, par)
+		}
+	})
+}
+
 func BenchmarkAnalysisPathLengths(b *testing.B) {
 	g := analysisGraphOnce(b)
 	benchOverParallelisms(b, func(b *testing.B, par int) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand/v2"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -50,8 +51,17 @@ func TestParallelDeterminism(t *testing.T) {
 				"SampleClustering": func(par int) any {
 					return SampleClustering(g, 50, rand.New(rand.NewPCG(5, 6)), par)
 				},
-				"WCC": func(par int) any { return WCC(g, par) },
-				"SCC": func(par int) any { return SCCParallel(g, par) },
+				"WCC":                func(par int) any { return WCC(g, par) },
+				"SCC":                func(par int) any { return SCCParallel(g, par) },
+				"AllClustering":      func(par int) any { return AllClustering(g, par) },
+				"ClusteringByDegree": func(par int) any { return ClusteringByDegree(g, par) },
+				"WedgeCount":         func(par int) any { return WedgeCount(g, par) },
+				"TrianglesBurkhardt": func(par int) any { return Triangles(g, TriangleBurkhardt, par) },
+				"TrianglesCohen":     func(par int) any { return Triangles(g, TriangleCohen, par) },
+				"TrianglesSandiaLL":  func(par int) any { return Triangles(g, TriangleSandiaLL, par) },
+				"TrianglesSandiaUU":  func(par int) any { return Triangles(g, TriangleSandiaUU, par) },
+				"TrianglesAuto":      func(par int) any { return Triangles(g, TriangleAuto, par) },
+				"Motifs":             func(par int) any { return Motifs(g, par) },
 			}
 			for algo, run := range runs {
 				base := run(1)
@@ -155,6 +165,61 @@ func TestSamplePathLengthsCancelMidBatchAccounting(t *testing.T) {
 	}
 	if want := int64(dist.Sources) * 3; dist.Reachable != want {
 		t.Fatalf("Reachable = %d, want %d (3 per completed source)", dist.Reachable, want)
+	}
+}
+
+// atomicCountingCtx is countingCtx for concurrent callers: cancellation
+// reports after allowed Err consultations, whichever goroutines make
+// them.
+type atomicCountingCtx struct {
+	context.Context
+	calls   atomic.Int64
+	allowed int64
+}
+
+func (c *atomicCountingCtx) Err() error {
+	if c.calls.Add(1) > c.allowed {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestBFSBatchCancelPrefixConsistency covers the P>1 cancellation
+// accounting regression: bfsBatch's contract is that (histogram, done)
+// describes exactly the prefix sources[:done], but the strided workers
+// used to merge whatever scattered subset finished before the cancel
+// while reporting its size as if it were a prefix. On the chain graph
+// every source reaches a different number of nodes, so crediting the
+// wrong sources is visible in the histogram. The oracle is the serial
+// batch over the prefix, uncancelled — checked at P=1 and P>1 for every
+// possible cancellation point.
+func TestBFSBatchCancelPrefixConsistency(t *testing.T) {
+	g := testGraphs()["chain"]
+	sources := make([]NodeID, 12)
+	for i := range sources {
+		sources[i] = NodeID(i * 3) // distinct reach: source i*3 sees 40-3i nodes
+	}
+	for _, workers := range []int{1, 4} {
+		for allowed := int64(0); allowed <= int64(len(sources))+1; allowed++ {
+			ctx := &atomicCountingCtx{Context: context.Background(), allowed: allowed}
+			scratch := make([][]int32, workers)
+			got, done := bfsBatch(ctx, g, Directed, sources, scratch)
+			if done > len(sources) {
+				t.Fatalf("P=%d allowed=%d: done = %d > %d sources", workers, allowed, done, len(sources))
+			}
+			var wantScratch []int32
+			want, wantDone := bfsBatchSeq(context.Background(), g, Directed, sources[:done], &wantScratch)
+			if wantDone != done || !reflect.DeepEqual(got, want) {
+				t.Fatalf("P=%d allowed=%d: histogram for done=%d is %v, want prefix histogram %v",
+					workers, allowed, done, got, want)
+			}
+		}
+	}
+	// Uncancelled, P=1 and P>1 must agree exactly.
+	base, baseDone := bfsBatch(context.Background(), g, Directed, sources, make([][]int32, 1))
+	par, parDone := bfsBatch(context.Background(), g, Directed, sources, make([][]int32, 4))
+	if baseDone != len(sources) || parDone != len(sources) || !reflect.DeepEqual(base, par) {
+		t.Fatalf("uncancelled batch: P=1 (%v, %d) vs P=4 (%v, %d)", base, baseDone, par, parDone)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"gplus/internal/core"
+	"gplus/internal/graph"
 	"gplus/internal/profile"
 	"gplus/internal/stats"
 )
@@ -50,6 +51,7 @@ type Results struct {
 	TelFraction float64
 	Reciprocity core.ReciprocityResult
 	Clustering  core.ClusteringResult
+	Motifs      core.MotifResult
 	Paths       core.PathLengthResult
 	Degrees     core.DegreeDistributions
 	Topology    core.TopologyRow
@@ -83,6 +85,7 @@ func Collect(ctx context.Context, s *core.Study) (*Results, error) {
 	}
 	r.Reciprocity = st.Reciprocity
 	r.Clustering = st.Clustering
+	r.Motifs = st.Motifs
 	r.Paths = st.Paths
 	r.Degrees = st.Degrees
 	r.Topology = s.Topology(ctx)
@@ -174,6 +177,19 @@ func Checks() []Check {
 			ID: "fig4b/cc-above-0.2", Claim: "~40% of users have clustering coefficient > 0.2",
 			Published: 0.40, Min: 0.25, Max: 0.60,
 			Measure: func(r *Results) float64 { return r.Clustering.FractionAbove02 },
+		},
+
+		// Directed triangle motifs — the Schiöberg et al. follow-up study
+		// of the same crawl: among triangles with no mutual dyad, cycles
+		// are the rarest class, transitive closure dominates.
+		{
+			ID:    "motifs/cycles-rare",
+			Claim: "cyclic triangles (030C) are no more common than transitive ones (030T)",
+			Holds: func(r *Results) bool {
+				c := r.Motifs.Census
+				return c != nil && c.Triangles() > 0 &&
+					c.Counts[graph.Triad030C] <= c.Counts[graph.Triad030T]
+			},
 		},
 
 		// Figure 3 — degree power laws.

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"gplus/internal/core"
+	"gplus/internal/graph"
 	"gplus/internal/paper"
 	"gplus/internal/profile"
 )
@@ -114,8 +115,12 @@ func Markdown(ctx context.Context, w io.Writer, s *core.Study) error {
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "- Fig 4(a): global reciprocity %.1f%%; %.1f%% of users above RR 0.6\n",
 		100*results.Reciprocity.Global, 100*results.Reciprocity.FractionAbove06)
-	fmt.Fprintf(w, "- Fig 4(b): mean clustering %.3f; %.1f%% above 0.2\n",
-		results.Clustering.Mean, 100*results.Clustering.FractionAbove02)
+	scan := "sampled"
+	if results.Clustering.Exact {
+		scan = "exact, all eligible nodes"
+	}
+	fmt.Fprintf(w, "- Fig 4(b): mean clustering %.3f (%s); %.1f%% above 0.2\n",
+		results.Clustering.Mean, scan, 100*results.Clustering.FractionAbove02)
 	fmt.Fprintf(w, "- Fig 5: directed avg %.2f (mode %d), undirected avg %.2f (mode %d)\n",
 		results.Paths.Directed.Mean(), results.Paths.Directed.Mode(),
 		results.Paths.Undirected.Mean(), results.Paths.Undirected.Mode())
@@ -124,5 +129,31 @@ func Markdown(ctx context.Context, w io.Writer, s *core.Study) error {
 	fmt.Fprintf(w, "- Fig 10: self-loops US %.2f, IN %.2f, GB %.2f, CA %.2f\n",
 		results.Links.SelfLoop("US"), results.Links.SelfLoop("IN"),
 		results.Links.SelfLoop("GB"), results.Links.SelfLoop("CA"))
+	fmt.Fprintln(w)
+
+	// Directed triad motif census (Schiöberg et al. follow-up).
+	if c := results.Motifs.Census; c != nil {
+		fmt.Fprintf(w, "## Motif census — exact directed triads\n\n")
+		fmt.Fprintf(w, "%d triangles via the %s kernel; transitivity %.4f; %d mutual and %d one-way dyads.\n\n",
+			results.Motifs.TriangleTotal, results.Motifs.TriangleMethod,
+			results.Motifs.Transitivity, c.MutualDyads, c.AsymDyads)
+		fmt.Fprintf(w, "| Triad | Count | Kind |\n|---|---|---|\n")
+		for cls, n := range c.Counts {
+			tc := graph.TriadClass(cls)
+			kind := "disconnected"
+			switch {
+			case tc.Closed():
+				kind = "triangle"
+			case tc.Connected():
+				kind = "open"
+			}
+			count := fmt.Sprintf("%d", n)
+			if n < 0 {
+				count = "overflow"
+			}
+			fmt.Fprintf(w, "| %s | %s | %s |\n", tc, count, kind)
+		}
+		fmt.Fprintln(w)
+	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"gplus/internal/core"
+	"gplus/internal/graph"
 	"gplus/internal/stats"
 )
 
@@ -28,6 +29,8 @@ import (
 //	fig8_<CC>.dat                        per-country field CCDFs
 //	fig9a_{friends,reciprocal,random}.dat path-mile CDFs
 //	fig10_matrix.dat                     country link matrix
+//	fig4b_ck.dat                         exact C(k) curve (exact path only)
+//	motifs.dat                           directed triad census
 //	plots.gp                             gnuplot script
 func WritePlotData(ctx context.Context, dir string, s *core.Study) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -109,7 +112,47 @@ func WritePlotData(ctx context.Context, dir string, s *core.Study) error {
 		return err
 	}
 
+	if st.Clustering.Exact {
+		if err := writeCk(filepath.Join(dir, "fig4b_ck.dat"), st.Clustering.ByDegree); err != nil {
+			return err
+		}
+	}
+	if err := writeMotifs(filepath.Join(dir, "motifs.dat"), st.Motifs); err != nil {
+		return err
+	}
+
 	return writeGnuplotScript(filepath.Join(dir, "plots.gp"))
+}
+
+// writeCk writes the exact mean-clustering-by-out-degree curve.
+func writeCk(path string, curve []graph.DegreeClustering) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# degree nodes meanCC\n")
+	for _, d := range curve {
+		fmt.Fprintf(f, "%d %d %g\n", d.Degree, d.N, d.Mean)
+	}
+	return f.Close()
+}
+
+// writeMotifs writes the triad census, one class per row.
+func writeMotifs(path string, m core.MotifResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# index triad count\n")
+	if m.Census == nil {
+		return f.Close()
+	}
+	for cls, n := range m.Census.Counts {
+		fmt.Fprintf(f, "%d %s %d\n", cls, graph.TriadClass(cls), n)
+	}
+	return f.Close()
 }
 
 func writeHops(path string, prob []float64) error {
@@ -207,6 +250,14 @@ set xlabel 'Distance (miles)'; set ylabel 'CDF'
 plot 'fig9a_random.dat' with lines title 'Random', \
      'fig9a_friends.dat' with lines title 'Friends', \
      'fig9a_reciprocal.dat' with lines title 'Reciprocal'
+
+set output 'motifs.png'
+set style fill solid 0.6
+set boxwidth 0.8
+set logscale y
+set xlabel 'Triad class'; set ylabel 'Count'
+plot 'motifs.dat' using 1:($3 > 0 ? $3 : 1/0):xtic(2) with boxes notitle
+unset logscale
 `)
 	return err
 }

@@ -10,6 +10,7 @@ import (
 
 	"gplus/internal/core"
 	"gplus/internal/geo"
+	"gplus/internal/graph"
 	"gplus/internal/profile"
 	"gplus/internal/stats"
 )
@@ -143,10 +144,46 @@ func Connectivity(w io.Writer, wcc core.WCCResult, scc core.SCCResult) {
 func Fig4(w io.Writer, rec core.ReciprocityResult, cl core.ClusteringResult, scc core.SCCResult) {
 	fmt.Fprintf(w, "Figure 4(a): global reciprocity = %.1f%%; %.1f%% of users have RR > 0.6\n",
 		100*rec.Global, 100*rec.FractionAbove06)
-	fmt.Fprintf(w, "Figure 4(b): mean CC = %.3f over %d sampled nodes; %.1f%% have CC > 0.2\n",
-		cl.Mean, cl.Sampled, 100*cl.FractionAbove02)
+	scan := "sampled"
+	if cl.Exact {
+		scan = "all eligible"
+	}
+	fmt.Fprintf(w, "Figure 4(b): mean CC = %.3f over %d %s nodes; %.1f%% have CC > 0.2\n",
+		cl.Mean, cl.Sampled, scan, 100*cl.FractionAbove02)
 	fmt.Fprintf(w, "Figure 4(c): %d SCCs; giant has %d nodes (%.1f%% of the graph)\n",
 		scc.Count, scc.GiantSize, 100*scc.GiantFraction)
+}
+
+// Motifs renders the exact triangle count and the 16-class directed
+// triad census, most common classes first among the connected ones.
+func Motifs(w io.Writer, m core.MotifResult) {
+	fmt.Fprintf(w, "Motifs: %d triangles (%s kernel), transitivity %.4f\n",
+		m.TriangleTotal, m.TriangleMethod, m.Transitivity)
+	c := m.Census
+	if c == nil {
+		fmt.Fprintln(w, "  (no census)")
+		return
+	}
+	fmt.Fprintf(w, "  dyads: %d mutual, %d one-way over %d nodes\n",
+		c.MutualDyads, c.AsymDyads, c.Nodes)
+	fmt.Fprintf(w, "  %-6s %14s  %s\n", "triad", "count", "kind")
+	for cls, n := range c.Counts {
+		tc := graph.TriadClass(cls)
+		kind := "disconnected"
+		switch {
+		case tc.Closed():
+			kind = "triangle"
+		case tc.Connected():
+			kind = "open"
+		}
+		if n < 0 {
+			fmt.Fprintf(w, "  %-6s %14s  %s\n", tc, "overflow", kind)
+			continue
+		}
+		fmt.Fprintf(w, "  %-6s %14d  %s\n", tc, n, kind)
+	}
+	fmt.Fprintf(w, "  connected triples: %d; closed: %d; transitive closures: %d\n",
+		c.ConnectedTriples(), c.Triangles(), c.TransitiveClosures())
 }
 
 // Fig5 renders the path-length distributions.

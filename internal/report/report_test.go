@@ -94,6 +94,17 @@ func TestFigureRenderers(t *testing.T) {
 	render(t, func(sb *strings.Builder) { Fig4(sb, s.Reciprocity(), s.Clustering(), s.SCC()) })
 	render(t, func(sb *strings.Builder) { Fig5(sb, s.PathLengths(ctx)) })
 
+	motifs, err := s.Motifs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = render(t, func(sb *strings.Builder) { Motifs(sb, motifs) })
+	for _, want := range []string{"triangles", "030T", "300", "transitivity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Motifs output missing %q:\n%s", want, out)
+		}
+	}
+
 	out = render(t, func(sb *strings.Builder) { Fig6(sb, s.TopCountries(10)) })
 	if !strings.Contains(out, "United States") {
 		t.Errorf("Fig6 missing US:\n%s", out)
@@ -136,6 +147,8 @@ func TestMarkdownReport(t *testing.T) {
 		"| Gender |",
 		"## Table 5",
 		"Fig 4(a): global reciprocity",
+		"## Motif census — exact directed triads",
+		"| 030T |",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("markdown missing %q", want)
@@ -161,7 +174,7 @@ func TestWritePlotData(t *testing.T) {
 		"fig5_directed.dat", "fig5_undirected.dat", "fig6_countries.dat",
 		"fig8_US.dat", "fig8_DE.dat",
 		"fig9a_friends.dat", "fig9a_reciprocal.dat", "fig9a_random.dat",
-		"fig10_matrix.dat", "plots.gp",
+		"fig10_matrix.dat", "fig4b_ck.dat", "motifs.dat", "plots.gp",
 	} {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
