@@ -8,7 +8,7 @@ GO ?= go
 # the rule set). It is never downloaded — no network access is required.
 STATICCHECK_VERSION ?= 2024.1
 
-.PHONY: all check help build vet test race staticcheck hygiene chaos trace-demo dash-demo bench bench-hotpath bench-analysis ablations fuzz fuzz-short verify examples report clean
+.PHONY: all check help build vet test race staticcheck hygiene chaos brownout trace-demo dash-demo bench bench-hotpath bench-analysis ablations fuzz fuzz-short verify examples report clean
 
 # Default check path: the tier-1 verify (build + test) plus vet and the
 # race suite over the concurrent packages.
@@ -17,15 +17,17 @@ all: build vet test race
 # check is the conventional entry point for the same gate; the race leg
 # covers the sharded rate limiter and the batched crawl frontier, the
 # short fuzz leg shakes the checkpoint/journal parser, the hygiene leg
-# gates the metric exposition, and staticcheck runs when the pinned
-# version is installed.
-check: all staticcheck hygiene fuzz-short
+# gates the metric exposition, the brownout leg proves kill-free
+# convergence through a server overload, and staticcheck runs when the
+# pinned version is installed.
+check: all staticcheck hygiene brownout fuzz-short
 
 help:
 	@echo "make all            build + vet + test + race (default)"
-	@echo "make check          all + staticcheck + fuzz-short"
+	@echo "make check          all + staticcheck + hygiene + brownout + fuzz-short"
 	@echo "make hygiene        metrics-hygiene gate: naming grammar + HELP lines"
 	@echo "make chaos          kill/resume convergence under the fault suite"
+	@echo "make brownout       kill-free convergence through a server brownout"
 	@echo "make trace-demo     chaos crawl with request tracing on both sides"
 	@echo "make dash-demo      short chaos crawl rendered on the live dashboard"
 	@echo "make bench          one benchmark per table/figure"
@@ -47,7 +49,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/obs/series/ ./internal/crawler/ ./internal/gplusd/ ./internal/graph/
+	$(GO) test -race ./internal/obs/ ./internal/obs/series/ ./internal/crawler/ ./internal/gplusd/ ./internal/graph/ ./internal/resilience/
 
 # The metrics-hygiene gate: every family either registry exposes after a
 # faulted crawl must match the Prometheus naming grammar and carry a
@@ -74,6 +76,14 @@ staticcheck:
 # convergence with a fault-free crawl — all under the race detector.
 chaos:
 	$(GO) test -race -count=1 -run TestChaosKillResumeConvergence -v ./internal/crawler/
+
+# The overload-resilience gate: crawl straight through a server brownout
+# (latency ramp + admission squeeze) with no kill and no resume, and
+# require an identical dataset, retry amplification <= 1.1x, Retry-After
+# on every shed, and an SLO engine that pages and recovers — all under
+# the race detector.
+brownout:
+	$(GO) test -race -count=1 -run TestBrownoutConvergence -v ./internal/crawler/
 
 # The tracing demo: a short chaos crawl with request tracing on both
 # sides of the wire. Fails if the exemplar dump comes out empty or the
@@ -118,6 +128,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzToProfile -fuzztime=30s ./internal/gplusapi/
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/graph/
 	$(GO) test -fuzz=FuzzReadResult -fuzztime=30s ./internal/crawler/
+	$(GO) test -fuzz=FuzzParseFaultSpec -fuzztime=30s ./internal/gplusd/
 
 # The quick fuzz leg of `make check`: the checkpoint/journal parser is
 # the one format a crash can hand arbitrary torn bytes to.

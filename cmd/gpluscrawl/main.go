@@ -34,11 +34,19 @@
 // /debug/traces on -metrics-addr, or stream dumps to -trace-dir and feed
 // them to `gplusanalyze traces`.
 //
+// -resilience arms the adaptive overload path: an AIMD gate adapts
+// effective worker concurrency to 429/503/deadline feedback, a shared
+// retry budget caps fleet-wide retry amplification near 10%,
+// per-endpoint circuit breakers fail fast through dead endpoints, and
+// server sheds requeue the id to the frontier tail instead of counting
+// as failures — a crawl rides out a server brownout with an identical
+// final dataset.
+//
 // Usage:
 //
 //	gpluscrawl -url http://127.0.0.1:8041 -out ./data -workers 11 -max 30000 \
 //	    -journal ./crawl.journal -metrics-addr 127.0.0.1:8042 -progress 10s \
-//	    -trace-sample 0.05 -trace-dir ./traces
+//	    -trace-sample 0.05 -trace-dir ./traces -resilience
 package main
 
 import (
@@ -107,8 +115,15 @@ func main() {
 		dashOn      = flag.Bool("dash", false, "render a live terminal dashboard on stdout (sparkline throughput/frontier/error panels, SLO state) instead of periodic progress lines")
 		sampleInt   = flag.Duration("sample-interval", time.Second, "time-series sampling cadence for -series-dir/-dash/-metrics-addr (0 disables the collector)")
 		sloSpec     = flag.String("slo", "default", `SLO objectives evaluated over the crawl's metric time series ("default" = API availability <1% + p99 latency <1s, "" disables)`)
+		resilient   = flag.Bool("resilience", false, "arm adaptive overload handling: AIMD worker-concurrency adaptation, a shared retry budget, per-endpoint circuit breakers, and requeue-on-overload instead of counting sheds as failures")
+		attemptTO   = flag.Duration("attempt-timeout", 0, "per-attempt request deadline, propagated to gplusd via X-Gplus-Deadline (0 disables; requires -resilience)")
+		maxRequeues = flag.Int("max-requeues", 0, "cap on how many times one id may return to the frontier on overload (0 = default 32; requires -resilience)")
 	)
 	flag.Parse()
+
+	if (*attemptTO > 0 || *maxRequeues > 0) && !*resilient {
+		log.Fatalf("-attempt-timeout and -max-requeues require -resilience")
+	}
 
 	wantSeries := *sampleInt > 0 && (*seriesDir != "" || *dashOn || *metricsAddr != "")
 	if *dashOn && !wantSeries {
@@ -325,6 +340,15 @@ func main() {
 		collector.OnSample(dash.Frame)
 	}
 
+	var resCfg *crawler.ResilienceConfig
+	if *resilient {
+		resCfg = &crawler.ResilienceConfig{
+			AttemptTimeout: *attemptTO,
+			MaxRequeues:    *maxRequeues,
+		}
+		log.Printf("resilience armed: AIMD concurrency gate, shared retry budget, per-endpoint breakers, requeue-on-overload (watch crawler_aimd_limit, crawler_retry_budget_tokens_milli, crawler_requeues_total)")
+	}
+
 	res, err := crawler.Crawl(ctx, crawler.Config{
 		BaseURL:          *url,
 		Seeds:            seedList,
@@ -342,6 +366,7 @@ func main() {
 		ProgressInterval: *progress,
 		OnProgress:       onProgress,
 		Tracer:           tracer,
+		Resilience:       resCfg,
 	})
 	if cerr := jrnl.Close(); cerr != nil {
 		log.Printf("journal error (crawl state may be incomplete on disk): %v", cerr)
@@ -369,9 +394,13 @@ func main() {
 	if res.Stats.ProfilesResumed > 0 {
 		resumed = fmt.Sprintf(" (+%d resumed)", res.Stats.ProfilesResumed)
 	}
-	log.Printf("crawled %d profiles%s (%d discovered), %d edge observations, %d pages, %d profile errors, %d circle errors in %v",
+	requeued := ""
+	if res.Stats.Requeued > 0 {
+		requeued = fmt.Sprintf(", %d overload requeues", res.Stats.Requeued)
+	}
+	log.Printf("crawled %d profiles%s (%d discovered), %d edge observations, %d pages, %d profile errors, %d circle errors%s in %v",
 		res.Stats.ProfilesCrawled, resumed, res.Stats.Discovered, res.Stats.EdgesObserved,
-		res.Stats.PagesFetched, res.Stats.ProfileErrors, res.Stats.CircleErrors, res.Stats.Duration)
+		res.Stats.PagesFetched, res.Stats.ProfileErrors, res.Stats.CircleErrors, requeued, res.Stats.Duration)
 
 	if *checkpoint != "" {
 		if err := crawler.SaveCheckpoint(*checkpoint, res); err != nil {

@@ -17,9 +17,18 @@
 //
 // -chaos arms a seed-deterministic fault suite beyond the plain -fault
 // 503s: per-endpoint unavailability, response delays, connection hangs
-// past the client timeout, mid-body connection resets, and scheduled
-// outage windows. Injections are counted per kind in
+// past the client timeout, mid-body connection resets, scheduled outage
+// windows, and brownouts (triangular latency ramps plus admission
+// capacity squeezes). Injections are counted per kind in
 // gplusd_chaos_faults_total; /metrics itself is never faulted.
+//
+// -admission puts an admission controller in front of the simulator:
+// bounded concurrency plus a bounded LIFO wait queue, deadline-aware
+// shedding (503 + Retry-After, honoring the client's X-Gplus-Deadline),
+// and per-endpoint priority (circle listings shed before profile
+// fetches). A -chaos brownout rule squeezes the admission capacity
+// during its windows. State rides on /debug/admission and the
+// gplusd_admission_* series.
 //
 // -trace records server-side request spans — the request root plus chaos
 // delays/hangs and page rendering — joining crawler traces propagated
@@ -44,6 +53,7 @@ import (
 	"gplus/internal/obs"
 	"gplus/internal/obs/series"
 	"gplus/internal/obs/trace"
+	"gplus/internal/resilience"
 	"gplus/internal/synth"
 )
 
@@ -58,7 +68,10 @@ func main() {
 		shards    = flag.Int("rate-shards", 0, "rate limiter lock stripes (rounded up to a power of two, 0 = default 64)")
 		bucketTTL = flag.Duration("bucket-ttl", 0, "evict idle rate limiter buckets after this long (0 = default 5m)")
 		faultRate = flag.Float64("fault", 0, "transient 503 probability")
-		chaosSpec = flag.String("chaos", "", `chaos-mode fault suite, rules separated by ';', e.g. "unavailable,endpoint=profile,rate=0.2;delay,rate=0.1,delay=150ms;hang,rate=0.01,delay=90s;reset,rate=0.05;outage,every=10m,down=45s"`)
+		chaosSpec = flag.String("chaos", "", `chaos-mode fault suite, rules separated by ';', e.g. "unavailable,endpoint=profile,rate=0.2;delay,rate=0.1,delay=150ms;hang,rate=0.01,delay=90s;reset,rate=0.05;outage,every=10m,down=45s;brownout,every=10m,down=45s,delay=100ms,squeeze=0.8"`)
+		admitMax  = flag.Int("admission", 0, "admission control: max concurrent requests (0 disables; sheds carry Retry-After, report at /debug/admission)")
+		admitQ    = flag.Int("admission-queue", 0, "admission control: bounded LIFO wait-queue depth (0 = 4x -admission)")
+		admitWait = flag.Duration("admission-wait", 0, "admission control: max time a request may queue before being shed (0 = default 1s)")
 		traceOn   = flag.Bool("trace", false, "record server-side spans and join crawler traces propagated via X-Gplus-Trace (browse at /debug/traces)")
 		traceRate = flag.Float64("trace-sample", 1, "head sampling rate for requests arriving without a trace header (propagated traces are always joined)")
 		alogEvery = flag.Int("access-log-sample", 0, "log 1 in N served requests, with trace id (0 disables)")
@@ -93,6 +106,16 @@ func main() {
 		tracer = trace.New(trace.Config{SampleRate: *traceRate, Metrics: reg})
 		log.Printf("tracing armed: joining X-Gplus-Trace headers, sampling %.1f%% of headerless requests (/debug/traces)", 100**traceRate)
 	}
+	var admission *resilience.AdmissionOptions
+	if *admitMax > 0 {
+		admission = &resilience.AdmissionOptions{
+			MaxConcurrent: *admitMax,
+			MaxQueue:      *admitQ,
+			MaxWait:       *admitWait,
+		}
+		log.Printf("admission control armed: %d concurrent, queue %d, wait %v (report at /debug/admission)",
+			*admitMax, *admitQ, *admitWait)
+	}
 	srv := gplusd.New(u, gplusd.Options{
 		CircleCap:       *circleCap,
 		PageSize:        *pageSize,
@@ -105,6 +128,7 @@ func main() {
 		Metrics:         reg,
 		Tracer:          tracer,
 		AccessLogSample: *alogEvery,
+		Admission:       admission,
 	})
 	obs.PublishExpvar("gplusd", reg)
 	obs.RegisterRuntimeMetrics(reg)

@@ -1,0 +1,235 @@
+package crawler
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gplus/internal/gplusd"
+	"gplus/internal/obs"
+	"gplus/internal/obs/series"
+	"gplus/internal/obs/trace"
+	"gplus/internal/resilience"
+)
+
+// TestBrownoutConvergence is the resilience tentpole's end-to-end proof:
+// a crawl rides out a server brownout (a seed-deterministic latency ramp
+// plus an admission-capacity squeeze) with no kill and no resume, and
+// must show that graceful degradation actually degraded gracefully:
+//
+//  1. the final dataset is identical to a fault-free crawl — sheds turn
+//     into requeues, not holes;
+//  2. retry amplification stays within 1.1x — the retry budget and
+//     breaker kept the fleet from retry-storming the browned-out server;
+//  3. the 5xx responses the server sheds carry a Retry-After estimate;
+//  4. the SLO burn-rate engine pages during the brownout and returns to
+//     OK once it passes.
+func TestBrownoutConvergence(t *testing.T) {
+	u := crawlUniverse(t)
+	seed := seedID(u)
+	ctx := context.Background()
+
+	// Ground truth: a fault-free, unbudgeted crawl.
+	ref, err := Crawl(ctx, Config{
+		BaseURL: startService(t, u, gplusd.Options{}),
+		Seeds:   []string{seed}, Workers: 8,
+		FetchIn: true, FetchOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same universe behind a brownout: one triangular window at
+	// service start (Every far beyond the test runtime), ramping request
+	// latency up to 20ms and squeezing admission capacity to 10% at the
+	// midpoint. The small concurrency cap plus a short queue wait makes
+	// the squeeze shed for real instead of merely queueing.
+	const brownoutDown = 700 * time.Millisecond
+	sreg := obs.NewRegistry()
+	brownURL := startService(t, u, gplusd.Options{
+		Metrics: sreg,
+		Faults: &gplusd.FaultSpec{Seed: 42, Rules: []gplusd.FaultRule{
+			{Kind: gplusd.FaultBrownout, Every: 10 * time.Minute, Down: brownoutDown,
+				Delay: 20 * time.Millisecond, Squeeze: 0.9},
+		}},
+		Admission: &resilience.AdmissionOptions{
+			MaxConcurrent: 4,
+			MaxQueue:      16,
+			MaxWait:       50 * time.Millisecond,
+		},
+	})
+
+	// Assertion 3 runs concurrently with the crawl: probes hammer the
+	// browned-out server through its worst stretch and every shed they
+	// catch must carry a positive Retry-After.
+	var (
+		probeWG     sync.WaitGroup
+		probeMu     sync.Mutex
+		probeSheds  int
+		probeFaults []string
+	)
+	for i := 0; i < 3; i++ {
+		probeWG.Add(1)
+		go func() {
+			defer probeWG.Done()
+			deadline := time.Now().Add(600 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				resp, err := http.Get(brownURL + "/stats")
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					probeMu.Lock()
+					probeSheds++
+					ra := resp.Header.Get("Retry-After")
+					if secs, err := strconv.ParseFloat(ra, 64); err != nil || secs <= 0 {
+						probeFaults = append(probeFaults, ra)
+					}
+					probeMu.Unlock()
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	// Assertion 4's harness: the collector samples the crawl registry and
+	// the burn-rate engine evaluates a short-window availability SLO on
+	// every tick, so the brownout and the recovery both land in-window
+	// within the test's runtime.
+	creg := obs.NewRegistry()
+	collector := series.NewCollector(creg, series.Options{Interval: 25 * time.Millisecond, Capacity: 8192})
+	eng := series.NewEngine(collector, []series.Objective{{
+		Name: "availability", Kind: series.ErrorRatio,
+		Bad:    []string{`gplusapi_responses_total{code="503"}`},
+		Total:  []string{"gplusapi_responses_total"},
+		Max:    0.05,
+		Window: 500 * time.Millisecond,
+		Fast:   100 * time.Millisecond,
+		// The stock 6x/14.4x burn factors are tuned for hour-scale
+		// windows; with a 500ms window one tick of recovery dilutes the
+		// long burn below 6x before the short window confirms it. 2x/4x
+		// still means "burning budget at least twice as fast as allowed".
+		WarnFactor: 2, PageFactor: 4,
+	}}, creg)
+	collector.OnSample(eng.Eval)
+	var burnMu sync.Mutex
+	maxBurnLong, maxBurnShort := 0.0, 0.0
+	collector.OnSample(func(time.Time) {
+		st := eng.Statuses()
+		if len(st) == 0 {
+			return
+		}
+		burnMu.Lock()
+		if st[0].BurnLong > maxBurnLong {
+			maxBurnLong = st[0].BurnLong
+		}
+		if st[0].BurnShort > maxBurnShort {
+			maxBurnShort = st[0].BurnShort
+		}
+		burnMu.Unlock()
+	})
+	collector.Start()
+
+	// Assertion 2's harness: record every client trace so the analyzer
+	// can compute attempts-per-operation across the whole crawl.
+	rec := trace.NewRecorder(200_000, trace.Rules{})
+	tracer := trace.New(trace.Config{Recorder: rec})
+
+	res, err := Crawl(ctx, Config{
+		BaseURL: brownURL, Seeds: []string{seed}, Workers: 8,
+		FetchIn: true, FetchOut: true,
+		HTTPTimeout:      time.Second,
+		MaxRetries:       16,
+		RetryBackoffBase: 2 * time.Millisecond,
+		Metrics:          creg,
+		Tracer:           tracer,
+		Resilience: &ResilienceConfig{
+			AttemptTimeout: 500 * time.Millisecond,
+			Breaker:        resilience.BreakerOptions{Cooldown: 250 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatalf("brownout crawl: %v", err)
+	}
+	probeWG.Wait()
+
+	// Let a clean post-brownout window slide past before freezing the
+	// engine, so its final word reflects the recovered service.
+	time.Sleep(600 * time.Millisecond)
+	collector.Stop()
+
+	// (1) Convergence: requeues and retries must leave no holes.
+	if res.Stats.ProfileErrors != 0 || res.Stats.CircleErrors != 0 {
+		t.Errorf("brownout crawl counted %d profile / %d circle errors; overload must requeue, not fail",
+			res.Stats.ProfileErrors, res.Stats.CircleErrors)
+	}
+	if !reflect.DeepEqual(res.Profiles, ref.Profiles) {
+		t.Errorf("profiles diverge from fault-free crawl (%d vs %d)", len(res.Profiles), len(ref.Profiles))
+	}
+	if !reflect.DeepEqual(res.Discovered, ref.Discovered) {
+		t.Errorf("discovered sets diverge (%d vs %d)", len(res.Discovered), len(ref.Discovered))
+	}
+	gotGraph, gotIDs := buildGraph(res)
+	refGraph, refIDs := buildGraph(ref)
+	if !reflect.DeepEqual(gotIDs, refIDs) || !reflect.DeepEqual(gotGraph, refGraph) {
+		t.Error("deduplicated graph diverges from fault-free crawl")
+	}
+
+	// The brownout must actually have bitten: the server shed work, and
+	// the crawl deferred some of it.
+	shed := int64(0)
+	for name, v := range sreg.Snapshot().Counters {
+		if strings.HasPrefix(name, "gplusd_admission_shed_total") {
+			shed += v
+		}
+	}
+	if shed == 0 {
+		t.Error("server admission shed nothing; the brownout squeeze never bit")
+	}
+	if res.Stats.Requeued == 0 {
+		t.Error("crawl requeued nothing despite server sheds")
+	}
+
+	// (2) Retry amplification across every operation type stays under
+	// 1.1x: the budget capped the fleet's retry fraction.
+	analysis := trace.Analyze(rec.Traces(), 10)
+	var ops, attempts int
+	for _, rs := range analysis.Retries {
+		ops += rs.Ops
+		attempts += rs.Attempts
+	}
+	if ops == 0 {
+		t.Fatal("trace analysis found no operations with attempt spans")
+	}
+	if amp := float64(attempts) / float64(ops); amp > 1.1 {
+		t.Errorf("retry amplification = %.3fx (%d attempts / %d ops), want <= 1.1x", amp, attempts, ops)
+	}
+
+	// (3) Every shed the probes caught carried a usable Retry-After.
+	if probeSheds == 0 {
+		t.Error("probes saw no 503s during the brownout window")
+	}
+	for _, ra := range probeFaults {
+		t.Errorf("shed 503 carried unusable Retry-After %q", ra)
+	}
+
+	// (4) The SLO engine saw the brownout and recovered: at least one
+	// transition away from OK, and a final state of OK on every
+	// objective.
+	if len(eng.Transitions()) == 0 {
+		t.Errorf("SLO engine recorded no transitions; the brownout never burned the error budget (max burn long=%.2f short=%.2f)", maxBurnLong, maxBurnShort)
+	}
+	for _, st := range eng.Statuses() {
+		if st.State != series.StateOK {
+			t.Errorf("objective %s finished %s (burn %.1f), want OK after recovery", st.Name, st.State, st.BurnLong)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"gplus/internal/obs"
 	"gplus/internal/obs/trace"
 	"gplus/internal/profile"
+	"gplus/internal/resilience"
 )
 
 // Config controls a crawl.
@@ -105,6 +106,39 @@ type Config struct {
 	// X-Gplus-Trace. nil disables tracing at the cost of a pointer check
 	// per span site.
 	Tracer *trace.Tracer
+	// Resilience arms the overload machinery: a shared retry budget and
+	// per-endpoint circuit breakers on every worker's client, an AIMD
+	// gate that adapts how many workers may fetch concurrently to
+	// 429/503/deadline pressure, and requeue-on-overload so ids that hit
+	// a saturated server go back to the frontier instead of burning the
+	// error budget. nil keeps the pre-resilience behavior exactly.
+	Resilience *ResilienceConfig
+}
+
+// ResilienceConfig tunes the crawl's overload behavior. The zero value
+// of every field means "library default"; the zero value of the struct
+// as a whole is a fully armed, sensibly tuned configuration.
+type ResilienceConfig struct {
+	// AIMD shapes the additive-increase/multiplicative-decrease gate on
+	// worker concurrency. Max defaults to the worker count: the gate can
+	// only ever shrink effective concurrency, never add workers.
+	AIMD resilience.AIMDOptions
+	// Budget shapes the retry budget shared by all workers, bounding
+	// fleet-wide retry amplification (default: 10% of requests).
+	Budget resilience.BudgetOptions
+	// Breaker shapes the per-endpoint circuit breakers shared by all
+	// workers, so one worker's discovery of a dead endpoint fails the
+	// whole fleet fast.
+	Breaker resilience.BreakerOptions
+	// AttemptTimeout bounds each individual request attempt so one hung
+	// response cannot stall a worker for the whole HTTPTimeout; the
+	// deadline also propagates to the server via X-Gplus-Deadline.
+	// Zero disables per-attempt deadlines.
+	AttemptTimeout time.Duration
+	// MaxRequeues caps how many times one id may be returned to the
+	// frontier on overload before it is finally counted as a failure
+	// (default 32).
+	MaxRequeues int
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -153,6 +187,10 @@ type Stats struct {
 	PagesFetched  int64
 	EdgesObserved int64
 	Discovered    int
+	// Requeued counts overloaded ids that were returned to the frontier
+	// for a later retry instead of being marked failed. Only ever
+	// non-zero with Config.Resilience armed.
+	Requeued int
 	// TornRecords counts trailing journal/checkpoint records dropped by
 	// ReadResult because a mid-append crash left the final line without
 	// its newline. At most one record can tear per load; it is only ever
@@ -200,9 +238,32 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 	tel := newTelemetry(reg, cfg.Workers)
 	tel.journal = cfg.Journal
 
+	// Overload machinery, shared across the worker fleet so one worker's
+	// overload signal protects every other worker's request stream.
+	var (
+		gate     *resilience.AIMD
+		budget   *resilience.RetryBudget
+		breakers *resilience.BreakerGroup
+	)
+	if cfg.Resilience != nil {
+		ao := cfg.Resilience.AIMD
+		if ao.Max <= 0 {
+			ao.Max = cfg.Workers
+		}
+		gate = resilience.NewAIMD(ao, reg, "crawler")
+		budget = resilience.NewRetryBudget(cfg.Resilience.Budget, reg, "crawler")
+		breakers = resilience.NewBreakerGroup(cfg.Resilience.Breaker, reg, "crawler")
+	}
+
 	sched := newScheduler(cfg.MaxProfiles)
 	sched.tel = tel
 	sched.errorBudget = cfg.AbortAfterErrors
+	if cfg.Resilience != nil {
+		sched.maxRequeues = cfg.Resilience.MaxRequeues
+		if sched.maxRequeues <= 0 {
+			sched.maxRequeues = 32
+		}
+	}
 	// The scheduler journals D records centrally: it is the one place
 	// that knows which offered ids are genuinely new. Resume-preloaded
 	// ids are deliberately not journaled — when resuming from the
@@ -236,6 +297,7 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 			sched: sched,
 			tel:   tel,
 			self:  tel.workers[i],
+			gate:  gate,
 			client: &gplusapi.Client{
 				BaseURL:     cfg.BaseURL,
 				CrawlerID:   fmt.Sprintf("machine-%02d", i),
@@ -243,8 +305,15 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 				BackoffBase: cfg.RetryBackoffBase,
 				Metrics:     cfg.Metrics,
 				Tracer:      cfg.Tracer,
+				RetryBudget: budget,
+				Breakers:    breakers,
 			},
 			profiles: make(map[string]profile.Profile),
+		}
+		if cfg.Resilience != nil {
+			w.client.Feedback = gate
+			w.client.AttemptTimeout = cfg.Resilience.AttemptTimeout
+			w.requeue = true
 		}
 		if cfg.HTTPTimeout > 0 {
 			w.client.HTTPClient = newTimeoutClient(cfg.HTTPTimeout)
@@ -289,6 +358,7 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	res.Stats.EdgesObserved = int64(len(res.Edges))
 	res.Stats.Discovered = len(res.Discovered)
+	res.Stats.Requeued = sched.requeueTotal()
 	res.Stats.Duration = time.Since(start)
 	if ctx.Err() != nil {
 		return res, ctx.Err()
@@ -304,7 +374,9 @@ type worker struct {
 	cfg         Config
 	sched       *scheduler
 	tel         *telemetry
-	self        *obs.Counter // this worker's throughput series
+	self        *obs.Counter     // this worker's throughput series
+	gate        *resilience.AIMD // shared concurrency gate; nil when resilience is off
+	requeue     bool             // return overloaded ids to the frontier
 	client      *gplusapi.Client
 	profiles    map[string]profile.Profile
 	edges       []Edge
@@ -319,13 +391,55 @@ func (w *worker) run(ctx context.Context) {
 		if !ok {
 			return
 		}
-		before := w.profileErrs + w.circleErrs
-		w.crawlOne(ctx, id)
-		if after := w.profileErrs + w.circleErrs; after > before {
-			w.sched.recordErrors(after - before)
+		// The AIMD gate is acquired only after an id is claimed: a worker
+		// blocked here holds a claim, so the scheduler's completion
+		// detection (inflight > 0) stays correct while the gate throttles.
+		if w.gate.Acquire(ctx) {
+			before := w.profileErrs + w.circleErrs
+			w.crawlOne(ctx, id)
+			w.gate.Release()
+			if after := w.profileErrs + w.circleErrs; after > before {
+				w.sched.recordErrors(after - before)
+			}
 		}
 		w.sched.finish()
 	}
+}
+
+// maxRequeuePause caps how long a worker honors a server pacing hint
+// after requeueing, so one huge Retry-After cannot idle a worker for
+// the rest of the crawl.
+const maxRequeuePause = 250 * time.Millisecond
+
+// maybeRequeue returns an overloaded id to the frontier instead of
+// counting it failed, so a brownout's worth of shed requests turns into
+// deferred work rather than holes in the dataset. It reports whether the
+// id was requeued; a false return means the caller must count the error.
+// Before picking up new work the worker honors the overload's pacing
+// hint (Retry-After, breaker cooldown): requeueing must defer load in
+// time, not just reshuffle the queue — an instantly retried requeue
+// against a saturated server is a hot spin.
+func (w *worker) maybeRequeue(ctx context.Context, id string, err error) bool {
+	if !w.requeue || !gplusapi.IsOverload(err) {
+		return false
+	}
+	if !w.sched.requeue(id) {
+		return false // requeue cap reached or crawl closing
+	}
+	w.tel.requeues.Inc()
+	var hinted interface{ RetryAfterHint() time.Duration }
+	if errors.As(err, &hinted) {
+		if d := hinted.RetryAfterHint(); d > 0 {
+			if d > maxRequeuePause {
+				d = maxRequeuePause
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(d):
+			}
+		}
+	}
+	return true
 }
 
 func (w *worker) crawlOne(ctx context.Context, id string) {
@@ -361,24 +475,51 @@ func (w *worker) crawlOne(ctx context.Context, id string) {
 		if ctx.Err() != nil {
 			return // cancelled mid-request, not a service failure
 		}
+		if w.maybeRequeue(ctx, id, err) {
+			if root != nil {
+				root.Annotate("requeued", "overload")
+			}
+			return
+		}
 		// Unreachable profiles (deleted accounts, persistent errors) are
 		// skipped; the crawl continues, as the paper's did.
 		w.profileErrs++
 		w.tel.profErrs.Inc()
 		return
 	}
+
+	var circleErrs []error
+	if w.cfg.FetchOut {
+		if cerr := w.fetchCircle(ctx, id, gplusapi.CircleOut); cerr != nil {
+			circleErrs = append(circleErrs, cerr)
+		}
+	}
+	if w.cfg.FetchIn {
+		if cerr := w.fetchCircle(ctx, id, gplusapi.CircleIn); cerr != nil {
+			circleErrs = append(circleErrs, cerr)
+		}
+	}
+	if len(circleErrs) > 0 && ctx.Err() == nil {
+		for _, cerr := range circleErrs {
+			if w.maybeRequeue(ctx, id, cerr) {
+				// The id goes back to the frontier and will be crawled
+				// from scratch, so this pass's profile is dropped rather
+				// than stored (a recrawl must not double-count it).
+				// Already observed edges stay: duplicates are expected
+				// and collapse during graph construction.
+				if root != nil {
+					root.Annotate("requeued", "overload")
+				}
+				return
+			}
+		}
+		w.circleErrs += len(circleErrs)
+		w.tel.circErrs.Add(int64(len(circleErrs)))
+	}
 	w.profiles[id] = doc.ToProfile()
 	w.tel.profiles.Inc()
 	w.self.Inc()
-
-	circleErrsBefore := w.circleErrs
-	if w.cfg.FetchOut {
-		w.fetchCircle(ctx, id, gplusapi.CircleOut)
-	}
-	if w.cfg.FetchIn {
-		w.fetchCircle(ctx, id, gplusapi.CircleIn)
-	}
-	if ctx.Err() == nil && w.circleErrs == circleErrsBefore {
+	if ctx.Err() == nil && len(circleErrs) == 0 {
 		// Only a fully crawled profile earns its P record, and only
 		// after its E/D records entered the journal stream: a resume
 		// from any journal prefix then refetches half-crawled users
@@ -400,12 +541,17 @@ func (w *worker) pause(ctx context.Context) {
 	}
 }
 
-func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.CircleDir) {
+// fetchCircle pages through one of id's circle lists, returning the
+// first permanent fetch error (nil on success or cancellation — the
+// caller checks ctx itself and a cancelled fetch must not be counted).
+// Error accounting is the caller's job, which also decides whether an
+// overload error requeues the id instead of counting against the budget.
+func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.CircleDir) error {
 	token := ""
 	for pageN := 0; ; pageN++ {
 		w.pause(ctx)
 		if ctx.Err() != nil {
-			return // cancelled: don't issue (and miscount) a doomed fetch
+			return nil // cancelled: don't issue (and miscount) a doomed fetch
 		}
 		pctx, psp := w.cfg.Tracer.StartSpan(ctx, "circle.page")
 		if psp != nil {
@@ -417,11 +563,9 @@ func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.Circle
 			psp.SetError(err)
 			psp.Finish()
 			if ctx.Err() != nil {
-				return
+				return nil
 			}
-			w.circleErrs++
-			w.tel.circErrs.Inc()
-			return
+			return err
 		}
 		w.pages++
 		w.tel.pages.Inc()
@@ -444,7 +588,7 @@ func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.Circle
 		jsp.Finish()
 		psp.Finish()
 		if page.NextPageToken == "" {
-			return
+			return nil
 		}
 		token = page.NextPageToken
 	}

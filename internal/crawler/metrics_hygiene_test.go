@@ -12,6 +12,7 @@ import (
 	"gplus/internal/gplusd"
 	"gplus/internal/obs"
 	"gplus/internal/obs/series"
+	"gplus/internal/resilience"
 )
 
 // promFamilyRe is the Prometheus metric-name grammar; every family the
@@ -36,7 +37,9 @@ func TestMetricsHygiene(t *testing.T) {
 		FaultSeed:     7,
 		Faults: &gplusd.FaultSpec{Seed: 7, Rules: []gplusd.FaultRule{
 			{Kind: gplusd.FaultOutage, Every: time.Hour, Down: 10 * time.Millisecond},
+			{Kind: gplusd.FaultBrownout, Every: time.Hour, Down: time.Millisecond, Delay: time.Millisecond, Squeeze: 0.5},
 		}},
+		Admission: &resilience.AdmissionOptions{MaxConcurrent: 64},
 	})
 
 	creg := obs.NewRegistry()
@@ -50,7 +53,8 @@ func TestMetricsHygiene(t *testing.T) {
 		FetchIn: true, FetchOut: true,
 		MaxProfiles: 80,
 		MaxRetries:  16, RetryBackoffBase: time.Millisecond,
-		Metrics: creg,
+		Metrics:    creg,
+		Resilience: &ResilienceConfig{},
 	})
 	collector.Stop()
 	if err != nil {

@@ -1,0 +1,213 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gplus/internal/gplusd"
+	"gplus/internal/obs"
+	"gplus/internal/resilience"
+)
+
+func TestSchedulerRequeue(t *testing.T) {
+	s := newScheduler(0)
+	s.tel = newTelemetry(nil, 0)
+	s.maxRequeues = 2
+	s.offer("u1")
+	ctx := context.Background()
+
+	id, ok := s.next(ctx)
+	if !ok || id != "u1" {
+		t.Fatalf("next = %q, %t", id, ok)
+	}
+	if !s.requeue("u1") {
+		t.Fatal("first requeue refused")
+	}
+	s.finish()
+	if id, ok = s.next(ctx); !ok || id != "u1" {
+		t.Fatalf("re-claim = %q, %t, want u1 again", id, ok)
+	}
+	if !s.requeue("u1") {
+		t.Fatal("second requeue refused")
+	}
+	s.finish()
+	if id, ok = s.next(ctx); !ok || id != "u1" {
+		t.Fatalf("re-claim = %q, %t", id, ok)
+	}
+	if s.requeue("u1") {
+		t.Fatal("third requeue allowed past maxRequeues=2")
+	}
+	if got := s.requeueTotal(); got != 2 {
+		t.Fatalf("requeueTotal = %d, want 2", got)
+	}
+	s.finish()
+	// The id stays claimed, the queue is empty: the crawl completes.
+	if _, ok := s.next(ctx); ok {
+		t.Fatal("scheduler should report completion")
+	}
+}
+
+func TestSchedulerRequeueDisabledByDefault(t *testing.T) {
+	s := newScheduler(0)
+	s.tel = newTelemetry(nil, 0)
+	s.offer("u1")
+	if _, ok := s.next(context.Background()); !ok {
+		t.Fatal("claim failed")
+	}
+	if s.requeue("u1") {
+		t.Fatal("requeue must be refused when maxRequeues is unset")
+	}
+}
+
+// overloadGate 503s (with Retry-After) every request for one profile
+// until that profile has been rejected `rejects` times, then proxies
+// cleanly — forcing the crawl's client to exhaust retries and exercise
+// the requeue path before eventually succeeding.
+type overloadGate struct {
+	inner   http.Handler
+	target  string
+	rejects int
+
+	mu   sync.Mutex
+	seen int
+}
+
+func (g *overloadGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/people/"+g.target {
+		g.mu.Lock()
+		reject := g.seen < g.rejects
+		if reject {
+			g.seen++
+		}
+		g.mu.Unlock()
+		if reject {
+			w.Header().Set("Retry-After", "0.001")
+			http.Error(w, "synthetic overload", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	g.inner.ServeHTTP(w, r)
+}
+
+func TestCrawlRequeuesOnOverload(t *testing.T) {
+	u := crawlUniverse(t)
+	seed := seedID(u)
+	// 6 rejects: two full 3-attempt rounds fail and requeue, the third
+	// succeeds — and the streak stays below the breaker's default
+	// consecutive-failure trip of 8, keeping the test fast.
+	gate := &overloadGate{inner: gplusd.New(u, gplusd.Options{}), target: seed, rejects: 6}
+	ts := httptest.NewServer(gate)
+	defer ts.Close()
+
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: ts.URL, Seeds: []string{seed}, Workers: 4,
+		FetchIn: true, FetchOut: true,
+		MaxProfiles:      30,
+		MaxRetries:       2,
+		RetryBackoffBase: time.Millisecond,
+		Resilience:       &ResilienceConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Requeued == 0 {
+		t.Error("6 consecutive 503s against a 2-retry client must requeue the id")
+	}
+	if res.Stats.ProfileErrors != 0 {
+		t.Errorf("ProfileErrors = %d; overload must requeue, not fail", res.Stats.ProfileErrors)
+	}
+	if _, ok := res.Profiles[seed]; !ok {
+		t.Error("the gated profile never made it into the dataset")
+	}
+}
+
+func TestCrawlWithoutResilienceCountsOverloadAsError(t *testing.T) {
+	u := crawlUniverse(t)
+	seed := seedID(u)
+	// The gate never relents for this profile: without resilience the
+	// old behavior must hold exactly — the fetch fails permanently and
+	// is counted, never requeued.
+	gate := &overloadGate{inner: gplusd.New(u, gplusd.Options{}), target: seed, rejects: 1 << 30}
+	ts := httptest.NewServer(gate)
+	defer ts.Close()
+
+	res, err := Crawl(context.Background(), Config{
+		BaseURL: ts.URL, Seeds: []string{seed}, Workers: 2,
+		FetchIn: true, FetchOut: true,
+		MaxRetries:       2,
+		RetryBackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ProfileErrors != 1 {
+		t.Errorf("ProfileErrors = %d, want 1", res.Stats.ProfileErrors)
+	}
+	if res.Stats.Requeued != 0 {
+		t.Errorf("Requeued = %d without Resilience armed", res.Stats.Requeued)
+	}
+}
+
+func TestJournalErrorSurfacedInProgress(t *testing.T) {
+	reg := obs.NewRegistry()
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j.journal"), JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	tel := newTelemetry(reg, 1)
+	tel.journal = j
+
+	now := time.Now()
+	p := tel.snapshot(now, Progress{}, now, now)
+	if p.JournalErr != "" {
+		t.Fatalf("healthy journal reported error %q", p.JournalErr)
+	}
+	if got := reg.Gauge("crawler_journal_failed").Value(); got != 0 {
+		t.Fatalf("crawler_journal_failed = %d while healthy", got)
+	}
+
+	j.fail(errors.New("disk full"))
+	p = tel.snapshot(now, Progress{}, now, now)
+	if p.JournalErr != "disk full" {
+		t.Fatalf("JournalErr = %q, want the sticky error", p.JournalErr)
+	}
+	if !strings.Contains(p.String(), `journal_err="disk full"`) {
+		t.Errorf("progress line %q does not surface the journal error", p.String())
+	}
+	if got := reg.Gauge("crawler_journal_failed").Value(); got != 1 {
+		t.Errorf("crawler_journal_failed = %d, want 1", got)
+	}
+}
+
+func TestCrawlResilienceMetricsRegistered(t *testing.T) {
+	u := crawlUniverse(t)
+	reg := obs.NewRegistry()
+	_, err := Crawl(context.Background(), Config{
+		BaseURL: startService(t, u, gplusd.Options{}),
+		Seeds:   []string{seedID(u)}, Workers: 2,
+		FetchIn: true, FetchOut: true,
+		MaxProfiles: 10,
+		Metrics:     reg,
+		Resilience: &ResilienceConfig{
+			AIMD: resilience.AIMDOptions{Max: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, want := range []string{"crawler_aimd_limit", "crawler_retry_budget_tokens_milli"} {
+		if _, ok := snap.Gauges[want]; !ok {
+			t.Errorf("gauge %s not registered", want)
+		}
+	}
+}

@@ -43,6 +43,11 @@ type scheduler struct {
 	// (nil disables journaling). The scheduler is the natural owner: it
 	// is the only place that knows which offered ids are new.
 	jrnl *Journal
+	// maxRequeues caps how many times one id may be returned to the
+	// frontier by requeue (0 disables requeueing entirely); requeues
+	// tracks the per-id count, allocated lazily on first use.
+	maxRequeues int
+	requeues    map[string]int
 }
 
 // queued returns the number of ids waiting to be claimed; the caller
@@ -209,6 +214,45 @@ func (s *scheduler) next(ctx context.Context) (id string, ok bool) {
 		s.cond.Wait()
 		s.waiting--
 	}
+}
+
+// requeue returns a claimed-but-overloaded id to the tail of the
+// frontier, undoing its claim so the profile budget is not charged for
+// work that never happened. It reports false once the id has exhausted
+// its requeue allowance (or the crawl is closing), at which point the
+// caller must treat the failure as permanent. The worker still calls
+// finish() for the abandoned claim as usual.
+func (s *scheduler) requeue(id string) bool {
+	s.mu.Lock()
+	if s.closed || s.maxRequeues <= 0 {
+		s.mu.Unlock()
+		return false
+	}
+	if s.requeues == nil {
+		s.requeues = make(map[string]int)
+	}
+	if s.requeues[id] >= s.maxRequeues {
+		s.mu.Unlock()
+		return false
+	}
+	s.requeues[id]++
+	s.claimed--
+	s.queue = append(s.queue, id)
+	s.updateGauges()
+	s.mu.Unlock()
+	s.cond.Signal()
+	return true
+}
+
+// requeueTotal sums every id's requeue count for end-of-crawl stats.
+func (s *scheduler) requeueTotal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.requeues {
+		n += c
+	}
+	return n
 }
 
 // finish marks one claimed crawl as done. Waiters are woken only when

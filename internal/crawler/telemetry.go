@@ -23,8 +23,10 @@ type telemetry struct {
 	profErrs   *obs.Counter // permanent profile-fetch failures
 	circErrs   *obs.Counter // permanent circle-fetch failures
 	torn       *obs.Counter // torn journal records dropped on resume load
+	requeues   *obs.Counter // overloaded ids returned to the frontier
 	frontier   *obs.Gauge   // queued-but-unclaimed ids
 	discovered *obs.Gauge   // all ids ever seen
+	jrnlFailed *obs.Gauge   // 1 once the journal hits its sticky error
 	workers    []*obs.Counter
 }
 
@@ -38,8 +40,10 @@ func newTelemetry(reg *obs.Registry, nWorkers int) *telemetry {
 		profErrs:   reg.Counter("crawler_profile_errors_total"),
 		circErrs:   reg.Counter("crawler_circle_errors_total"),
 		torn:       reg.Counter("crawler_journal_torn_records_total"),
+		requeues:   reg.Counter("crawler_requeues_total"),
 		frontier:   reg.Gauge("crawler_frontier_depth"),
 		discovered: reg.Gauge("crawler_discovered_users"),
+		jrnlFailed: reg.Gauge("crawler_journal_failed"),
 		workers:    make([]*obs.Counter, nWorkers),
 	}
 	reg.Help("crawler_profiles_crawled_total", "Profiles fetched successfully.")
@@ -48,6 +52,8 @@ func newTelemetry(reg *obs.Registry, nWorkers int) *telemetry {
 	reg.Help("crawler_profile_errors_total", "Permanent profile-fetch failures.")
 	reg.Help("crawler_circle_errors_total", "Permanent circle-page-fetch failures.")
 	reg.Help("crawler_journal_torn_records_total", "Torn journal records dropped when loading resume state.")
+	reg.Help("crawler_requeues_total", "Overloaded ids returned to the frontier for a later retry.")
+	reg.Help("crawler_journal_failed", "1 once the journal hit its sticky write error (0 = healthy).")
 	reg.Help("crawler_frontier_depth", "Ids queued for crawling but not yet claimed.")
 	reg.Help("crawler_discovered_users", "All user ids ever seen, crawled or not.")
 	reg.Help("crawler_worker_profiles_total", "Profiles fetched per crawl machine.")
@@ -78,6 +84,15 @@ type Progress struct {
 	// TornRecords counts journal records dropped as torn when this
 	// session's resume state was loaded.
 	TornRecords int64
+	// Requeued counts overloaded ids returned to the frontier instead of
+	// being marked failed — the crawl's deferred-work signal during a
+	// server brownout.
+	Requeued int64
+	// JournalErr carries the journal's sticky error text once the writer
+	// has hit a write/flush/fsync failure ("" while healthy). From that
+	// point the journal silently drops records, so the operator must see
+	// it here rather than discover an unresumable file after a crash.
+	JournalErr string
 	// ETA estimates how long draining the current frontier will take at
 	// the smoothed crawl rate (an exponentially weighted average of
 	// profiles/s across reports, so one slow or fast interval does not
@@ -95,12 +110,16 @@ func (p Progress) String() string {
 	if p.ETA > 0 {
 		eta = p.ETA.Round(time.Second).String()
 	}
-	return fmt.Sprintf(
-		"crawl progress: crawled=%d discovered=%d frontier=%d profile_errors=%d circle_errors=%d pages=%d edges=%d profiles/s=%.1f edges/s=%.1f eta=%s journal_lag=%s torn=%d elapsed=%s final=%t",
+	line := fmt.Sprintf(
+		"crawl progress: crawled=%d discovered=%d frontier=%d profile_errors=%d circle_errors=%d pages=%d edges=%d profiles/s=%.1f edges/s=%.1f eta=%s journal_lag=%s torn=%d requeues=%d elapsed=%s final=%t",
 		p.Crawled, p.Discovered, p.Frontier, p.ProfileErrors, p.CircleErrors,
 		p.PagesFetched, p.EdgesObserved, p.ProfilesPerSec, p.EdgesPerSec, eta,
-		p.JournalFlushLag.Round(time.Millisecond), p.TornRecords,
+		p.JournalFlushLag.Round(time.Millisecond), p.TornRecords, p.Requeued,
 		p.Elapsed.Round(time.Second), p.Final)
+	if p.JournalErr != "" {
+		line += fmt.Sprintf(" journal_err=%q", p.JournalErr)
+	}
+	return line
 }
 
 // snapshot reads the live counters into a Progress, deriving rates from
@@ -117,6 +136,13 @@ func (t *telemetry) snapshot(start time.Time, prev Progress, prevAt time.Time, n
 		Elapsed:         now.Sub(start),
 		JournalFlushLag: t.journal.FlushLag(),
 		TornRecords:     t.torn.Value(),
+		Requeued:        t.requeues.Value(),
+	}
+	if err := t.journal.Err(); err != nil {
+		p.JournalErr = err.Error()
+		// Mirror the sticky failure into a gauge so alerting catches a
+		// crawl whose checkpoint stream has silently gone dark.
+		t.jrnlFailed.Set(1)
 	}
 	if dt := now.Sub(prevAt).Seconds(); dt > 0 {
 		p.ProfilesPerSec = float64(p.Crawled-prev.Crawled) / dt

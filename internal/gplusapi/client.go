@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand/v2"
 	"net/http"
 	"net/url"
@@ -15,6 +16,7 @@ import (
 
 	"gplus/internal/obs"
 	"gplus/internal/obs/trace"
+	"gplus/internal/resilience"
 )
 
 // ErrNotFound is returned for profiles that do not exist.
@@ -54,6 +56,27 @@ type Client struct {
 	// injects an X-Gplus-Trace header so gplusd joins the trace and
 	// records its server-side spans. nil costs one pointer check.
 	Tracer *trace.Tracer
+	// RetryBudget, when non-nil, gates every retry: a denied token turns
+	// the request into an overload failure instead of another wire
+	// attempt. Share one budget across all workers of a crawl so the
+	// whole fleet's retry traffic is bounded together. nil allows all
+	// retries (the pre-budget behavior).
+	RetryBudget *resilience.RetryBudget
+	// Breakers, when non-nil, circuit-breaks each endpoint independently:
+	// an open breaker fails requests fast — no wire attempt — until its
+	// cooldown admits a probe. Breaker denials are retryable and carry
+	// the cooldown as their backoff hint. Share one group per crawl.
+	Breakers *resilience.BreakerGroup
+	// Feedback, when non-nil, receives congestion signals: RecordSuccess
+	// per 200/404, RecordOverload per 429/503 or per-attempt deadline
+	// expiry. The crawler plugs its AIMD gate in here.
+	Feedback resilience.Feedback
+	// AttemptTimeout, when positive, bounds each wire attempt separately
+	// from the operation's context; an expired attempt is retryable (and
+	// an overload signal) where an expired operation is terminal. The
+	// remaining budget is propagated to the server in X-Gplus-Deadline so
+	// it can shed work this client has already abandoned.
+	AttemptTimeout time.Duration
 
 	helpOnce sync.Once // registers the HELP lines of the client families
 }
@@ -102,24 +125,42 @@ func (c *Client) maxBackoff() time.Duration {
 	return 30 * time.Second
 }
 
-// backoffDelay computes the jittered exponential delay before retry
-// attempt (1-based), honoring a Retry-After hint surfaced by the
-// previous error. The exponential term is clamped at MaxBackoff — and
-// the overflow of the shift detected by inverting it — so arbitrarily
-// large retry budgets can never produce a negative delay.
-func (c *Client) backoffDelay(attempt int, lastErr error) time.Duration {
-	delay := c.maxBackoff()
+// backoffCeil is the deterministic exponential ceiling for retry
+// attempt (1-based): BackoffBase doubled per attempt, clamped at
+// MaxBackoff, with the overflow of the shift detected by inverting it.
+// It is monotone non-decreasing in attempt and never exceeds MaxBackoff
+// for any BackoffBase/MaxRetries combination.
+func (c *Client) backoffCeil(attempt int) time.Duration {
+	ceil := c.maxBackoff()
 	if shift := uint(attempt - 1); shift < 63 {
-		if d := c.backoffBase() << shift; d>>shift == c.backoffBase() && d > 0 && d < delay {
-			delay = d
+		if d := c.backoffBase() << shift; d>>shift == c.backoffBase() && d > 0 && d < ceil {
+			ceil = d
 		}
 	}
-	// Full jitter keeps concurrent workers from synchronizing.
-	delay = time.Duration(rand.Int64N(int64(delay))) + delay/2
-	if hinted, ok := lastErr.(*retryAfterError); ok && hinted.after > delay {
-		delay = hinted.after
+	return ceil
+}
+
+// backoffDelay computes the jittered delay before retry attempt
+// (1-based), honoring a Retry-After hint surfaced by the previous error
+// (server hints and breaker cooldowns both implement RetryAfterHint).
+// The delay is sampled in [ceil/2, ceil] — equal-range jitter keeps
+// concurrent workers from synchronizing while keeping consecutive
+// attempts monotone (ceil(k) is the lower bound of attempt k+1's range
+// while both are below the clamp) — and the final value, hints
+// included, never exceeds MaxBackoff and is never negative.
+func (c *Client) backoffDelay(attempt int, lastErr error) time.Duration {
+	ceil := c.backoffCeil(attempt)
+	delay := ceil/2 + time.Duration(rand.Int64N(int64(ceil/2)+1))
+	var hinted interface{ RetryAfterHint() time.Duration }
+	if errors.As(lastErr, &hinted) {
+		if h := hinted.RetryAfterHint(); h > delay {
+			delay = h
+		}
 	}
-	return delay
+	if maxB := c.maxBackoff(); delay > maxB {
+		delay = maxB
+	}
+	return max(delay, 0)
 }
 
 // FetchProfile retrieves the public profile page of a user.
@@ -200,16 +241,28 @@ func (c *Client) getJSON(ctx context.Context, op, path string, out any) error {
 }
 
 // withRetries runs fn with exponential backoff and jitter, honoring
-// Retry-After hints surfaced through retryAfterError. fn receives the
-// per-attempt context, which carries that attempt's span so doGet can
-// propagate it to the service.
+// Retry-After hints surfaced through retryAfterError and breaker
+// denials. Every retry must first win a token from the retry budget
+// (when one is configured): an exhausted budget turns the request into
+// an overload failure instead of amplifying load on a struggling
+// service. Each wire attempt must also pass the endpoint's circuit
+// breaker; a denial is retryable, costs no wire attempt, and reuses the
+// breaker's cooldown as its backoff hint. fn receives the per-attempt
+// context, which carries that attempt's span so doGet can propagate it
+// to the service — and, when AttemptTimeout is set, a per-attempt
+// deadline (the operation context stays visible through parentErr so an
+// expired attempt retries while an expired operation aborts).
 func (c *Client) withRetries(ctx context.Context, op string, fn func(context.Context) error) error {
 	ctx, osp := c.Tracer.StartSpan(ctx, "api."+op)
-	attempts := 0
+	breaker := c.Breakers.Get(op)
+	attempts, denials := 0, 0
 	finish := func(err error) error {
 		if osp != nil {
 			osp.Annotate("attempts", strconv.Itoa(attempts))
-			osp.SetRetries(attempts - 1)
+			osp.SetRetries(max(attempts-1, 0))
+			if denials > 0 {
+				osp.Annotate("breaker_denials", strconv.Itoa(denials))
+			}
 			osp.SetError(err)
 			osp.Finish()
 		}
@@ -219,6 +272,9 @@ func (c *Client) withRetries(ctx context.Context, op string, fn func(context.Con
 	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
 		var delay time.Duration
 		if attempt > 0 {
+			if !c.RetryBudget.TrySpend() {
+				return finish(fmt.Errorf("gplusapi: %w (last error: %w)", resilience.ErrRetryBudgetExhausted, lastErr))
+			}
 			c.Metrics.Counter(`gplusapi_retries_total{endpoint="` + op + `"}`).Inc()
 			delay = c.backoffDelay(attempt, lastErr)
 			select {
@@ -226,6 +282,21 @@ func (c *Client) withRetries(ctx context.Context, op string, fn func(context.Con
 				return finish(ctx.Err())
 			case <-time.After(delay):
 			}
+		}
+		done, berr := breaker.Allow()
+		if berr != nil {
+			// Fail fast with no wire attempt (and no "attempt" span, so
+			// retry-amplification accounting sees only real traffic); the
+			// denial is retryable and hints the breaker's cooldown.
+			denials++
+			if osp != nil {
+				var oe *resilience.OpenError
+				if errors.As(berr, &oe) {
+					osp.Annotate("breaker", oe.State.String())
+				}
+			}
+			lastErr = berr
+			continue
 		}
 		actx, asp := c.Tracer.StartSpan(ctx, "attempt")
 		if asp != nil {
@@ -235,10 +306,20 @@ func (c *Client) withRetries(ctx context.Context, op string, fn func(context.Con
 			}
 		}
 		attempts++
+		cancel := func() {}
+		if c.AttemptTimeout > 0 {
+			actx = context.WithValue(actx, parentCtxKey{}, ctx)
+			actx, cancel = context.WithTimeout(actx, c.AttemptTimeout)
+		}
 		err := fn(actx)
+		cancel()
 		asp.SetError(err)
 		asp.Finish()
+		// A working service — including one correctly reporting a missing
+		// profile — counts as breaker health.
+		done(err == nil || errors.Is(err, ErrNotFound))
 		if err == nil {
+			c.RetryBudget.Deposit()
 			return finish(nil)
 		}
 		if !isRetryable(err) {
@@ -247,6 +328,20 @@ func (c *Client) withRetries(ctx context.Context, op string, fn func(context.Con
 		lastErr = err
 	}
 	return finish(fmt.Errorf("gplusapi: giving up after %d attempts: %w", c.maxRetries()+1, lastErr))
+}
+
+// parentCtxKey carries the operation-level context through a
+// per-attempt timeout wrapper, so doGet can tell "this attempt expired"
+// (retryable, an overload signal) from "the caller gave up" (terminal).
+type parentCtxKey struct{}
+
+// parentErr reports the operation-level context error: the parent's
+// when an attempt timeout wrapper is present, ctx's own otherwise.
+func parentErr(ctx context.Context) error {
+	if parent, ok := ctx.Value(parentCtxKey{}).(context.Context); ok {
+		return parent.Err()
+	}
+	return ctx.Err()
 }
 
 type retryAfterError struct {
@@ -258,6 +353,9 @@ type retryAfterError struct {
 func (e *retryAfterError) Error() string {
 	return fmt.Sprintf("gplusapi: server status %d (retry after %v)", e.status, e.after)
 }
+
+// RetryAfterHint surfaces the server's hint to backoffDelay.
+func (e *retryAfterError) RetryAfterHint() time.Duration { return e.after }
 
 // transientError marks transport-level failures — dropped or reset
 // connections, client timeouts on hung requests, and torn bodies under a
@@ -275,7 +373,36 @@ func (e *transientError) Unwrap() error { return e.err }
 func isRetryable(err error) bool {
 	var ra *retryAfterError
 	var te *transientError
-	return errors.As(err, &ra) || errors.As(err, &te)
+	var oe *resilience.OpenError
+	return errors.As(err, &ra) || errors.As(err, &te) || errors.As(err, &oe)
+}
+
+// IsOverload reports whether err is a pushback signal — the service or
+// the resilience layer shedding load (429/503, admission sheds, open
+// breakers, exhausted retry budgets, per-attempt deadline expiry) —
+// rather than a permanent failure. The crawler requeues overloaded work
+// instead of counting the profile as lost, which is what lets a crawl
+// through a brownout still converge to the complete dataset.
+func IsOverload(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, resilience.ErrRetryBudgetExhausted) {
+		return true
+	}
+	var oe *resilience.OpenError
+	if errors.As(err, &oe) {
+		return true
+	}
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.status == http.StatusTooManyRequests || ra.status == http.StatusServiceUnavailable
+	}
+	var te *transientError
+	if errors.As(err, &te) {
+		return errors.Is(te.err, context.DeadlineExceeded)
+	}
+	return false
 }
 
 func (c *Client) tryGetJSON(ctx context.Context, op, path string, out any) error {
@@ -305,6 +432,9 @@ func (c *Client) doGet(ctx context.Context, op, path string, consume func(io.Rea
 	if c.CrawlerID != "" {
 		req.Header.Set("X-Crawler-Id", c.CrawlerID)
 	}
+	// Propagate this attempt's remaining budget so the server can shed
+	// work we will have abandoned by the time it leaves the queue.
+	resilience.SetDeadlineHeader(ctx, req)
 	// The context carries this attempt's span (see withRetries);
 	// propagating it lets gplusd join the trace and record its
 	// server-side spans under this attempt.
@@ -324,10 +454,18 @@ func (c *Client) doGet(ctx context.Context, op, path string, consume func(io.Rea
 		sp.Annotate("status", strconv.Itoa(resp.StatusCode))
 	}
 	if err != nil {
-		if ctx.Err() != nil {
+		if parentErr(ctx) != nil {
 			// The caller cancelled or timed out the whole operation;
 			// retrying would only delay the shutdown.
 			return err
+		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) && errors.Is(err, context.DeadlineExceeded) {
+			// Only this attempt's deadline expired: the request is worth
+			// retrying, but a service too slow to answer inside the
+			// attempt budget is congested — tell the AIMD gate.
+			if c.Feedback != nil {
+				c.Feedback.RecordOverload()
+			}
 		}
 		return &transientError{err: err}
 	}
@@ -338,7 +476,7 @@ func (c *Client) doGet(ctx context.Context, op, path string, consume func(io.Rea
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		if err := consume(resp.Body); err != nil {
-			if ctx.Err() != nil {
+			if parentErr(ctx) != nil {
 				return err
 			}
 			// A 200 whose body cannot be read or decoded is a torn
@@ -346,18 +484,58 @@ func (c *Client) doGet(ctx context.Context, op, path string, consume func(io.Rea
 			// idempotent, so retry it.
 			return &transientError{err: err}
 		}
+		if c.Feedback != nil {
+			c.Feedback.RecordSuccess()
+		}
 		return nil
 	case resp.StatusCode == http.StatusNotFound:
+		if c.Feedback != nil {
+			// A correct 404 is a healthy service, not congestion.
+			c.Feedback.RecordSuccess()
+		}
 		return ErrNotFound
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
-		after := time.Duration(0)
-		if v := resp.Header.Get("Retry-After"); v != "" {
-			if secs, err := strconv.ParseFloat(v, 64); err == nil {
-				after = time.Duration(secs * float64(time.Second))
-			}
+		if c.Feedback != nil &&
+			(resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) {
+			c.Feedback.RecordOverload()
 		}
+		after, _ := parseRetryAfter(resp.Header.Get("Retry-After"))
 		return &retryAfterError{status: resp.StatusCode, after: after}
 	default:
 		return fmt.Errorf("gplusapi: unexpected status %d for %s", resp.StatusCode, path)
 	}
+}
+
+// maxRetryAfter bounds what a Retry-After header can ask of us; a
+// server demanding more is treated as hinting this much. It also keeps
+// the seconds→Duration conversion far from int64 overflow.
+const maxRetryAfter = time.Hour
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110:
+// either delay-seconds (we also tolerate fractional seconds, which the
+// chaos server emits) or an HTTP-date. Negative delays, dates in the
+// past, and garbage report ok=false with a zero duration, so callers
+// fall back to the regular backoff schedule instead of sleeping a
+// nonsense amount — or zero — on a hostile header.
+func parseRetryAfter(v string) (after time.Duration, ok bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		if math.IsNaN(secs) || secs < 0 {
+			return 0, false
+		}
+		if secs > maxRetryAfter.Seconds() {
+			return maxRetryAfter, true
+		}
+		return time.Duration(secs * float64(time.Second)), true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := time.Until(t)
+		if d <= 0 {
+			return 0, false
+		}
+		return min(d, maxRetryAfter), true
+	}
+	return 0, false
 }

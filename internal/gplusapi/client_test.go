@@ -208,10 +208,16 @@ func TestBackoffDelayClampedAtAllAttempts(t *testing.T) {
 }
 
 func TestBackoffDelayHonorsRetryAfterHint(t *testing.T) {
-	c := &Client{BackoffBase: time.Millisecond, MaxBackoff: time.Millisecond}
+	c := &Client{BackoffBase: time.Millisecond, MaxBackoff: 10 * time.Second}
 	hint := &retryAfterError{status: 429, after: 2 * time.Second}
 	if d := c.backoffDelay(1, hint); d < hint.after {
 		t.Errorf("delay %v ignores the %v Retry-After hint", d, hint.after)
+	}
+	// Hints never push the delay past MaxBackoff: a hostile server must
+	// not be able to stall the crawl arbitrarily long.
+	c.MaxBackoff = time.Millisecond
+	if d := c.backoffDelay(1, hint); d > c.MaxBackoff {
+		t.Errorf("delay %v exceeds MaxBackoff %v despite clamp", d, c.MaxBackoff)
 	}
 }
 

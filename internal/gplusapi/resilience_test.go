@@ -1,0 +1,431 @@
+package gplusapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gplus/internal/resilience"
+)
+
+// --- Retry-After parsing: seconds, HTTP-date, garbage ---
+
+func TestParseRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"2", 2 * time.Second, true},
+		{"0", 0, true},
+		{"0.25", 250 * time.Millisecond, true},
+		{"-1", 0, false},
+		{"-0.5", 0, false},
+	} {
+		got, ok := parseRetryAfter(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = %v, %v; want %v, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	future := time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)
+	got, ok := parseRetryAfter(future)
+	if !ok || got <= 0 || got > 4*time.Second {
+		t.Fatalf("parseRetryAfter(future date) = %v, %v; want ≈3s, true", got, ok)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if got, ok := parseRetryAfter(past); ok || got != 0 {
+		t.Fatalf("parseRetryAfter(past date) = %v, %v; want 0, false", got, ok)
+	}
+}
+
+func TestParseRetryAfterGarbage(t *testing.T) {
+	for _, in := range []string{"", "soon", "12 parsecs", "NaN", "Mon, 99 Foo 2026"} {
+		if got, ok := parseRetryAfter(in); ok || got != 0 {
+			t.Errorf("parseRetryAfter(%q) = %v, %v; want 0, false", in, got, ok)
+		}
+	}
+	// Absurdly large hints are clamped rather than overflowing Duration.
+	if got, ok := parseRetryAfter("1e300"); !ok || got != maxRetryAfter {
+		t.Errorf("parseRetryAfter(1e300) = %v, %v; want clamp to %v", got, ok, maxRetryAfter)
+	}
+}
+
+func TestClientFallsBackToBackoffOnGarbageRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "garbage")
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	c.MaxRetries = 2
+	_, err := c.FetchStats(context.Background())
+	if err == nil {
+		t.Fatal("want failure against an always-503 server")
+	}
+	// A garbage header must not disable retries (the old behavior
+	// treated it as hint 0 = ignore, which still retried; the real risk
+	// is a parse that panics or a hint that sticks at a bogus value).
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// --- backoffDelay property tests ---
+
+// TestBackoffDelayProperties drives adversarial MaxRetries/BackoffBase/
+// MaxBackoff combinations through every attempt number and asserts the
+// satellite invariants: never negative, never above MaxBackoff, and the
+// sampled delay lies in [ceil/2, ceil] for the deterministic, monotone
+// ceiling — which makes consecutive unclamped attempts monotone
+// non-decreasing pointwise (attempt k's upper edge is attempt k+1's
+// lower edge, so no sample at k can exceed a sample at k+1).
+func TestBackoffDelayProperties(t *testing.T) {
+	cases := []struct {
+		base, maxB time.Duration
+	}{
+		{0, 0},                          // all defaults
+		{time.Nanosecond, time.Second},  // minimal base
+		{50 * time.Millisecond, 0},      // default cap
+		{time.Hour, time.Second},        // base above the cap
+		{-time.Second, -time.Second},    // nonsense → defaults
+		{1, 1},                          // 1ns everything
+		{time.Millisecond, time.Minute}, // long doubling run
+		{3 * time.Millisecond, 25 * time.Millisecond}, // clamp mid-range, not a power of two
+	}
+	for _, tc := range cases {
+		c := &Client{BackoffBase: tc.base, MaxBackoff: tc.maxB}
+		prevCeil := time.Duration(0)
+		for attempt := 1; attempt <= 150; attempt++ {
+			ceil := c.backoffCeil(attempt)
+			if ceil < prevCeil {
+				t.Fatalf("base=%v max=%v attempt=%d: ceiling %v < previous %v (not monotone)",
+					tc.base, tc.maxB, attempt, ceil, prevCeil)
+			}
+			if ceil > c.maxBackoff() {
+				t.Fatalf("base=%v max=%v attempt=%d: ceiling %v above MaxBackoff %v",
+					tc.base, tc.maxB, attempt, ceil, c.maxBackoff())
+			}
+			prevCeil = ceil
+			for trial := 0; trial < 20; trial++ {
+				d := c.backoffDelay(attempt, nil)
+				if d < 0 {
+					t.Fatalf("base=%v max=%v attempt=%d: negative delay %v", tc.base, tc.maxB, attempt, d)
+				}
+				if d > c.maxBackoff() {
+					t.Fatalf("base=%v max=%v attempt=%d: delay %v above MaxBackoff %v",
+						tc.base, tc.maxB, attempt, d, c.maxBackoff())
+				}
+				if d < ceil/2 || d > ceil {
+					t.Fatalf("base=%v max=%v attempt=%d: delay %v outside [%v, %v]",
+						tc.base, tc.maxB, attempt, d, ceil/2, ceil)
+				}
+			}
+		}
+	}
+}
+
+func TestBackoffDelayHintNeverExceedsMaxBackoff(t *testing.T) {
+	c := &Client{BackoffBase: time.Millisecond, MaxBackoff: 20 * time.Millisecond}
+	for _, hint := range []time.Duration{-time.Second, 0, time.Millisecond, time.Hour} {
+		err := &retryAfterError{status: 503, after: hint}
+		for attempt := 1; attempt <= 40; attempt++ {
+			d := c.backoffDelay(attempt, err)
+			if d < 0 || d > c.MaxBackoff {
+				t.Fatalf("hint=%v attempt=%d: delay %v outside [0, %v]", hint, attempt, d, c.MaxBackoff)
+			}
+		}
+	}
+}
+
+// --- retry budget wiring ---
+
+func TestClientRetryBudgetExhaustion(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	c.MaxRetries = 10
+	// Burst 2 with a negligible trickle: exactly two retries available.
+	c.RetryBudget = resilience.NewRetryBudget(resilience.BudgetOptions{Ratio: 0.1, MinPerSec: 1e-9, Burst: 2}, nil, "t")
+	_, err := c.FetchStats(context.Background())
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	if !errors.Is(err, resilience.ErrRetryBudgetExhausted) {
+		t.Fatalf("err = %v, want wrapped ErrRetryBudgetExhausted", err)
+	}
+	if !IsOverload(err) {
+		t.Fatalf("IsOverload(%v) = false, want true", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("wire attempts = %d, want 3 (first + 2 budgeted retries)", got)
+	}
+}
+
+func TestClientBudgetRefillsOnSuccess(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"users":1,"edges":1}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	b := resilience.NewRetryBudget(resilience.BudgetOptions{Ratio: 0.5, MinPerSec: 1e-9, Burst: 4}, nil, "t")
+	for b.TrySpend() { // drain
+	}
+	c.RetryBudget = b
+	for i := 0; i < 4; i++ {
+		if _, err := c.FetchStats(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Tokens(); got < 1.9 {
+		t.Fatalf("tokens after 4 successes at ratio 0.5 = %v, want ≈2", got)
+	}
+}
+
+// --- circuit breaker wiring ---
+
+func TestClientBreakerFailsFastAfterTrip(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "broken", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	c.MaxBackoff = time.Millisecond // keep breaker-cooldown hints from stalling the test
+	c.Breakers = resilience.NewBreakerGroup(resilience.BreakerOptions{
+		ConsecutiveFailures: 2,
+		Cooldown:            time.Hour,
+	}, nil, "t")
+	// Two wire failures trip the breaker; the remaining retries of the
+	// same operation are denied without touching the wire.
+	if _, err := c.FetchStats(context.Background()); err == nil {
+		t.Fatal("want failure")
+	}
+	if got := c.Breakers.Get("stats").State(); got != resilience.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open after 2 consecutive failures", got)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("wire attempts = %d, want 2 (breaker open stops the rest)", got)
+	}
+	before := calls.Load()
+	_, err := c.FetchStats(context.Background())
+	if err == nil {
+		t.Fatal("open breaker must fail the call")
+	}
+	var oe *resilience.OpenError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %v, want *resilience.OpenError", err)
+	}
+	if !IsOverload(err) {
+		t.Fatal("breaker denial must classify as overload")
+	}
+	if got := calls.Load(); got != before {
+		t.Fatalf("open breaker made %d wire attempts, want 0", got-before)
+	}
+	// Endpoints break independently: /seed still works... fails, but is
+	// allowed on the wire.
+	if _, err := c.FetchSeed(context.Background()); err == nil {
+		t.Fatal("seed endpoint should still reach the failing server")
+	}
+	if got := calls.Load(); got == before {
+		t.Fatal("seed endpoint should not share the stats breaker")
+	}
+}
+
+func TestClientBreakerRecoversThroughProbe(t *testing.T) {
+	var broken atomic.Bool
+	broken.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if broken.Load() {
+			http.Error(w, "broken", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"users":1,"edges":1}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	c.MaxRetries = 1
+	c.MaxBackoff = time.Millisecond
+	c.Breakers = resilience.NewBreakerGroup(resilience.BreakerOptions{
+		ConsecutiveFailures: 1,
+		Cooldown:            10 * time.Millisecond,
+	}, nil, "t")
+	if _, err := c.FetchStats(context.Background()); err == nil {
+		t.Fatal("want failure")
+	}
+	broken.Store(false)
+	time.Sleep(15 * time.Millisecond) // cooldown elapses → probe allowed
+	if _, err := c.FetchStats(context.Background()); err != nil {
+		t.Fatalf("probe should succeed and close the breaker: %v", err)
+	}
+	if got := c.Breakers.Get("stats").State(); got != resilience.BreakerClosed {
+		t.Fatalf("breaker state = %v, want closed after good probe", got)
+	}
+}
+
+// --- deadline propagation + attempt timeouts ---
+
+func TestClientSendsDeadlineHeader(t *testing.T) {
+	headers := make(chan string, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		headers <- r.Header.Get(resilience.DeadlineHeader)
+		w.Write([]byte(`{"users":1,"edges":1}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	c.AttemptTimeout = 250 * time.Millisecond
+	if _, err := c.FetchStats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	v := <-headers
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 || ms > 250 {
+		t.Fatalf("deadline header = %q, want 0 < ms ≤ 250", v)
+	}
+}
+
+func TestClientAttemptTimeoutRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			time.Sleep(300 * time.Millisecond) // blow the first attempt's budget
+		}
+		w.Write([]byte(`{"users":1,"edges":1}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	c.AttemptTimeout = 50 * time.Millisecond
+	c.MaxRetries = 3
+	var overloads atomic.Int32
+	c.Feedback = feedbackFunc{onOverload: func() { overloads.Add(1) }}
+	doc, err := c.FetchStats(context.Background())
+	if err != nil || doc == nil {
+		t.Fatalf("FetchStats = %v, %v; want success on retry", doc, err)
+	}
+	if got := calls.Load(); got < 2 {
+		t.Fatalf("wire attempts = %d, want ≥ 2 (timeout then success)", got)
+	}
+	if overloads.Load() == 0 {
+		t.Fatal("attempt deadline expiry should signal overload to the AIMD gate")
+	}
+}
+
+func TestClientParentCancelIsTerminal(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		time.Sleep(200 * time.Millisecond)
+		w.Write([]byte(`{"users":1,"edges":1}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	c.AttemptTimeout = time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.FetchStats(ctx)
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("wire attempts = %d; an expired operation context must not retry", got)
+	}
+}
+
+// --- AIMD feedback wiring ---
+
+type feedbackFunc struct {
+	onSuccess  func()
+	onOverload func()
+}
+
+func (f feedbackFunc) RecordSuccess() {
+	if f.onSuccess != nil {
+		f.onSuccess()
+	}
+}
+
+func (f feedbackFunc) RecordOverload() {
+	if f.onOverload != nil {
+		f.onOverload()
+	}
+}
+
+func TestClientFeedbackSignals(t *testing.T) {
+	var mode atomic.Int32 // 0: ok, 1: 503, 2: 404, 3: 500
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch mode.Load() {
+		case 1:
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		case 2:
+			http.Error(w, "gone", http.StatusNotFound)
+		case 3:
+			http.Error(w, "bug", http.StatusInternalServerError)
+		default:
+			w.Write([]byte(`{"users":1,"edges":1}`))
+		}
+	}))
+	defer ts.Close()
+	var successes, overloads atomic.Int32
+	c := newTestClient(ts)
+	c.MaxRetries = 1
+	c.MaxBackoff = time.Millisecond
+	c.Feedback = feedbackFunc{
+		onSuccess:  func() { successes.Add(1) },
+		onOverload: func() { overloads.Add(1) },
+	}
+	c.FetchStats(context.Background())
+	if successes.Load() != 1 || overloads.Load() != 0 {
+		t.Fatalf("after 200: successes=%d overloads=%d", successes.Load(), overloads.Load())
+	}
+	mode.Store(1)
+	c.FetchStats(context.Background()) // 1 attempt + 1 retry, both 503
+	if overloads.Load() != 2 {
+		t.Fatalf("each 503 should record overload, got %d", overloads.Load())
+	}
+	mode.Store(2)
+	c.FetchProfile(context.Background(), "nope")
+	if successes.Load() != 2 {
+		t.Fatalf("404 should count as service health, successes=%d", successes.Load())
+	}
+	mode.Store(3)
+	c.FetchStats(context.Background())
+	if overloads.Load() != 2 {
+		t.Fatalf("a plain 500 is failure, not congestion; overloads=%d", overloads.Load())
+	}
+}
+
+func TestIsOverloadClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrNotFound, false},
+		{errors.New("random"), false},
+		{&retryAfterError{status: 429}, true},
+		{&retryAfterError{status: 503}, true},
+		{&retryAfterError{status: 500}, false},
+		{&resilience.OpenError{Name: "x"}, true},
+		{resilience.ErrRetryBudgetExhausted, true},
+		{&transientError{err: context.DeadlineExceeded}, true},
+		{&transientError{err: errors.New("conn reset")}, false},
+	} {
+		if got := IsOverload(tc.err); got != tc.want {
+			t.Errorf("IsOverload(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

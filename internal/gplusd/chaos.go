@@ -40,6 +40,15 @@ const (
 	// from server start. Outage responses carry a Retry-After hint for
 	// the remainder of the window.
 	FaultOutage FaultKind = "outage"
+	// FaultBrownout degrades the service over scheduled windows instead
+	// of killing it: severity ramps 0→1→0 over the Down window at the
+	// start of every Every-long period (a triangular ramp, so the squeeze
+	// arrives and recedes gradually the way real overload does). At
+	// severity s every matching request gains s×Delay extra latency, and
+	// the admission controller's capacity is multiplied by 1−s×Squeeze.
+	// The schedule is purely time-driven — no RNG — so a brownout crawl
+	// is as reproducible as the fault-free one.
+	FaultBrownout FaultKind = "brownout"
 )
 
 // FaultRule is one injection rule of a chaos spec.
@@ -53,11 +62,16 @@ type FaultRule struct {
 	// Rate is the per-request injection probability in [0, 1]. Outage
 	// rules ignore it (they are purely time-scheduled).
 	Rate float64
-	// Delay is the added latency of delay rules and the hold time of
-	// hang rules (default 30s for hang).
+	// Delay is the added latency of delay rules, the hold time of hang
+	// rules (default 30s), and the peak added latency of brownout rules.
 	Delay time.Duration
-	// Every and Down schedule outage rules.
+	// Every and Down schedule outage and brownout rules.
 	Every, Down time.Duration
+	// Squeeze is the peak capacity reduction of brownout rules in
+	// [0, 1]: at full severity the admission controller's concurrency
+	// limit is multiplied by 1−Squeeze. It only takes effect when the
+	// server runs with admission control enabled.
+	Squeeze float64
 }
 
 // FaultSpec is a chaos-mode fault suite. All probabilistic rules draw
@@ -76,6 +90,7 @@ type FaultSpec struct {
 //	hang,rate=0.01,delay=90s
 //	reset,endpoint=circles,rate=0.05
 //	outage,every=10m,down=45s
+//	brownout,every=60s,down=20s,delay=200ms,squeeze=0.75
 //
 // "503" is accepted as an alias for "unavailable". The returned spec has
 // Seed zero; callers set it (gplusd uses its universe seed).
@@ -92,7 +107,7 @@ func ParseFaultSpec(s string) (*FaultSpec, error) {
 			rule.Kind = FaultUnavailable
 		}
 		switch rule.Kind {
-		case FaultUnavailable, FaultDelay, FaultHang, FaultReset, FaultOutage:
+		case FaultUnavailable, FaultDelay, FaultHang, FaultReset, FaultOutage, FaultBrownout:
 		default:
 			return nil, fmt.Errorf("gplusd: unknown fault kind %q in rule %q", fields[0], raw)
 		}
@@ -126,6 +141,10 @@ func ParseFaultSpec(s string) (*FaultSpec, error) {
 				if rule.Down, err = time.ParseDuration(val); err != nil || rule.Down <= 0 {
 					return nil, fmt.Errorf("gplusd: bad down %q in rule %q", val, raw)
 				}
+			case "squeeze":
+				if rule.Squeeze, err = strconv.ParseFloat(val, 64); err != nil || rule.Squeeze < 0 || rule.Squeeze > 1 {
+					return nil, fmt.Errorf("gplusd: squeeze %q out of [0,1] in rule %q", val, raw)
+				}
 			default:
 				return nil, fmt.Errorf("gplusd: unknown fault option %q in rule %q", key, raw)
 			}
@@ -149,6 +168,16 @@ func (r FaultRule) validate() error {
 		}
 		if r.Down > r.Every {
 			return fmt.Errorf("gplusd: outage down %v exceeds its period %v", r.Down, r.Every)
+		}
+	case FaultBrownout:
+		if r.Every <= 0 || r.Down <= 0 {
+			return fmt.Errorf("gplusd: brownout rules need every= and down=")
+		}
+		if r.Down > r.Every {
+			return fmt.Errorf("gplusd: brownout down %v exceeds its period %v", r.Down, r.Every)
+		}
+		if r.Delay <= 0 && r.Squeeze <= 0 {
+			return fmt.Errorf("gplusd: brownout rules need delay= and/or squeeze=")
 		}
 	case FaultDelay:
 		if r.Delay <= 0 {
@@ -207,6 +236,62 @@ func (r *chaosRule) outageRemaining(since time.Duration) (time.Duration, bool) {
 	return 0, false
 }
 
+// brownoutSeverity is the triangular severity ramp of a brownout rule
+// at the given offset from server start: 0 outside the Down window,
+// rising linearly to 1 at the window's midpoint and back to 0 at its
+// end. Purely a function of time, so identical across runs.
+func (r *chaosRule) brownoutSeverity(since time.Duration) float64 {
+	phase := since % r.Every
+	if phase >= r.Down {
+		return 0
+	}
+	x := float64(phase) / float64(r.Down) // in [0, 1)
+	return 1 - absFloat(2*x-1)
+}
+
+func absFloat(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// admissionScale is the capacity multiplier the admission controller
+// should apply right now: the most severe squeeze across all active
+// brownout rules (1 = full capacity). Nil-safe so it can be handed to
+// resilience.AdmissionOptions.Scale unconditionally.
+func (c *chaos) admissionScale() float64 {
+	if c == nil {
+		return 1
+	}
+	since := time.Since(c.start)
+	scale := 1.0
+	for i := range c.rules {
+		rule := &c.rules[i]
+		if rule.Kind != FaultBrownout || rule.Squeeze <= 0 {
+			continue
+		}
+		if s := 1 - rule.Squeeze*rule.brownoutSeverity(since); s < scale {
+			scale = s
+		}
+	}
+	return scale
+}
+
+// hasBrownout reports whether any rule squeezes capacity, i.e. whether
+// the admission controller needs the chaos clock as its Scale source.
+func (c *chaos) hasBrownout() bool {
+	if c == nil {
+		return false
+	}
+	for i := range c.rules {
+		if c.rules[i].Kind == FaultBrownout && c.rules[i].Squeeze > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // endpointOf classifies a request path for per-endpoint fault scoping.
 func endpointOf(path string) string {
 	switch {
@@ -263,6 +348,22 @@ func (s *Server) serveChaos(w http.ResponseWriter, r *http.Request) {
 				case <-time.After(rule.Delay):
 				}
 				dsp.Finish()
+			}
+		case FaultBrownout:
+			sev := rule.brownoutSeverity(time.Since(s.chaos.start))
+			if sev > 0 && rule.Delay > 0 {
+				rule.hits.Inc()
+				add := time.Duration(sev * float64(rule.Delay))
+				_, bsp := s.tracer.StartSpan(r.Context(), "chaos.brownout")
+				bsp.Annotate("severity", strconv.FormatFloat(sev, 'f', 3, 64))
+				bsp.Annotate("delay", add.String())
+				select {
+				case <-r.Context().Done():
+					bsp.Finish()
+					return
+				case <-time.After(add):
+				}
+				bsp.Finish()
 			}
 		case FaultHang:
 			if rule.src.hit() {

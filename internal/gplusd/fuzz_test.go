@@ -1,0 +1,64 @@
+package gplusd
+
+import (
+	"testing"
+
+	"gplus/internal/obs"
+)
+
+// FuzzParseFaultSpec throws arbitrary spec strings at the chaos grammar.
+// Malformed specs must return an error — never panic — and anything the
+// parser accepts must survive its own validation when re-parsed, so the
+// grammar stays round-trip stable.
+func FuzzParseFaultSpec(f *testing.F) {
+	seeds := []string{
+		"unavailable,endpoint=profile,rate=0.2",
+		"503,rate=1",
+		"delay,rate=0.1,delay=150ms",
+		"hang,rate=0.01,delay=90s",
+		"reset,endpoint=circles,rate=0.05",
+		"outage,every=10m,down=45s",
+		"brownout,every=60s,down=20s,delay=200ms,squeeze=0.75",
+		"brownout,every=10s,down=5s,squeeze=0.5",
+		"brownout,every=10s,down=5s,delay=50ms",
+		"unavailable,rate=0.2; brownout,every=60s,down=20s,delay=1ms",
+		"",
+		"brownout",
+		"brownout,every=60s,down=20s",
+		"brownout,every=1s,down=2s,delay=1ms",
+		"brownout,every=60s,down=20s,squeeze=1.5",
+		"brownout,every=60s,down=20s,squeeze=NaN",
+		"brownout,every=-1s,down=-2s,delay=1ms",
+		"outage,every=1m,down=2m",
+		"explode,rate=0.5",
+		"unavailable,rate=1,wat=1",
+		";;;,,,===",
+		"brownout,every=9223372036854775807ns,down=1ns,delay=1ns",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		parsed, err := ParseFaultSpec(spec)
+		if err != nil {
+			return // rejecting garbage is the job; only panics are bugs
+		}
+		if len(parsed.Rules) == 0 {
+			t.Fatalf("ParseFaultSpec(%q) accepted a spec with no rules", spec)
+		}
+		for i, r := range parsed.Rules {
+			if err := r.validate(); err != nil {
+				t.Fatalf("ParseFaultSpec(%q) rule %d fails its own validation: %v", spec, i, err)
+			}
+			if r.Kind == FaultBrownout && r.Delay <= 0 && r.Squeeze <= 0 {
+				t.Fatalf("ParseFaultSpec(%q) accepted an inert brownout rule: %+v", spec, r)
+			}
+		}
+		// Accepted specs must be usable: arming chaos and reading the
+		// brownout capacity scale must not panic.
+		c := newChaos(parsed, obs.NewRegistry())
+		if s := c.admissionScale(); s < 0 || s > 1 {
+			t.Fatalf("ParseFaultSpec(%q): admissionScale() = %v outside [0, 1]", spec, s)
+		}
+	})
+}

@@ -20,6 +20,7 @@ import (
 	"gplus/internal/obs"
 	"gplus/internal/obs/trace"
 	"gplus/internal/profile"
+	"gplus/internal/resilience"
 	"gplus/internal/synth"
 )
 
@@ -54,12 +55,24 @@ type Options struct {
 	// FaultSeed makes fault injection deterministic.
 	FaultSeed uint64
 	// Faults arms the chaos-mode fault suite: per-endpoint 503s,
-	// response delays, connection hangs, mid-body resets, and scheduled
-	// outage windows, all seed-deterministic. See FaultSpec and
-	// ParseFaultSpec. Nil disables chaos mode; FaultRate above keeps
-	// working independently. Injections are counted per kind in
-	// gplusd_chaos_faults_total.
+	// response delays, connection hangs, mid-body resets, scheduled
+	// outage windows, and brownout ramps, all seed-deterministic. See
+	// FaultSpec and ParseFaultSpec. Nil disables chaos mode; FaultRate
+	// above keeps working independently. Injections are counted per kind
+	// in gplusd_chaos_faults_total.
 	Faults *FaultSpec
+	// Admission, when non-nil, puts an admission controller in front of
+	// the handler chain: bounded concurrency with a bounded LIFO wait
+	// queue, deadline-aware shedding of requests whose propagated
+	// X-Gplus-Deadline would expire in queue, and per-endpoint priority —
+	// expensive circle pages shed before cheap profile fetches, and
+	// /metrics bypasses admission entirely. Shed responses are 503s with
+	// a Retry-After capacity estimate. State is exported as
+	// gplusd_admission_* series and served on /debug/admission. When the
+	// chaos suite contains brownout rules with a squeeze, the
+	// controller's capacity follows the brownout schedule automatically
+	// (unless Admission.Scale is already set).
+	Admission *resilience.AdmissionOptions
 	// Metrics receives server telemetry. When nil the server creates a
 	// private registry, so /metrics always works; pass one to share the
 	// registry with other subsystems (pprof wiring, expvar publication).
@@ -122,11 +135,12 @@ type Server struct {
 	index   map[string]graph.NodeID
 	mux     *http.ServeMux
 
-	faults  *faultSource
-	chaos   *chaos
-	limiter *limiter
-	tracer  *trace.Tracer
-	alogSeq atomic.Uint64 // access-log sampling sequence
+	faults    *faultSource
+	chaos     *chaos
+	admission *resilience.Admission
+	limiter   *limiter
+	tracer    *trace.Tracer
+	alogSeq   atomic.Uint64 // access-log sampling sequence
 
 	metrics    *obs.Registry
 	mProfile   *obs.Counter
@@ -181,6 +195,13 @@ func NewContent(c Content, opts Options) *Server {
 		reg.Gauge("gplusd_rate_limiter_buckets"),
 		reg.Counter("gplusd_rate_limiter_evictions_total"))
 	s.chaos = newChaos(opts.Faults, reg)
+	if opts.Admission != nil {
+		ao := *opts.Admission
+		if ao.Scale == nil && s.chaos.hasBrownout() {
+			ao.Scale = s.chaos.admissionScale
+		}
+		s.admission = resilience.NewAdmission(ao, reg, "gplusd_admission")
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /people/{id}", s.handleProfile)
 	mux.HandleFunc("GET /people/{id}/circles/{dir}", s.handleCircles)
@@ -200,10 +221,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.gInFlight.Add(-1)
 	}()
 	if r.URL.Path == "/metrics" {
-		// The operational endpoint bypasses fault injection and rate
-		// limiting: monitoring must keep working exactly when the
-		// service is misbehaving.
+		// The operational endpoint bypasses admission control, fault
+		// injection, and rate limiting: monitoring must keep working
+		// exactly when the service is misbehaving.
 		s.metrics.ServeHTTP(w, r)
+		return
+	}
+	if r.URL.Path == "/debug/admission" {
+		// Same reasoning: the overload report must be readable while the
+		// server is overloaded.
+		s.admission.ServeHTTP(w, r)
 		return
 	}
 	// Join the crawler's trace (or start a server-local one) so the
@@ -216,6 +243,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer sp.Finish()
 	}
 	defer s.logAccess(r, sp, start)
+	if s.admission != nil {
+		deadline, _ := resilience.DeadlineFromHeader(r)
+		release, shed := s.admission.Acquire(r.Context(), admissionPriority(r.URL.Path), deadline)
+		if shed != nil {
+			sp.Fail("admission shed: " + shed.Reason)
+			w.Header().Set("Retry-After", strconv.FormatFloat(shed.RetryAfter.Seconds(), 'f', 3, 64))
+			http.Error(w, "admission: overloaded ("+shed.Reason+")", http.StatusServiceUnavailable)
+			return
+		}
+		defer release()
+	}
 	if s.injectFault() {
 		s.mFaults.Inc()
 		sp.Fail("injected 503")
@@ -237,6 +275,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rctx, rsp := s.tracer.StartSpan(r.Context(), "render")
 	defer rsp.Finish()
 	s.mux.ServeHTTP(w, r.WithContext(rctx))
+}
+
+// admissionPriority classifies a request path for admission control:
+// paginated circle lists are the expensive requests (graph walks, big
+// bodies) and shed first; profile fetches and the tiny operational
+// endpoints survive longer.
+func admissionPriority(path string) resilience.Priority {
+	if endpointOf(path) == "circles" {
+		return resilience.PriorityLow
+	}
+	return resilience.PriorityHigh
 }
 
 // logAccess emits one access-log line for every AccessLogSample-th

@@ -1,0 +1,197 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"gplus/internal/obs"
+)
+
+// Feedback is the congestion-signal sink a client reports into: one
+// RecordSuccess per completed request, one RecordOverload per 429/503/
+// deadline-expiry signal. The crawler hands its AIMD gate to every
+// worker's API client through this interface.
+type Feedback interface {
+	RecordSuccess()
+	RecordOverload()
+}
+
+// AIMDOptions configures an AIMD gate.
+type AIMDOptions struct {
+	// Min is the floor the limit never drops below (default 1).
+	Min int
+	// Max is the ceiling and the starting limit (default 16). The
+	// crawler sets this to its worker count.
+	Max int
+	// DecreaseFactor is the multiplicative cut applied on overload
+	// (default 0.5).
+	DecreaseFactor float64
+	// Cooldown is the minimum spacing between cuts (default 200ms), so a
+	// single burst of rejections — N workers all seeing the same squeeze —
+	// counts as one congestion event, not N collapses to Min.
+	Cooldown time.Duration
+}
+
+func (o AIMDOptions) minLimit() int {
+	if o.Min > 0 {
+		return o.Min
+	}
+	return 1
+}
+
+func (o AIMDOptions) maxLimit() int {
+	if o.Max > 0 {
+		return o.Max
+	}
+	return 16
+}
+
+func (o AIMDOptions) decreaseFactor() float64 {
+	if o.DecreaseFactor > 0 && o.DecreaseFactor < 1 {
+		return o.DecreaseFactor
+	}
+	return 0.5
+}
+
+func (o AIMDOptions) cooldown() time.Duration {
+	if o.Cooldown > 0 {
+		return o.Cooldown
+	}
+	return 200 * time.Millisecond
+}
+
+// AIMD is an additive-increase/multiplicative-decrease concurrency
+// gate: the whole worker fleet shares one, so overload signals from any
+// worker throttle everyone — the fleet backs off as one organism. The
+// limit starts at Max, is cut by DecreaseFactor on overload (at most
+// once per Cooldown), and creeps back up by one slot per limit-many
+// successes, exactly like TCP's congestion window in congestion
+// avoidance. A nil *AIMD gates nothing.
+type AIMD struct {
+	opts AIMDOptions
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	limit     int
+	active    int
+	credits   int // successes accumulated toward the next +1
+	lastCut   time.Time
+	decreases int64
+
+	gLimit     *obs.Gauge
+	cDecreases *obs.Counter
+}
+
+// NewAIMD builds a gate starting wide open at Max. When reg is non-nil
+// it exports <prefix>_aimd_limit and <prefix>_aimd_decreases_total.
+func NewAIMD(opts AIMDOptions, reg *obs.Registry, prefix string) *AIMD {
+	g := &AIMD{opts: opts, limit: opts.maxLimit()}
+	g.cond = sync.NewCond(&g.mu)
+	if reg != nil {
+		reg.Help(prefix+"_aimd_limit", "Current AIMD concurrency limit shared by the worker fleet.")
+		reg.Help(prefix+"_aimd_decreases_total", "Multiplicative decreases applied to the AIMD limit.")
+		g.gLimit = reg.Gauge(prefix + "_aimd_limit")
+		g.cDecreases = reg.Counter(prefix + "_aimd_decreases_total")
+		g.gLimit.Set(int64(g.limit))
+	}
+	return g
+}
+
+// Acquire blocks until a concurrency slot is free or ctx ends,
+// reporting whether a slot was taken. Nil-safe (always true).
+func (g *AIMD) Acquire(ctx context.Context) bool {
+	if g == nil {
+		return true
+	}
+	// Wake all waiters when ctx ends so none are stranded in Wait.
+	stop := context.AfterFunc(ctx, func() {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	})
+	defer stop()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.active >= g.limit {
+		if ctx.Err() != nil {
+			return false
+		}
+		g.cond.Wait()
+	}
+	if ctx.Err() != nil {
+		return false
+	}
+	g.active++
+	return true
+}
+
+// Release returns a slot taken by Acquire. Nil-safe.
+func (g *AIMD) Release() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.active--
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// RecordSuccess credits the additive increase: limit-many successes at
+// the current limit buy one extra slot, up to Max. Nil-safe.
+func (g *AIMD) RecordSuccess() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.credits++
+	if g.credits >= g.limit && g.limit < g.opts.maxLimit() {
+		g.credits = 0
+		g.limit++
+		g.gLimit.Set(int64(g.limit))
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// RecordOverload applies the multiplicative decrease, rate-limited by
+// Cooldown so one burst of rejections is one congestion event. Nil-safe.
+func (g *AIMD) RecordOverload() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	now := time.Now()
+	if now.Sub(g.lastCut) >= g.opts.cooldown() {
+		g.lastCut = now
+		g.credits = 0
+		g.limit = int(float64(g.limit) * g.opts.decreaseFactor())
+		if g.limit < g.opts.minLimit() {
+			g.limit = g.opts.minLimit()
+		}
+		g.decreases++
+		g.gLimit.Set(int64(g.limit))
+		g.cDecreases.Inc()
+	}
+	g.mu.Unlock()
+}
+
+// Limit reports the current concurrency limit (0 for nil).
+func (g *AIMD) Limit() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.limit
+}
+
+// Decreases reports how many multiplicative cuts have been applied.
+func (g *AIMD) Decreases() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.decreases
+}

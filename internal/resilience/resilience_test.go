@@ -1,0 +1,507 @@
+package resilience
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gplus/internal/obs"
+)
+
+func TestRetryBudgetSpendAndRefill(t *testing.T) {
+	b := NewRetryBudget(BudgetOptions{Ratio: 0.5, MinPerSec: 0.0001, Burst: 2}, nil, "t")
+	if !b.TrySpend() || !b.TrySpend() {
+		t.Fatal("burst tokens should grant the first two retries")
+	}
+	if b.TrySpend() {
+		t.Fatal("third retry should be denied with an empty bucket")
+	}
+	// Two successes deposit 2×0.5 = 1 token.
+	b.Deposit()
+	b.Deposit()
+	if !b.TrySpend() {
+		t.Fatal("deposits should refill the bucket")
+	}
+	if b.TrySpend() {
+		t.Fatal("bucket should be empty again")
+	}
+}
+
+func TestRetryBudgetBurstCap(t *testing.T) {
+	b := NewRetryBudget(BudgetOptions{Ratio: 1, Burst: 3}, nil, "t")
+	for i := 0; i < 100; i++ {
+		b.Deposit()
+	}
+	if got := b.Tokens(); got > 3 {
+		t.Fatalf("tokens = %v, want ≤ burst 3", got)
+	}
+}
+
+func TestRetryBudgetNil(t *testing.T) {
+	var b *RetryBudget
+	b.Deposit()
+	if !b.TrySpend() {
+		t.Fatal("nil budget must always grant")
+	}
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBreaker("profile", BreakerOptions{ConsecutiveFailures: 3, Cooldown: 50 * time.Millisecond}, reg, "t")
+	for i := 0; i < 3; i++ {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("attempt %d unexpectedly denied: %v", i, err)
+		}
+		done(false)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	if _, err := b.Allow(); err == nil {
+		t.Fatal("open breaker must deny")
+	} else {
+		var oe *OpenError
+		if !asOpenError(err, &oe) {
+			t.Fatalf("denial should be *OpenError, got %T", err)
+		}
+		if oe.RetryAfterHint() <= 0 {
+			t.Fatalf("RetryAfterHint = %v, want > 0", oe.RetryAfterHint())
+		}
+	}
+}
+
+func asOpenError(err error, target **OpenError) bool {
+	oe, ok := err.(*OpenError)
+	if ok {
+		*target = oe
+	}
+	return ok
+}
+
+func TestBreakerHalfOpenSingleFlightAndRecovery(t *testing.T) {
+	b := NewBreaker("x", BreakerOptions{ConsecutiveFailures: 1, Cooldown: 20 * time.Millisecond}, nil, "t")
+	done, _ := b.Allow()
+	done(false) // trip
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	time.Sleep(30 * time.Millisecond)
+	probe, err := b.Allow()
+	if err != nil {
+		t.Fatalf("cooldown elapsed, probe should be allowed: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Second caller while the probe is in flight: denied.
+	if _, err := b.Allow(); err == nil {
+		t.Fatal("second half-open caller must be denied (single-flight)")
+	}
+	probe(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after good probe = %v, want closed", b.State())
+	}
+	if done, err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker should allow: %v", err)
+	} else {
+		done(true)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker("x", BreakerOptions{ConsecutiveFailures: 1, Cooldown: 10 * time.Millisecond}, nil, "t")
+	done, _ := b.Allow()
+	done(false)
+	time.Sleep(15 * time.Millisecond)
+	probe, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+}
+
+func TestBreakerErrorRatioTrip(t *testing.T) {
+	b := NewBreaker("x", BreakerOptions{
+		ConsecutiveFailures: 1000, // never trip on the run
+		ErrorRatio:          0.5,
+		MinSamples:          10,
+		Window:              time.Minute,
+	}, nil, "t")
+	// Alternate success/failure: 50% error ratio over ≥ MinSamples.
+	for i := 0; i < 12; i++ {
+		done, err := b.Allow()
+		if err != nil {
+			break
+		}
+		done(i%2 == 0)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open on 50%% error ratio", b.State())
+	}
+}
+
+func TestBreakerGroupPerEndpoint(t *testing.T) {
+	g := NewBreakerGroup(BreakerOptions{ConsecutiveFailures: 1}, nil, "t")
+	done, _ := g.Get("circles").Allow()
+	done(false)
+	if g.Get("circles").State() != BreakerOpen {
+		t.Fatal("circles breaker should be open")
+	}
+	if g.Get("profile").State() != BreakerClosed {
+		t.Fatal("profile breaker must be independent")
+	}
+	states := g.States()
+	if states["circles"] != BreakerOpen || states["profile"] != BreakerClosed {
+		t.Fatalf("States() = %v", states)
+	}
+}
+
+func TestDeadlineHeaderRoundTrip(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodGet, "/people/1", nil)
+	SetDeadlineHeader(ctx, req)
+	v := req.Header.Get(DeadlineHeader)
+	if v == "" {
+		t.Fatal("deadline header not set")
+	}
+	d, ok := DeadlineFromHeader(req)
+	if !ok {
+		t.Fatal("deadline header did not parse")
+	}
+	if until := time.Until(d); until <= 0 || until > 600*time.Millisecond {
+		t.Fatalf("parsed deadline %v from now, want ≈500ms", until)
+	}
+}
+
+func TestDeadlineHeaderMalformed(t *testing.T) {
+	for _, v := range []string{"", "garbage", "-5", "0", "1.5"} {
+		req := httptest.NewRequest(http.MethodGet, "/", nil)
+		if v != "" {
+			req.Header.Set(DeadlineHeader, v)
+		}
+		if _, ok := DeadlineFromHeader(req); ok {
+			t.Fatalf("header %q should not parse", v)
+		}
+	}
+}
+
+func TestDeadlineHeaderAbsentWithoutDeadline(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	SetDeadlineHeader(context.Background(), req)
+	if got := req.Header.Get(DeadlineHeader); got != "" {
+		t.Fatalf("header = %q, want unset for deadline-free context", got)
+	}
+}
+
+func TestAdmissionBoundedConcurrency(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxConcurrent: 2, MaxQueue: 2, MaxWait: 50 * time.Millisecond}, nil, "t")
+	r1, shed := a.Acquire(context.Background(), PriorityHigh, time.Time{})
+	if shed != nil {
+		t.Fatal(shed)
+	}
+	r2, shed := a.Acquire(context.Background(), PriorityHigh, time.Time{})
+	if shed != nil {
+		t.Fatal(shed)
+	}
+	// Third request must queue, then time out at MaxWait.
+	start := time.Now()
+	_, shed = a.Acquire(context.Background(), PriorityHigh, time.Time{})
+	if shed == nil {
+		t.Fatal("third request should be shed after MaxWait")
+	}
+	if shed.Reason != ShedTimeout {
+		t.Fatalf("reason = %q, want %q", shed.Reason, ShedTimeout)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatal("shed must carry a Retry-After hint")
+	}
+	if waited := time.Since(start); waited < 30*time.Millisecond {
+		t.Fatalf("shed after %v, should have waited ≈MaxWait", waited)
+	}
+	r1()
+	r2()
+	// Slots free again.
+	r3, shed := a.Acquire(context.Background(), PriorityHigh, time.Time{})
+	if shed != nil {
+		t.Fatal(shed)
+	}
+	r3()
+}
+
+func TestAdmissionQueueHandsOffToWaiter(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxConcurrent: 1, MaxQueue: 4, MaxWait: time.Second}, nil, "t")
+	r1, shed := a.Acquire(context.Background(), PriorityHigh, time.Time{})
+	if shed != nil {
+		t.Fatal(shed)
+	}
+	got := make(chan *ShedError, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r2, shed := a.Acquire(context.Background(), PriorityHigh, time.Time{})
+		got <- shed
+		if shed == nil {
+			r2()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the goroutine queue
+	r1()
+	wg.Wait()
+	if shed := <-got; shed != nil {
+		t.Fatalf("queued waiter should be admitted on release, got shed %v", shed)
+	}
+}
+
+func TestAdmissionQueueFullSheds(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxConcurrent: 1, MaxQueue: 1, MaxWait: time.Second}, nil, "t")
+	release, shed := a.Acquire(context.Background(), PriorityLow, time.Time{})
+	if shed != nil {
+		t.Fatal(shed)
+	}
+	defer release()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	queued := make(chan *ShedError, 1)
+	go func() {
+		defer wg.Done()
+		r, shed := a.Acquire(context.Background(), PriorityLow, time.Time{})
+		queued <- shed
+		if shed == nil {
+			r()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Queue is full (1 low-pri waiter). A low-pri arrival is shed...
+	_, shed = a.Acquire(context.Background(), PriorityLow, time.Time{})
+	if shed == nil || shed.Reason != ShedQueueFull {
+		t.Fatalf("low-pri arrival at full queue: shed = %v, want queue_full", shed)
+	}
+	// ...but a high-pri arrival displaces the queued low-pri waiter.
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		r, shed := a.Acquire(context.Background(), PriorityHigh, time.Time{})
+		if shed == nil {
+			r()
+		}
+	}()
+	if displaced := <-queued; displaced == nil || displaced.Reason != ShedDisplaced {
+		t.Fatalf("low-pri waiter should be displaced, got %v", displaced)
+	}
+	release()
+	wg.Wait()
+	wg2.Wait()
+}
+
+func TestAdmissionDeadlineShedding(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxConcurrent: 1, MaxQueue: 8, MaxWait: time.Second}, nil, "t")
+	// Already-expired deadline: shed immediately.
+	_, shed := a.Acquire(context.Background(), PriorityHigh, time.Now().Add(-time.Second))
+	if shed == nil || shed.Reason != ShedExpired {
+		t.Fatalf("expired deadline: shed = %v, want expired", shed)
+	}
+	release, shed := a.Acquire(context.Background(), PriorityHigh, time.Time{})
+	if shed != nil {
+		t.Fatal(shed)
+	}
+	defer release()
+	// A deadline tighter than the estimated queue wait: shed without queueing.
+	_, shed = a.Acquire(context.Background(), PriorityHigh, time.Now().Add(time.Microsecond))
+	if shed == nil {
+		t.Fatal("near-expired deadline should be shed rather than queued")
+	}
+	if shed.Reason != ShedDeadline && shed.Reason != ShedExpired {
+		t.Fatalf("reason = %q, want deadline/expired", shed.Reason)
+	}
+}
+
+func TestAdmissionScaleSqueezesLimit(t *testing.T) {
+	scale := 1.0
+	var mu sync.Mutex
+	a := NewAdmission(AdmissionOptions{
+		MaxConcurrent: 4,
+		MaxWait:       30 * time.Millisecond,
+		Scale: func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return scale
+		},
+	}, nil, "t")
+	var rels []func()
+	for i := 0; i < 4; i++ {
+		r, shed := a.Acquire(context.Background(), PriorityHigh, time.Time{})
+		if shed != nil {
+			t.Fatalf("acquire %d: %v", i, shed)
+		}
+		rels = append(rels, r)
+	}
+	for _, r := range rels {
+		r()
+	}
+	mu.Lock()
+	scale = 0.25 // squeeze to 1 slot
+	mu.Unlock()
+	r1, shed := a.Acquire(context.Background(), PriorityHigh, time.Time{})
+	if shed != nil {
+		t.Fatal(shed)
+	}
+	defer r1()
+	if _, shed := a.Acquire(context.Background(), PriorityHigh, time.Time{}); shed == nil {
+		t.Fatal("second acquire should shed under a 0.25 squeeze of 4")
+	}
+	if rep := a.Report(); rep.Limit != 1 {
+		t.Fatalf("report limit = %d, want 1", rep.Limit)
+	}
+}
+
+func TestAdmissionNil(t *testing.T) {
+	var a *Admission
+	release, shed := a.Acquire(context.Background(), PriorityLow, time.Time{})
+	if shed != nil {
+		t.Fatal("nil admission must admit")
+	}
+	release()
+}
+
+func TestAdmissionServeHTTP(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxConcurrent: 2}, nil, "t")
+	release, _ := a.Acquire(context.Background(), PriorityHigh, time.Time{})
+	defer release()
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/admission", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var rep AdmissionReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if rep.Inflight != 1 || rep.Limit != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(rec.Header().Get("Content-Type"), "application/json") {
+		t.Fatalf("content-type = %q", rec.Header().Get("Content-Type"))
+	}
+}
+
+func TestAIMDDecreaseAndRecovery(t *testing.T) {
+	g := NewAIMD(AIMDOptions{Min: 1, Max: 8, Cooldown: time.Millisecond}, nil, "t")
+	if g.Limit() != 8 {
+		t.Fatalf("initial limit = %d, want 8", g.Limit())
+	}
+	g.RecordOverload()
+	if g.Limit() != 4 {
+		t.Fatalf("limit after one cut = %d, want 4", g.Limit())
+	}
+	time.Sleep(2 * time.Millisecond)
+	g.RecordOverload()
+	if g.Limit() != 2 {
+		t.Fatalf("limit after two cuts = %d, want 2", g.Limit())
+	}
+	if g.Decreases() != 2 {
+		t.Fatalf("decreases = %d, want 2", g.Decreases())
+	}
+	// Additive increase: limit-many successes buy one slot.
+	for i := 0; i < 2; i++ {
+		g.RecordSuccess()
+	}
+	if g.Limit() != 3 {
+		t.Fatalf("limit after recovery credits = %d, want 3", g.Limit())
+	}
+}
+
+func TestAIMDCooldownCoalescesBurst(t *testing.T) {
+	g := NewAIMD(AIMDOptions{Min: 1, Max: 16, Cooldown: time.Hour}, nil, "t")
+	for i := 0; i < 10; i++ {
+		g.RecordOverload()
+	}
+	if g.Limit() != 8 {
+		t.Fatalf("limit = %d: a burst inside the cooldown must count as one cut", g.Limit())
+	}
+}
+
+func TestAIMDFloor(t *testing.T) {
+	g := NewAIMD(AIMDOptions{Min: 2, Max: 4, Cooldown: 0}, nil, "t")
+	for i := 0; i < 10; i++ {
+		g.RecordOverload()
+		time.Sleep(300 * time.Microsecond)
+	}
+	if g.Limit() < 2 {
+		t.Fatalf("limit = %d fell below Min", g.Limit())
+	}
+}
+
+func TestAIMDGateBlocksAtLimit(t *testing.T) {
+	g := NewAIMD(AIMDOptions{Min: 1, Max: 1}, nil, "t")
+	if !g.Acquire(context.Background()) {
+		t.Fatal("first acquire should pass")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if g.Acquire(ctx) {
+		t.Fatal("second acquire should block until ctx expiry")
+	}
+	g.Release()
+	if !g.Acquire(context.Background()) {
+		t.Fatal("released slot should be acquirable")
+	}
+	g.Release()
+}
+
+func TestAIMDNil(t *testing.T) {
+	var g *AIMD
+	if !g.Acquire(context.Background()) {
+		t.Fatal("nil gate must admit")
+	}
+	g.Release()
+	g.RecordSuccess()
+	g.RecordOverload()
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	NewRetryBudget(BudgetOptions{}, reg, "gplusapi")
+	NewBreakerGroup(BreakerOptions{}, reg, "gplusapi").Get("profile")
+	NewAdmission(AdmissionOptions{}, reg, "gplusd_admission")
+	NewAIMD(AIMDOptions{}, reg, "crawler")
+	snap := reg.Snapshot()
+	want := []string{
+		"gplusapi_retry_budget_tokens_milli",
+		"gplusapi_breaker_state",
+		"gplusd_admission_limit",
+		"gplusd_admission_shed_total",
+		"crawler_aimd_limit",
+	}
+	joined := strings.Join(snapKeys(snap), "\n")
+	for _, name := range want {
+		if !strings.Contains(joined, name) {
+			t.Errorf("series %q not registered; have:\n%s", name, joined)
+		}
+	}
+}
+
+func snapKeys(snap obs.Snapshot) []string {
+	var out []string
+	for name := range snap.Counters {
+		out = append(out, name)
+	}
+	for name := range snap.Gauges {
+		out = append(out, name)
+	}
+	for name := range snap.Histograms {
+		out = append(out, name)
+	}
+	return out
+}
