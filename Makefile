@@ -8,7 +8,7 @@ GO ?= go
 # the rule set). It is never downloaded — no network access is required.
 STATICCHECK_VERSION ?= 2024.1
 
-.PHONY: all check help build vet test race staticcheck hygiene chaos brownout trace-demo dash-demo bench bench-hotpath bench-analysis ablations fuzz fuzz-short verify examples report clean
+.PHONY: all check help build vet test race staticcheck hygiene chaos brownout trace-demo dash-demo prof-demo bench bench-hotpath bench-analysis ablations fuzz fuzz-short verify examples report clean
 
 # Default check path: the tier-1 verify (build + test) plus vet and the
 # race suite over the concurrent packages.
@@ -30,6 +30,7 @@ help:
 	@echo "make brownout       kill-free convergence through a server brownout"
 	@echo "make trace-demo     chaos crawl with request tracing on both sides"
 	@echo "make dash-demo      short chaos crawl rendered on the live dashboard"
+	@echo "make prof-demo      brownout crawl -> profile ring -> offline analysis + diff"
 	@echo "make bench          one benchmark per table/figure"
 	@echo "make bench-hotpath  serving/crawling hot paths -> BENCH_hotpath.json"
 	@echo "make bench-analysis graph analytics at P=1/4/8/NumCPU -> BENCH_analysis.json"
@@ -49,7 +50,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/obs/series/ ./internal/crawler/ ./internal/gplusd/ ./internal/graph/ ./internal/resilience/
+	$(GO) test -race ./internal/obs/ ./internal/obs/prof/ ./internal/obs/series/ ./internal/crawler/ ./internal/gplusd/ ./internal/graph/ ./internal/resilience/
 
 # The metrics-hygiene gate: every family either registry exposes after a
 # faulted crawl must match the Prometheus naming grammar and carry a
@@ -98,6 +99,18 @@ trace-demo:
 # rings (outage spike, SLO violation span, alert transition).
 dash-demo:
 	$(GO) test -count=1 -run TestDashDemo -v ./internal/crawler/
+
+# The continuous-profiling demo, end to end: a brownout chaos crawl
+# fills a profile ring (interval captures plus the anomaly capture the
+# SLO page triggers, phase-label attribution asserted in-test), then
+# the offline analyzer decodes the same ring — CPU cost by crawl phase,
+# and a steady-state vs anomaly-window diff.
+prof-demo:
+	rm -rf /tmp/gplus-prof-demo
+	PROF_DEMO_DIR=/tmp/gplus-prof-demo $(GO) test -count=1 -run TestContinuousProfilingE2E -v ./internal/crawler/
+	$(GO) run ./cmd/gplusanalyze profiles -by label -label phase /tmp/gplus-prof-demo
+	$(GO) run ./cmd/gplusanalyze profiles -by label -label phase -trigger interval \
+	    -diff /tmp/gplus-prof-demo -diff-trigger slo-page -top 10 /tmp/gplus-prof-demo
 
 # One benchmark per table and figure, headline values as custom metrics.
 bench:
@@ -155,4 +168,4 @@ report:
 	$(GO) run ./cmd/gplusanalyze -data /tmp/gplus-report-data -format md
 
 clean:
-	rm -rf /tmp/gplus-verify-data /tmp/gplus-report-data
+	rm -rf /tmp/gplus-verify-data /tmp/gplus-report-data /tmp/gplus-prof-demo

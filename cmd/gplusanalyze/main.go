@@ -23,6 +23,16 @@
 // the SLO objectives re-evaluated at every recorded tick.
 //
 //	gplusanalyze metrics [-width N] [-slo spec] series.jsonl [shard2.jsonl ...]
+//
+// The profiles subcommand analyzes continuous-profiling rings written by
+// gpluscrawl/gplusd -profile-dir (or loose pprof .pb.gz files): top-N
+// functions by flat or cumulative cost, aggregation by pprof label
+// (phase, endpoint, chaos, ...), and A-vs-B diffs — e.g. steady-state
+// interval captures against the anomaly captures an SLO page triggered.
+//
+//	gplusanalyze profiles [-kind cpu] [-top N] [-by flat|cum|label] profdir
+//	gplusanalyze profiles -by label -label phase profdir
+//	gplusanalyze profiles -trigger interval -diff profdir -diff-trigger slo-page profdir
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 
 	"gplus/internal/core"
 	"gplus/internal/dataset"
+	"gplus/internal/obs/prof"
 	"gplus/internal/obs/series"
 	"gplus/internal/obs/trace"
 	"gplus/internal/report"
@@ -125,13 +136,124 @@ func runMetrics(args []string) {
 	series.BuildReport(dump, opts).WriteText(os.Stdout, *width)
 }
 
-func main() {
-	if len(os.Args) > 1 && os.Args[1] == "traces" {
-		runTraces(os.Args[2:])
+// runProfiles is the `gplusanalyze profiles` subcommand: offline analysis
+// of the continuous-profiling rings gpluscrawl/gplusd write under
+// -profile-dir, or of loose pprof .pb.gz files.
+func runProfiles(args []string) {
+	fs := flag.NewFlagSet("profiles", flag.ExitOnError)
+	kind := fs.String("kind", "cpu", "capture kind to load from ring dirs: cpu, heap, goroutine, mutex, or block")
+	trigger := fs.String("trigger", "", `only ring captures whose trigger starts with this prefix (e.g. "interval", "slo-page", "stall"); "" = all`)
+	top := fs.Int("top", 20, "rows to print (0 = all)")
+	by := fs.String("by", "flat", "ranking: flat (cost at the leaf), cum (cost anywhere on the stack), or label (aggregate by -label)")
+	label := fs.String("label", "phase", `pprof label key for -by label and labelled diffs (e.g. "phase", "endpoint", "chaos", "worker")`)
+	diffSrc := fs.String("diff", "", "diff mode: comma-separated B-side sources (ring dirs or .pb.gz files); the positional args are the A side")
+	diffTrig := fs.String("diff-trigger", "", "trigger prefix filter for the -diff B side (default: same as -trigger, so the same ring can be split by trigger)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gplusanalyze profiles [-kind K] [-trigger T] [-top N] [-by flat|cum|label] [-label key] [-diff sources [-diff-trigger T]] dir-or-file [more ...]")
+		fmt.Fprintln(os.Stderr, "sources are -profile-dir rings (filtered via their manifest) or single pprof .pb.gz files;")
+		fmt.Fprintln(os.Stderr, "e.g. diff steady state against the captures an SLO page triggered, by crawl phase:")
+		fmt.Fprintln(os.Stderr, "  gplusanalyze profiles -by label -trigger interval -diff ./profs -diff-trigger slo-page ./profs")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck — ExitOnError
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	a, aDesc := loadProfileSet(fs.Args(), *kind, *trigger)
+	if *diffSrc != "" {
+		bTrig := *diffTrig
+		if bTrig == "" {
+			bTrig = *trigger
+		}
+		b, bDesc := loadProfileSet(strings.Split(*diffSrc, ","), *kind, bTrig)
+		key, name := "", "function (flat)"
+		if *by == "label" {
+			key, name = *label, "label "+*label
+		}
+		fmt.Printf("profile diff (%s): A = %s; B = %s\n", *kind, aDesc, bDesc)
+		fmt.Print(prof.FormatDiff(prof.Diff(a, b, key, *top), name))
 		return
 	}
-	if len(os.Args) > 1 && os.Args[1] == "metrics" {
-		runMetrics(os.Args[2:])
+	unit := prof.SampleUnit(a)
+	fmt.Printf("profiles (%s): %s\n", *kind, aDesc)
+	if *by == "label" {
+		fmt.Print(prof.FormatByLabel(prof.ByLabel(a, *label), *label, unit))
+		return
+	}
+	fmt.Print(prof.FormatTop(prof.TopFuncs(a, *by, *top), unit))
+}
+
+// loadProfileSet decodes every source into profiles: a directory is a
+// -profile-dir ring whose manifest is filtered by kind and trigger
+// prefix; anything else is read as a single pprof .pb.gz file.
+func loadProfileSet(sources []string, kind, trigger string) ([]*prof.Profile, string) {
+	var ps []*prof.Profile
+	for _, src := range sources {
+		src = strings.TrimSpace(src)
+		if src == "" {
+			continue
+		}
+		st, err := os.Stat(src)
+		if err != nil {
+			log.Fatalf("profiles: %v", err)
+		}
+		if !st.IsDir() {
+			p, err := prof.ReadFile(src)
+			if err != nil {
+				log.Fatalf("decoding %s: %v", src, err)
+			}
+			ps = append(ps, p)
+			continue
+		}
+		entries, err := prof.ReadManifest(src)
+		if err != nil {
+			log.Fatalf("reading capture manifest in %s: %v", src, err)
+		}
+		for _, e := range entries {
+			if e.Kind != kind {
+				continue
+			}
+			if trigger != "" && !strings.HasPrefix(e.Trigger, trigger) {
+				continue
+			}
+			p, err := prof.ReadFile(e.Path(src))
+			if err != nil {
+				log.Fatalf("decoding %s: %v", e.Path(src), err)
+			}
+			ps = append(ps, p)
+		}
+	}
+	if len(ps) == 0 {
+		filter := kind
+		if trigger != "" {
+			filter += ", trigger " + trigger + "*"
+		}
+		log.Fatalf("profiles: no captures matched (%s) in %s", filter, strings.Join(sources, ", "))
+	}
+	desc := fmt.Sprintf("%d capture(s) from %s", len(ps), strings.Join(sources, ", "))
+	if trigger != "" {
+		desc += fmt.Sprintf(", trigger %s*", trigger)
+	}
+	return ps, desc
+}
+
+func main() {
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		switch os.Args[1] {
+		case "traces":
+			runTraces(os.Args[2:])
+		case "metrics":
+			runMetrics(os.Args[2:])
+		case "profiles":
+			runProfiles(os.Args[2:])
+		default:
+			// A bare first word that is not a known verb used to fall
+			// through to the study runner, which silently ignored it and
+			// analyzed the default dataset — surface the typo instead.
+			fmt.Fprintf(os.Stderr, "gplusanalyze: unknown subcommand %q (available: traces, metrics, profiles)\n", os.Args[1])
+			os.Exit(2)
+		}
 		return
 	}
 	var (

@@ -59,6 +59,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -68,6 +69,7 @@ import (
 	"gplus/internal/dataset"
 	"gplus/internal/gplusapi"
 	"gplus/internal/obs"
+	"gplus/internal/obs/prof"
 	"gplus/internal/obs/series"
 	"gplus/internal/obs/trace"
 )
@@ -118,8 +120,23 @@ func main() {
 		resilient   = flag.Bool("resilience", false, "arm adaptive overload handling: AIMD worker-concurrency adaptation, a shared retry budget, per-endpoint circuit breakers, and requeue-on-overload instead of counting sheds as failures")
 		attemptTO   = flag.Duration("attempt-timeout", 0, "per-attempt request deadline, propagated to gplusd via X-Gplus-Deadline (0 disables; requires -resilience)")
 		maxRequeues = flag.Int("max-requeues", 0, "cap on how many times one id may return to the frontier on overload (0 = default 32; requires -resilience)")
+		profileDir  = flag.String("profile-dir", "", "continuously capture CPU/heap/goroutine/mutex/block profiles into this bounded on-disk ring (manifest.jsonl + <kind>-<seq>.pb.gz; analyze with `gplusanalyze profiles <dir>`)")
+		profileInt  = flag.Duration("profile-interval", 30*time.Second, "capture cycle period for -profile-dir")
+		profileCPU  = flag.Duration("profile-cpu", 10*time.Second, "CPU-profile window per cycle for -profile-dir (clamped to -profile-interval)")
+		profileKeep = flag.Int("profile-retain", 64, "capture files retained in the -profile-dir ring before oldest-first eviction")
+		mutexProf   = flag.Int("mutex-profile", 0, "runtime.SetMutexProfileFraction: sample 1/N of mutex contention events so mutex captures have data (0 = off)")
+		blockProf   = flag.Int("block-profile", 0, "runtime.SetBlockProfileRate: sample blocking events >= N ns so block captures have data (0 = off)")
 	)
 	flag.Parse()
+
+	// Arm the blocking profilers before any crawl goroutine exists, so
+	// the ring's mutex/block captures (and /debug/pprof) see every event.
+	if *mutexProf > 0 {
+		runtime.SetMutexProfileFraction(*mutexProf)
+	}
+	if *blockProf > 0 {
+		runtime.SetBlockProfileRate(*blockProf)
+	}
 
 	if (*attemptTO > 0 || *maxRequeues > 0) && !*resilient {
 		log.Fatalf("-attempt-timeout and -max-requeues require -resilience")
@@ -222,6 +239,37 @@ func main() {
 		}()
 	}
 
+	// The continuous profiler: interval captures into the on-disk ring,
+	// plus anomaly-triggered dumps the SLO engine, the stall detector,
+	// and the AIMD gate fire below. Nil when -profile-dir is unset —
+	// every hook on it is then a no-op.
+	var profC *prof.Collector
+	if *profileDir != "" {
+		store, err := prof.OpenStore(*profileDir, prof.StoreOptions{
+			MaxCaptures: *profileKeep,
+			Metrics:     reg,
+		})
+		if err != nil {
+			log.Fatalf("opening -profile-dir: %v", err)
+		}
+		profC = prof.NewCollector(store, prof.Options{
+			Interval:    *profileInt,
+			CPUDuration: *profileCPU,
+			SLOState:    eng.StateSummary,
+			Metrics:     reg,
+		})
+		log.Printf("continuous profiling -> %s (every %v, cpu window %v, retain %d; analyze with: gplusanalyze profiles %s)",
+			*profileDir, *profileInt, *profileCPU, *profileKeep, *profileDir)
+	}
+	// A PAGE transition on any objective fires an immediate capture
+	// tagged with the objective, so the profile ring holds a CPU burst
+	// and goroutine dump from inside every paged incident.
+	eng.OnTransition(func(tr series.Transition) {
+		if tr.To == series.StatePage {
+			profC.Trigger("slo-page:" + tr.Name)
+		}
+	})
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -229,6 +277,7 @@ func main() {
 	// the crawl launches shows up as 503/retry series from the very
 	// first request, instead of as invisible pre-collection history.
 	collector.Start()
+	profC.Start()
 
 	var seedList []string
 	if *seeds != "" {
@@ -346,6 +395,14 @@ func main() {
 			AttemptTimeout: *attemptTO,
 			MaxRequeues:    *maxRequeues,
 		}
+		// An AIMD collapse — the fleet cut all the way to one concurrent
+		// fetch — is the crawl-side signature of a struggling service;
+		// capture it as it happens.
+		resCfg.AIMD.OnDecrease = func(limit int) {
+			if limit <= 1 {
+				profC.Trigger("aimd-collapse")
+			}
+		}
 		log.Printf("resilience armed: AIMD concurrency gate, shared retry budget, per-endpoint breakers, requeue-on-overload (watch crawler_aimd_limit, crawler_retry_budget_tokens_milli, crawler_requeues_total)")
 	}
 
@@ -365,9 +422,18 @@ func main() {
 		Metrics:          reg,
 		ProgressInterval: *progress,
 		OnProgress:       onProgress,
-		Tracer:           tracer,
-		Resilience:       resCfg,
+		// Three intervals of zero throughput with a non-empty frontier is
+		// a stall; the goroutine dump it triggers shows where every
+		// worker is wedged.
+		StallAfter: 3,
+		OnStall: func(p crawler.Progress) {
+			log.Printf("crawl stalled (frontier=%d, no profiles for 3 intervals); capturing profile dump", p.Frontier)
+			profC.Trigger("stall")
+		},
+		Tracer:     tracer,
+		Resilience: resCfg,
 	})
+	profC.Stop()
 	if cerr := jrnl.Close(); cerr != nil {
 		log.Printf("journal error (crawl state may be incomplete on disk): %v", cerr)
 	}

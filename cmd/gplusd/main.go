@@ -47,10 +47,12 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"runtime"
 	"time"
 
 	"gplus/internal/gplusd"
 	"gplus/internal/obs"
+	"gplus/internal/obs/prof"
 	"gplus/internal/obs/series"
 	"gplus/internal/obs/trace"
 	"gplus/internal/resilience"
@@ -77,8 +79,23 @@ func main() {
 		alogEvery = flag.Int("access-log-sample", 0, "log 1 in N served requests, with trace id (0 disables)")
 		sloSpec   = flag.String("slo", "default", `SLO objectives evaluated over the metric time series ("default" = availability <1% + p99 latency <250ms, "" disables, or a spec like "avail,error_ratio,bad=gplusd_faults_injected_total,total=gplusd_requests_total,max=1%,window=1m"); report at /debug/slo`)
 		sampleInt = flag.Duration("sample-interval", time.Second, "time-series sampling cadence (0 disables the collector and /debug/timeseries)")
+		profDir   = flag.String("profile-dir", "", "continuously capture CPU/heap/goroutine/mutex/block profiles into this bounded on-disk ring (analyze with `gplusanalyze profiles <dir>`)")
+		profInt   = flag.Duration("profile-interval", 30*time.Second, "capture cycle period for -profile-dir")
+		profCPU   = flag.Duration("profile-cpu", 10*time.Second, "CPU-profile window per cycle for -profile-dir (clamped to -profile-interval)")
+		profKeep  = flag.Int("profile-retain", 64, "capture files retained in the -profile-dir ring before oldest-first eviction")
+		mutexProf = flag.Int("mutex-profile", 0, "runtime.SetMutexProfileFraction: sample 1/N of mutex contention events so mutex captures have data (0 = off)")
+		blockProf = flag.Int("block-profile", 0, "runtime.SetBlockProfileRate: sample blocking events >= N ns so block captures have data (0 = off)")
 	)
 	flag.Parse()
+
+	// Arm the blocking profilers before the server spins up, so the
+	// ring's mutex/block captures (and /debug/pprof) see every event.
+	if *mutexProf > 0 {
+		runtime.SetMutexProfileFraction(*mutexProf)
+	}
+	if *blockProf > 0 {
+		runtime.SetBlockProfileRate(*blockProf)
+	}
 
 	var faults *gplusd.FaultSpec
 	if *chaosSpec != "" {
@@ -142,9 +159,9 @@ func main() {
 	// Time-series collector + SLO engine over the same registry:
 	// /debug/timeseries serves ring-buffer window queries and JSONL
 	// dumps, /debug/slo the burn-rate report.
+	var eng *series.Engine
 	if *sampleInt > 0 {
 		collector := series.NewCollector(reg, series.Options{Interval: *sampleInt})
-		var eng *series.Engine
 		if *sloSpec != "" {
 			objs := series.DefaultGplusdObjectives()
 			if *sloSpec != "default" {
@@ -161,6 +178,35 @@ func main() {
 		series.Mount(root, collector, eng)
 		collector.Start()
 		defer collector.Stop()
+	}
+
+	// The continuous profiler: interval captures into the on-disk ring,
+	// with an anomaly capture the moment any server objective pages.
+	// Server captures carry endpoint and chaos-state pprof labels, so a
+	// brownout window can be diffed against steady state offline.
+	if *profDir != "" {
+		store, err := prof.OpenStore(*profDir, prof.StoreOptions{
+			MaxCaptures: *profKeep,
+			Metrics:     reg,
+		})
+		if err != nil {
+			log.Fatalf("opening -profile-dir: %v", err)
+		}
+		profC := prof.NewCollector(store, prof.Options{
+			Interval:    *profInt,
+			CPUDuration: *profCPU,
+			SLOState:    eng.StateSummary,
+			Metrics:     reg,
+		})
+		eng.OnTransition(func(tr series.Transition) {
+			if tr.To == series.StatePage {
+				profC.Trigger("slo-page:" + tr.Name)
+			}
+		})
+		profC.Start()
+		defer profC.Stop()
+		log.Printf("continuous profiling -> %s (every %v, cpu window %v, retain %d; analyze with: gplusanalyze profiles %s)",
+			*profDir, *profInt, *profCPU, *profKeep, *profDir)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

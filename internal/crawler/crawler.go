@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -99,6 +100,15 @@ type Config struct {
 	// report (Progress.Final) is always emitted at crawl completion,
 	// even when ProgressInterval never elapsed.
 	OnProgress func(Progress)
+	// StallAfter arms the stall detector: after this many consecutive
+	// progress intervals with zero profiles crawled while the frontier
+	// is non-empty, OnStall fires once with the stalled Progress (and
+	// re-arms when throughput resumes). Requires ProgressInterval > 0 —
+	// the detector rides the progress ticker. 0 disables it.
+	StallAfter int
+	// OnStall receives the stalled Progress. The continuous profiler
+	// hooks this to capture a goroutine dump while the stall is live.
+	OnStall func(Progress)
 	// Tracer records request-scoped spans when non-nil: a "crawl.profile"
 	// root per crawled user with children for the profile fetch, each
 	// circle page, scheduler offers, and journal appends — plus the
@@ -285,7 +295,7 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 		progressWG.Add(1)
 		go func() {
 			defer progressWG.Done()
-			tel.reportProgress(cfg.ProgressInterval, cfg.OnProgress, progressDone)
+			tel.reportProgress(cfg.ProgressInterval, cfg.OnProgress, progressDone, cfg.StallAfter, cfg.OnStall)
 		}()
 	}
 
@@ -386,24 +396,29 @@ type worker struct {
 }
 
 func (w *worker) run(ctx context.Context) {
-	for {
-		id, ok := w.sched.next(ctx)
-		if !ok {
-			return
-		}
-		// The AIMD gate is acquired only after an id is claimed: a worker
-		// blocked here holds a claim, so the scheduler's completion
-		// detection (inflight > 0) stays correct while the gate throttles.
-		if w.gate.Acquire(ctx) {
-			before := w.profileErrs + w.circleErrs
-			w.crawlOne(ctx, id)
-			w.gate.Release()
-			if after := w.profileErrs + w.circleErrs; after > before {
-				w.sched.recordErrors(after - before)
+	// Every CPU sample this worker produces carries its identity; the
+	// crawl phases below layer their own labels on top, so the
+	// continuous profiler can split cost by (worker, phase, endpoint).
+	pprof.Do(ctx, pprof.Labels("worker", w.client.CrawlerID), func(ctx context.Context) {
+		for {
+			id, ok := w.sched.next(ctx)
+			if !ok {
+				return
 			}
+			// The AIMD gate is acquired only after an id is claimed: a worker
+			// blocked here holds a claim, so the scheduler's completion
+			// detection (inflight > 0) stays correct while the gate throttles.
+			if w.gate.Acquire(ctx) {
+				before := w.profileErrs + w.circleErrs
+				w.crawlOne(ctx, id)
+				w.gate.Release()
+				if after := w.profileErrs + w.circleErrs; after > before {
+					w.sched.recordErrors(after - before)
+				}
+			}
+			w.sched.finish()
 		}
-		w.sched.finish()
-	}
+	})
 }
 
 // maxRequeuePause caps how long a worker honors a server pacing hint
@@ -463,11 +478,13 @@ func (w *worker) crawlOne(ctx context.Context, id string) {
 		err error
 	)
 	fctx, fsp := w.cfg.Tracer.StartSpan(ctx, "fetch.profile")
-	if w.cfg.ScrapeHTML {
-		doc, err = w.client.FetchProfileHTML(fctx, id)
-	} else {
-		doc, err = w.client.FetchProfile(fctx, id)
-	}
+	pprof.Do(fctx, pprof.Labels("phase", "fetch.profile"), func(fctx context.Context) {
+		if w.cfg.ScrapeHTML {
+			doc, err = w.client.FetchProfileHTML(fctx, id)
+		} else {
+			doc, err = w.client.FetchProfile(fctx, id)
+		}
+	})
 	fsp.SetError(err)
 	fsp.Finish()
 	if err != nil {
@@ -558,7 +575,38 @@ func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.Circle
 			psp.Annotate("dir", string(dir))
 			psp.Annotate("page", strconv.Itoa(pageN))
 		}
-		page, err := w.client.FetchCircle(pctx, id, dir, token, w.cfg.PageLimit)
+		var (
+			page *gplusapi.CirclePage
+			err  error
+		)
+		// The whole page pipeline — fetch, edge accounting, frontier
+		// offer, journal append — shares one phase label, so by-phase CPU
+		// attribution matches the trace span of the same name.
+		pprof.Do(pctx, pprof.Labels("phase", "circle.page"), func(pctx context.Context) {
+			page, err = w.client.FetchCircle(pctx, id, dir, token, w.cfg.PageLimit)
+			if err != nil {
+				return
+			}
+			w.pages++
+			w.tel.pages.Inc()
+			w.tel.edges.Add(int64(len(page.IDs)))
+			for _, other := range page.IDs {
+				if dir == gplusapi.CircleOut {
+					w.edges = append(w.edges, Edge{From: id, To: other})
+				} else {
+					w.edges = append(w.edges, Edge{From: other, To: id})
+				}
+			}
+			// One frontier lock round-trip per page, not one per edge. The
+			// scheduler journals the page's newly-discovered ids; the edges
+			// are journaled here, where the direction is known.
+			_, osp := w.cfg.Tracer.StartSpan(pctx, "sched.offer")
+			w.sched.offerBatch(page.IDs)
+			osp.Finish()
+			_, jsp := w.cfg.Tracer.StartSpan(pctx, "journal.append")
+			w.cfg.Journal.circlePage(id, dir == gplusapi.CircleOut, page.IDs)
+			jsp.Finish()
+		})
 		if err != nil {
 			psp.SetError(err)
 			psp.Finish()
@@ -567,25 +615,6 @@ func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.Circle
 			}
 			return err
 		}
-		w.pages++
-		w.tel.pages.Inc()
-		w.tel.edges.Add(int64(len(page.IDs)))
-		for _, other := range page.IDs {
-			if dir == gplusapi.CircleOut {
-				w.edges = append(w.edges, Edge{From: id, To: other})
-			} else {
-				w.edges = append(w.edges, Edge{From: other, To: id})
-			}
-		}
-		// One frontier lock round-trip per page, not one per edge. The
-		// scheduler journals the page's newly-discovered ids; the edges
-		// are journaled here, where the direction is known.
-		_, osp := w.cfg.Tracer.StartSpan(pctx, "sched.offer")
-		w.sched.offerBatch(page.IDs)
-		osp.Finish()
-		_, jsp := w.cfg.Tracer.StartSpan(pctx, "journal.append")
-		w.cfg.Journal.circlePage(id, dir == gplusapi.CircleOut, page.IDs)
-		jsp.Finish()
 		psp.Finish()
 		if page.NextPageToken == "" {
 			return nil

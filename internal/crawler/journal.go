@@ -3,9 +3,11 @@ package crawler
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -261,6 +263,9 @@ func (j *Journal) fail(err error) {
 // explicit barriers ('B'/'S' acks), and at close.
 func (j *Journal) writeLoop() {
 	defer close(j.done)
+	// Rendering and fsync cost lands on this goroutine, not the workers
+	// that sent the records; label it so CPU profiles attribute it.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels("phase", "journal")))
 	bw := bufio.NewWriterSize(j.f, 1<<16)
 	dirty := false
 	flush := func() {

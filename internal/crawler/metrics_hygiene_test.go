@@ -11,6 +11,7 @@ import (
 
 	"gplus/internal/gplusd"
 	"gplus/internal/obs"
+	"gplus/internal/obs/prof"
 	"gplus/internal/obs/series"
 	"gplus/internal/resilience"
 )
@@ -21,7 +22,8 @@ var promFamilyRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
 // TestMetricsHygiene populates both registries the way a real chaos
 // crawl does — server with faults armed, client crawl with runtime
-// metrics, collector, and SLO engine — then parses the Prometheus
+// metrics, collector, SLO engine, and the continuous profiler — then
+// parses the Prometheus
 // exposition of each and asserts every family matches the naming
 // grammar, carries a HELP line, and every sample belongs to a declared
 // TYPE. This is the `make check` gate against unparseable or
@@ -48,7 +50,18 @@ func TestMetricsHygiene(t *testing.T) {
 	eng := series.NewEngine(collector, series.DefaultCrawlObjectives(), creg)
 	collector.OnSample(eng.Eval)
 	collector.Start()
-	_, err := Crawl(context.Background(), Config{
+	pstore, err := prof.OpenStore(t.TempDir(), prof.StoreOptions{Metrics: creg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profC := prof.NewCollector(pstore, prof.Options{
+		Interval:    50 * time.Millisecond,
+		CPUDuration: 20 * time.Millisecond,
+		SLOState:    eng.StateSummary,
+		Metrics:     creg,
+	})
+	profC.Start()
+	_, err = Crawl(context.Background(), Config{
 		BaseURL: url, Seeds: []string{seedID(u)}, Workers: 4,
 		FetchIn: true, FetchOut: true,
 		MaxProfiles: 80,
@@ -56,6 +69,7 @@ func TestMetricsHygiene(t *testing.T) {
 		Metrics:    creg,
 		Resilience: &ResilienceConfig{},
 	})
+	profC.Stop()
 	collector.Stop()
 	if err != nil {
 		t.Fatal(err)

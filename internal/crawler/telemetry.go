@@ -156,7 +156,14 @@ func (t *telemetry) snapshot(start time.Time, prev Progress, prevAt time.Time, n
 // shorter than its interval, or one with no interval at all — leaves a
 // closing summary. interval <= 0 disables periodic reports but still
 // emits the final one.
-func (t *telemetry) reportProgress(interval time.Duration, emit func(Progress), done <-chan struct{}) {
+//
+// When stallAfter > 0 and onStall is non-nil, onStall fires once after
+// stallAfter consecutive intervals with zero profile throughput while
+// work remains queued — the in-flight-but-going-nowhere signal (every
+// worker wedged on a hung endpoint, a collapsed AIMD gate, a livelock)
+// that profile captures must catch in the act. The detector re-arms
+// once throughput resumes, so a crawl that stalls twice reports twice.
+func (t *telemetry) reportProgress(interval time.Duration, emit func(Progress), done <-chan struct{}, stallAfter int, onStall func(Progress)) {
 	if emit == nil {
 		emit = func(p Progress) { log.Print(p) }
 	}
@@ -182,6 +189,7 @@ func (t *telemetry) reportProgress(interval time.Duration, emit func(Progress), 
 		defer ticker.Stop()
 		tick = ticker.C
 	}
+	stalledFor := 0 // consecutive zero-throughput intervals
 	for {
 		select {
 		case <-done:
@@ -194,6 +202,19 @@ func (t *telemetry) reportProgress(interval time.Duration, emit func(Progress), 
 			p := t.snapshot(start, prev, prevAt, now)
 			finish(&p)
 			emit(p)
+			if stallAfter > 0 && onStall != nil {
+				// Stalled: no profile completed this interval while ids
+				// remain queued. (A drained frontier with slow stragglers
+				// is a finishing crawl, not a stall.)
+				if p.Crawled == prev.Crawled && p.Frontier > 0 {
+					stalledFor++
+					if stalledFor == stallAfter {
+						onStall(p)
+					}
+				} else {
+					stalledFor = 0
+				}
+			}
 			prev, prevAt = p, now
 		}
 	}

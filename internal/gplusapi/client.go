@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -311,7 +312,14 @@ func (c *Client) withRetries(ctx context.Context, op string, fn func(context.Con
 			actx = context.WithValue(actx, parentCtxKey{}, ctx)
 			actx, cancel = context.WithTimeout(actx, c.AttemptTimeout)
 		}
-		err := fn(actx)
+		// Label the attempt's CPU samples with the endpoint so the
+		// continuous profiler can attribute wire wait, body reads, and
+		// JSON/HTML decoding per endpoint (nesting under any crawl-phase
+		// labels already on the context).
+		var err error
+		pprof.Do(actx, pprof.Labels("endpoint", op), func(actx context.Context) {
+			err = fn(actx)
+		})
 		cancel()
 		asp.SetError(err)
 		asp.Finish()

@@ -278,6 +278,32 @@ func (c *chaos) admissionScale() float64 {
 	return scale
 }
 
+// stateLabel names the chaos regime the server is in right now —
+// "outage", "brownout", or "none" — for the pprof label on request
+// handling, so server CPU captures can be split into in-chaos and
+// steady-state windows. Nil-safe.
+func (c *chaos) stateLabel() string {
+	if c == nil {
+		return "none"
+	}
+	since := time.Since(c.start)
+	label := "none"
+	for i := range c.rules {
+		rule := &c.rules[i]
+		switch rule.Kind {
+		case FaultOutage:
+			if _, down := rule.outageRemaining(since); down {
+				return "outage" // a hard outage trumps any squeeze
+			}
+		case FaultBrownout:
+			if rule.brownoutSeverity(since) > 0 {
+				label = "brownout"
+			}
+		}
+	}
+	return label
+}
+
 // hasBrownout reports whether any rule squeezes capacity, i.e. whether
 // the admission controller needs the chaos clock as its Scale source.
 func (c *chaos) hasBrownout() bool {

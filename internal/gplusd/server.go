@@ -6,10 +6,12 @@
 package gplusd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -233,6 +235,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.admission.ServeHTTP(w, r)
 		return
 	}
+	// Handling runs under pprof labels mirroring the trace dimensions:
+	// server CPU captures split by endpoint and by whether the chaos
+	// clock had the service degraded when the sample landed.
+	pprof.Do(r.Context(), pprof.Labels(
+		"endpoint", endpointOf(r.URL.Path),
+		"chaos", s.chaos.stateLabel(),
+	), func(ctx context.Context) {
+		s.serve(w, r.WithContext(ctx), start)
+	})
+}
+
+// serve is the post-bypass request path: tracing, admission, fault
+// injection, rate limiting, chaos, rendering.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, start time.Time) {
 	// Join the crawler's trace (or start a server-local one) so the
 	// server-side story of this request — faults, rate limiting,
 	// rendering — lands under the same trace id the client recorded.

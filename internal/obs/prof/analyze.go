@@ -1,0 +1,254 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Unlabeled is the bucket ByLabel charges samples that carry no value
+// for the requested label key.
+const Unlabeled = "(unlabeled)"
+
+// FuncCost is one row of a top-N report: a function's flat cost (samples
+// with it at the leaf) and cumulative cost (samples with it anywhere on
+// the stack), in the profile's sample unit.
+type FuncCost struct {
+	Func string
+	Flat int64
+	Cum  int64
+}
+
+// LabelCost is one row of a by-label report.
+type LabelCost struct {
+	Value string
+	Cost  int64
+}
+
+// DiffRow is one row of an A-vs-B comparison. Shares are fractions of
+// each side's own total, so rings of different lengths compare fairly;
+// Delta = ShareB - ShareA.
+type DiffRow struct {
+	Name           string
+	A, B           int64
+	ShareA, ShareB float64
+	Delta          float64
+}
+
+// TopFuncs aggregates the given profiles into per-function flat and
+// cumulative costs using each profile's default value dimension, sorted
+// by the by key ("cum" or anything else meaning flat), truncated to n
+// rows (n <= 0 means all).
+func TopFuncs(profiles []*Profile, by string, n int) []FuncCost {
+	flat := make(map[string]int64)
+	cum := make(map[string]int64)
+	for _, p := range profiles {
+		vi := p.DefaultValueIndex()
+		if vi < 0 {
+			continue
+		}
+		for i := range p.Samples {
+			s := &p.Samples[i]
+			if vi >= len(s.Value) {
+				continue
+			}
+			v := s.Value[vi]
+			if len(s.Stack) > 0 {
+				flat[s.Stack[0].Func] += v
+			}
+			// Each function on the stack gets the sample once for its
+			// cumulative cost, however many frames it owns (recursion).
+			seen := make(map[string]bool, len(s.Stack))
+			for _, fr := range s.Stack {
+				if !seen[fr.Func] {
+					seen[fr.Func] = true
+					cum[fr.Func] += v
+				}
+			}
+		}
+	}
+	names := make(map[string]bool, len(cum))
+	for f := range flat {
+		names[f] = true
+	}
+	for f := range cum {
+		names[f] = true
+	}
+	out := make([]FuncCost, 0, len(names))
+	for f := range names {
+		out = append(out, FuncCost{Func: f, Flat: flat[f], Cum: cum[f]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if by == "cum" {
+			if out[i].Cum != out[j].Cum {
+				return out[i].Cum > out[j].Cum
+			}
+		} else if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Func < out[j].Func
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ByLabel aggregates the given profiles' default value dimension by the
+// value of one pprof label key (e.g. "phase", "endpoint"), descending.
+// Samples without the key land in the Unlabeled bucket.
+func ByLabel(profiles []*Profile, key string) []LabelCost {
+	costs := make(map[string]int64)
+	for _, p := range profiles {
+		vi := p.DefaultValueIndex()
+		if vi < 0 {
+			continue
+		}
+		for i := range p.Samples {
+			s := &p.Samples[i]
+			if vi >= len(s.Value) {
+				continue
+			}
+			v := s.Label(key)
+			if v == "" {
+				v = Unlabeled
+			}
+			costs[v] += s.Value[vi]
+		}
+	}
+	out := make([]LabelCost, 0, len(costs))
+	for val, cost := range costs {
+		out = append(out, LabelCost{Value: val, Cost: cost})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost > out[j].Cost
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Diff compares two profile sets by flat function cost (or by label
+// value when labelKey != ""), normalizing each side by its own total so
+// windows of different lengths are comparable. Rows are sorted by
+// |Delta| descending, truncated to n (n <= 0 means all).
+func Diff(a, b []*Profile, labelKey string, n int) []DiffRow {
+	side := func(ps []*Profile) map[string]int64 {
+		m := make(map[string]int64)
+		if labelKey != "" {
+			for _, lc := range ByLabel(ps, labelKey) {
+				m[lc.Value] = lc.Cost
+			}
+		} else {
+			for _, fc := range TopFuncs(ps, "flat", 0) {
+				if fc.Flat != 0 {
+					m[fc.Func] = fc.Flat
+				}
+			}
+		}
+		return m
+	}
+	am, bm := side(a), side(b)
+	var atot, btot int64
+	for _, v := range am {
+		atot += v
+	}
+	for _, v := range bm {
+		btot += v
+	}
+	names := make(map[string]bool, len(am)+len(bm))
+	for k := range am {
+		names[k] = true
+	}
+	for k := range bm {
+		names[k] = true
+	}
+	share := func(v, tot int64) float64 {
+		if tot == 0 {
+			return 0
+		}
+		return float64(v) / float64(tot)
+	}
+	out := make([]DiffRow, 0, len(names))
+	for name := range names {
+		r := DiffRow{
+			Name:   name,
+			A:      am[name],
+			B:      bm[name],
+			ShareA: share(am[name], atot),
+			ShareB: share(bm[name], btot),
+		}
+		r.Delta = r.ShareB - r.ShareA
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := abs(out[i].Delta), abs(out[j].Delta)
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// SampleUnit reports the unit of the default value dimension of the
+// first profile ("" when empty), for report headers.
+func SampleUnit(profiles []*Profile) string {
+	for _, p := range profiles {
+		if vi := p.DefaultValueIndex(); vi >= 0 && vi < len(p.SampleTypes) {
+			return p.SampleTypes[vi].Unit
+		}
+	}
+	return ""
+}
+
+// FormatTop renders a top-N report as aligned text.
+func FormatTop(rows []FuncCost, unit string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%14s %14s  %s\n", "flat("+unit+")", "cum("+unit+")", "function")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%14d %14d  %s\n", r.Flat, r.Cum, r.Func)
+	}
+	return sb.String()
+}
+
+// FormatByLabel renders a by-label report as aligned text with shares.
+func FormatByLabel(rows []LabelCost, key, unit string) string {
+	var total int64
+	for _, r := range rows {
+		total += r.Cost
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%14s %7s  %s\n", "cost("+unit+")", "share", key)
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.Cost) / float64(total)
+		}
+		fmt.Fprintf(&sb, "%14d %6.1f%%  %s\n", r.Cost, pct, r.Value)
+	}
+	return sb.String()
+}
+
+// FormatDiff renders an A-vs-B report as aligned text. Shares are
+// per-side; delta is in percentage points of share.
+func FormatDiff(rows []DiffRow, name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8s %8s %8s  %s\n", "A", "B", "delta", name)
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%7.2f%% %7.2f%% %+7.2fpp  %s\n",
+			100*r.ShareA, 100*r.ShareB, 100*r.Delta, r.Name)
+	}
+	return sb.String()
+}

@@ -1,0 +1,293 @@
+package prof
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"gplus/internal/obs"
+)
+
+// Options configures a Collector.
+type Options struct {
+	// Interval is the period between capture cycles (default 30s).
+	Interval time.Duration
+	// CPUDuration is how long each cycle's CPU profile window runs
+	// (default min(10s, Interval); clamped to Interval).
+	CPUDuration time.Duration
+	// TriggerCPUDuration is the length of the CPU burst recorded after
+	// an anomaly trigger (default 1s).
+	TriggerCPUDuration time.Duration
+	// TriggerCooldown suppresses triggers arriving within this window
+	// of the last accepted one (default 30s).
+	TriggerCooldown time.Duration
+	// SLOState, when set, is sampled at each capture to stamp the
+	// manifest with the active SLO state (e.g. "OK" or
+	// "PAGE:availability").
+	SLOState func() string
+	// Metrics receives the obsprof_* capture series; nil disables them.
+	Metrics *obs.Registry
+}
+
+// Collector periodically captures CPU, heap, goroutine, mutex, and
+// block profiles into a Store, and accepts anomaly triggers that fire
+// an immediate goroutine dump plus a short CPU burst tagged with the
+// trigger reason. One Collector may run per process: Go allows only a
+// single active CPU profile, which the collector's cycle loop owns. A
+// nil *Collector is a no-op.
+type Collector struct {
+	store *Store
+	opts  Options
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	triggers chan string
+
+	mu          sync.Mutex
+	lastTrigger time.Time
+
+	capSeconds *obs.Histogram
+	capErrors  *obs.Counter
+}
+
+// NewCollector wires a collector to a store; call Start to begin
+// capturing.
+func NewCollector(store *Store, opts Options) *Collector {
+	if opts.Interval <= 0 {
+		opts.Interval = 30 * time.Second
+	}
+	if opts.CPUDuration <= 0 {
+		opts.CPUDuration = 10 * time.Second
+	}
+	if opts.CPUDuration > opts.Interval {
+		opts.CPUDuration = opts.Interval
+	}
+	if opts.TriggerCPUDuration <= 0 {
+		opts.TriggerCPUDuration = time.Second
+	}
+	if opts.TriggerCooldown <= 0 {
+		opts.TriggerCooldown = 30 * time.Second
+	}
+	c := &Collector{
+		store:    store,
+		opts:     opts,
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+		triggers: make(chan string, 4),
+	}
+	if reg := opts.Metrics; reg != nil {
+		reg.Help("obsprof_capture_seconds", "Wall-clock cost of writing one profile capture (excluding CPU-profile windows).")
+		reg.Help("obsprof_capture_errors_total", "Profile captures that failed to record.")
+		c.capSeconds = reg.Histogram("obsprof_capture_seconds", nil)
+		c.capErrors = reg.Counter("obsprof_capture_errors_total")
+	}
+	return c
+}
+
+// Store returns the underlying ring (nil for a nil collector).
+func (c *Collector) Store() *Store {
+	if c == nil {
+		return nil
+	}
+	return c.store
+}
+
+// Start launches the capture loop.
+func (c *Collector) Start() {
+	if c == nil {
+		return
+	}
+	go c.run()
+}
+
+// Stop ends the capture loop, flushing the in-flight CPU window and a
+// final set of snapshots, and closes the store. Safe to call more than
+// once.
+func (c *Collector) Stop() {
+	if c == nil {
+		return
+	}
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	<-c.done
+	c.store.Close()
+}
+
+// Trigger requests an immediate anomaly capture (goroutine dump + CPU
+// burst) tagged with reason. Non-blocking: triggers inside the cooldown
+// window, or beyond the small pending queue, are dropped — an anomaly
+// storm must not turn the profiler itself into load.
+func (c *Collector) Trigger(reason string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	now := time.Now()
+	if now.Sub(c.lastTrigger) < c.opts.TriggerCooldown {
+		c.mu.Unlock()
+		return
+	}
+	c.lastTrigger = now
+	c.mu.Unlock()
+	select {
+	case c.triggers <- reason:
+	default:
+	}
+}
+
+func (c *Collector) run() {
+	defer close(c.done)
+	// Label our own goroutine so collector overhead is attributable in
+	// the very profiles it captures.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels("phase", "obsprof")))
+	for {
+		cycleStart := time.Now()
+		data, dur, reason, stopped := c.cpuWindow(c.opts.CPUDuration, true)
+		if data != nil {
+			c.append("cpu", "interval", dur, data)
+		}
+		if stopped {
+			c.finalSnapshots()
+			return
+		}
+		if reason != "" && !c.burst(reason) {
+			return
+		}
+		c.snapshots("interval")
+		// Wait out the remainder of the interval, still responsive to
+		// stop and triggers.
+		for {
+			remain := c.opts.Interval - time.Since(cycleStart)
+			if remain <= 0 {
+				break
+			}
+			timer := time.NewTimer(remain)
+			select {
+			case <-c.stopCh:
+				timer.Stop()
+				c.finalSnapshots()
+				return
+			case reason := <-c.triggers:
+				timer.Stop()
+				if !c.burst(reason) {
+					return
+				}
+				continue
+			case <-timer.C:
+			}
+			break
+		}
+	}
+}
+
+// burst records the anomaly capture for one trigger: an immediate
+// goroutine dump, then a short CPU window, both tagged with the
+// reason. Returns false when the collector was stopped mid-burst
+// (final snapshots already written).
+func (c *Collector) burst(reason string) bool {
+	c.snapshot("goroutine", reason)
+	data, dur, _, stopped := c.cpuWindow(c.opts.TriggerCPUDuration, false)
+	if data != nil {
+		c.append("cpu", reason, dur, data)
+	}
+	if stopped {
+		c.finalSnapshots()
+		return false
+	}
+	return true
+}
+
+// cpuWindow records one CPU profile window of at most d. When
+// interruptible, an arriving trigger ends the window early and its
+// reason is returned so the caller can record the anomaly burst.
+// Returns the profile bytes (nil when starting the profile failed —
+// e.g. a concurrent /debug/pprof/profile request owns the profiler),
+// the actual window length, the interrupting trigger reason (""), and
+// whether Stop was observed.
+func (c *Collector) cpuWindow(d time.Duration, interruptible bool) (data []byte, dur time.Duration, reason string, stopped bool) {
+	var buf bytes.Buffer
+	start := time.Now()
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		c.capErrors.Inc()
+		// Still honor pacing and control signals for this window.
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		if interruptible {
+			select {
+			case <-c.stopCh:
+				return nil, 0, "", true
+			case r := <-c.triggers:
+				return nil, 0, r, false
+			case <-timer.C:
+				return nil, 0, "", false
+			}
+		}
+		select {
+		case <-c.stopCh:
+			return nil, 0, "", true
+		case <-timer.C:
+			return nil, 0, "", false
+		}
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	if interruptible {
+		select {
+		case <-c.stopCh:
+			stopped = true
+		case reason = <-c.triggers:
+		case <-timer.C:
+		}
+	} else {
+		select {
+		case <-c.stopCh:
+			stopped = true
+		case <-timer.C:
+		}
+	}
+	pprof.StopCPUProfile()
+	return buf.Bytes(), time.Since(start), reason, stopped
+}
+
+// snapshots writes the non-CPU profile kinds with the given trigger.
+func (c *Collector) snapshots(trigger string) {
+	for _, kind := range []string{"heap", "goroutine", "mutex", "block"} {
+		c.snapshot(kind, trigger)
+	}
+}
+
+func (c *Collector) finalSnapshots() { c.snapshots("final") }
+
+// snapshot captures one runtime profile by name and appends it to the
+// ring.
+func (c *Collector) snapshot(kind, trigger string) {
+	p := pprof.Lookup(kind)
+	if p == nil {
+		c.capErrors.Inc()
+		return
+	}
+	start := time.Now()
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 0); err != nil {
+		c.capErrors.Inc()
+		return
+	}
+	c.append(kind, trigger, time.Since(start), buf.Bytes())
+}
+
+// append stamps the SLO state and records the capture, charging the
+// wall-clock cost to obsprof_capture_seconds.
+func (c *Collector) append(kind, trigger string, dur time.Duration, data []byte) {
+	slo := ""
+	if c.opts.SLOState != nil {
+		slo = c.opts.SLOState()
+	}
+	start := time.Now()
+	if _, err := c.store.Append(kind, trigger, slo, dur, data); err != nil {
+		c.capErrors.Inc()
+		return
+	}
+	c.capSeconds.Observe(time.Since(start).Seconds())
+}

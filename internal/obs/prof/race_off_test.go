@@ -1,0 +1,5 @@
+//go:build !race
+
+package prof
+
+const raceEnabled = false

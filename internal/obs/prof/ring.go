@@ -1,0 +1,342 @@
+// Package prof is the reproduction's stdlib-only continuous-profiling
+// layer: a Collector that periodically (and on anomaly triggers) writes
+// labelled runtime/pprof captures into a bounded on-disk ring, plus a
+// dependency-free profile.proto decoder and analyzer so the captures
+// can be read back — top-N, by-label, A-vs-B diff — without `go tool
+// pprof`. The paper's multi-week crawl makes "the crawl is slow" a
+// question that must be answerable per phase and per endpoint long
+// after the fact; prof is the layer that keeps that evidence.
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gplus/internal/obs"
+)
+
+// Entry is one manifest line describing a capture in the ring.
+type Entry struct {
+	Seq       uint64    `json:"seq"`
+	Kind      string    `json:"kind"` // cpu, heap, goroutine, mutex, block
+	File      string    `json:"file"` // basename within the ring dir
+	Time      time.Time `json:"time"`
+	Trigger   string    `json:"trigger"` // interval, final, slo-page:..., stall, aimd-collapse
+	SLO       string    `json:"slo"`     // SLO engine state at capture time ("" when unwired)
+	Bytes     int64     `json:"bytes"`
+	CaptureMS int64     `json:"capture_ms"`
+}
+
+// Path returns the absolute path of the capture file within dir.
+func (e Entry) Path(dir string) string { return filepath.Join(dir, e.File) }
+
+// StoreOptions bounds the ring.
+type StoreOptions struct {
+	// MaxCaptures is the retention limit in capture files (0 means 64).
+	MaxCaptures int
+	// MaxBytes caps total capture bytes on disk; oldest captures are
+	// evicted first. 0 means 256 MiB.
+	MaxBytes int64
+	// Metrics receives the obsprof_* series; nil disables them.
+	Metrics *obs.Registry
+}
+
+const (
+	defaultMaxCaptures = 64
+	defaultMaxBytes    = 256 << 20
+	manifestName       = "manifest.jsonl"
+)
+
+// Store is the bounded on-disk profile ring: capture files named
+// <kind>-<seq>.pb.gz beside a manifest.jsonl with one Entry per line.
+// The manifest follows the journal's torn-tail contract: a crash can
+// leave at most one torn final line, which reopen truncates away.
+// Methods are safe for concurrent use; a nil *Store is a no-op.
+type Store struct {
+	dir string
+	max int
+	cap int64
+
+	mu      sync.Mutex
+	f       *os.File
+	entries []Entry
+	seq     uint64
+	bytes   int64
+
+	captures   func(kind, trigger string) *obs.Counter
+	capBytes   *obs.Counter
+	evictions  *obs.Counter
+	storeBytes *obs.Gauge
+}
+
+// OpenStore opens (creating if needed) the profile ring at dir,
+// recovering the manifest: a torn final line is truncated away, entries
+// whose capture files vanished are dropped, and capture files missing
+// from the manifest are deleted as orphans.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	if opts.MaxCaptures <= 0 {
+		opts.MaxCaptures = defaultMaxCaptures
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = defaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("prof: open store: %w", err)
+	}
+	s := &Store{dir: dir, max: opts.MaxCaptures, cap: opts.MaxBytes}
+	if reg := opts.Metrics; reg != nil {
+		reg.Help("obsprof_captures_total", "Profile captures written to the ring, by kind and trigger.")
+		reg.Help("obsprof_capture_bytes_total", "Total compressed profile bytes written to the ring.")
+		reg.Help("obsprof_evictions_total", "Captures evicted from the ring by retention limits.")
+		reg.Help("obsprof_store_bytes", "Compressed profile bytes currently retained in the ring.")
+		s.captures = func(kind, trigger string) *obs.Counter {
+			return reg.Counter(fmt.Sprintf(`obsprof_captures_total{kind=%q,trigger=%q}`, kind, trigger))
+		}
+		s.capBytes = reg.Counter("obsprof_capture_bytes_total")
+		s.evictions = reg.Counter("obsprof_evictions_total")
+		s.storeBytes = reg.Gauge("obsprof_store_bytes")
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("prof: open manifest: %w", err)
+	}
+	s.f = f
+	s.storeBytes.Set(s.bytes)
+	return s, nil
+}
+
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, manifestName) }
+
+// recover loads the manifest, repairing a torn tail and reconciling
+// against the capture files actually on disk.
+func (s *Store) recover() error {
+	raw, err := os.ReadFile(s.manifestPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s.sweepOrphans(nil)
+		}
+		return fmt.Errorf("prof: read manifest: %w", err)
+	}
+	// Torn-tail contract (mirrors the crawl journal): bytes after the
+	// last newline are a partial record from a crash mid-append —
+	// truncate them away rather than failing the whole ring.
+	valid := raw
+	if i := bytes.LastIndexByte(raw, '\n'); i < 0 {
+		valid = nil
+	} else if i+1 != len(raw) {
+		valid = raw[:i+1]
+	}
+	if len(valid) != len(raw) {
+		if err := os.WriteFile(s.manifestPath(), valid, 0o644); err != nil {
+			return fmt.Errorf("prof: repair torn manifest: %w", err)
+		}
+	}
+	known := make(map[string]bool)
+	for _, line := range bytes.Split(valid, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A torn or corrupt interior line loses one capture record,
+			// not the ring.
+			continue
+		}
+		fi, err := os.Stat(e.Path(s.dir))
+		if err != nil {
+			continue // capture file gone; drop the entry
+		}
+		e.Bytes = fi.Size()
+		s.entries = append(s.entries, e)
+		s.bytes += e.Bytes
+		if e.Seq >= s.seq {
+			s.seq = e.Seq + 1
+		}
+		known[e.File] = true
+	}
+	// Dropping entries above must stick: rewrite the manifest to match
+	// what we kept, then delete capture files no entry references.
+	if err := s.rewriteManifest(); err != nil {
+		return err
+	}
+	return s.sweepOrphans(known)
+}
+
+// sweepOrphans deletes capture files not referenced by any manifest
+// entry (e.g. written just before a crash that lost the append).
+func (s *Store) sweepOrphans(known map[string]bool) error {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("prof: sweep ring dir: %w", err)
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || name == manifestName || !strings.HasSuffix(name, ".pb.gz") {
+			continue
+		}
+		if !known[name] {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+	return nil
+}
+
+// rewriteManifest atomically replaces the manifest with the current
+// entry list (temp file + rename), reopening the append handle if one
+// was live.
+func (s *Store) rewriteManifest() error {
+	var buf bytes.Buffer
+	for _, e := range s.entries {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("prof: marshal manifest entry: %w", err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	tmp := s.manifestPath() + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("prof: rewrite manifest: %w", err)
+	}
+	if err := os.Rename(tmp, s.manifestPath()); err != nil {
+		return fmt.Errorf("prof: rewrite manifest: %w", err)
+	}
+	if s.f != nil {
+		s.f.Close()
+		f, err := os.OpenFile(s.manifestPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("prof: reopen manifest: %w", err)
+		}
+		s.f = f
+	}
+	return nil
+}
+
+// Append writes one capture into the ring: the profile bytes to
+// <kind>-<seq>.pb.gz, then the manifest line (append + sync), then any
+// retention eviction. Returns the completed entry.
+func (s *Store) Append(kind, trigger, slo string, captureDur time.Duration, data []byte) (Entry, error) {
+	if s == nil {
+		return Entry{}, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := Entry{
+		Seq:       s.seq,
+		Kind:      kind,
+		File:      fmt.Sprintf("%s-%06d.pb.gz", kind, s.seq),
+		Time:      time.Now().UTC(),
+		Trigger:   trigger,
+		SLO:       slo,
+		Bytes:     int64(len(data)),
+		CaptureMS: captureDur.Milliseconds(),
+	}
+	if err := os.WriteFile(e.Path(s.dir), data, 0o644); err != nil {
+		return Entry{}, fmt.Errorf("prof: write capture: %w", err)
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return Entry{}, fmt.Errorf("prof: marshal entry: %w", err)
+	}
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		return Entry{}, fmt.Errorf("prof: append manifest: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return Entry{}, fmt.Errorf("prof: sync manifest: %w", err)
+	}
+	s.seq++
+	s.entries = append(s.entries, e)
+	s.bytes += e.Bytes
+	if s.captures != nil {
+		s.captures(kind, trigger).Inc()
+	}
+	s.capBytes.Add(e.Bytes)
+	if err := s.evict(); err != nil {
+		return Entry{}, err
+	}
+	s.storeBytes.Set(s.bytes)
+	return e, nil
+}
+
+// evict drops oldest captures until both retention bounds hold.
+// Called with s.mu held.
+func (s *Store) evict() error {
+	n := 0
+	for len(s.entries)-n > s.max || (n < len(s.entries) && s.bytes > s.cap) {
+		victim := s.entries[n]
+		os.Remove(victim.Path(s.dir))
+		s.bytes -= victim.Bytes
+		n++
+		s.evictions.Inc()
+	}
+	if n == 0 {
+		return nil
+	}
+	s.entries = append([]Entry(nil), s.entries[n:]...)
+	return s.rewriteManifest()
+}
+
+// Entries returns a copy of the current manifest, oldest first.
+func (s *Store) Entries() []Entry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Entry(nil), s.entries...)
+}
+
+// Dir returns the ring directory ("" for a nil store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Close flushes and closes the manifest handle.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// ReadManifest loads the manifest of a ring directory read-only (no
+// repair, no orphan sweep) for offline analysis, oldest first.
+func ReadManifest(dir string) ([]Entry, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue // torn tail or corrupt line
+		}
+		out = append(out, e)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}

@@ -26,12 +26,18 @@ func RegisterRuntimeMetrics(reg *Registry) {
 	reg.Help("go_heap_sys_bytes", "Heap bytes obtained from the OS.")
 	reg.Help("go_gc_cycles_total", "Completed GC cycles.")
 	reg.Help("go_gc_pause_seconds", "Stop-the-world GC pause durations.")
+	reg.Help("runtime_gc_cpu_fraction_ppm", "Fraction of available CPU spent in GC since process start, in parts per million.")
+	reg.Help("runtime_num_cgo_calls", "Cgo calls made by the process so far.")
 	var (
 		goroutines = reg.Gauge("go_goroutines")
 		heapAlloc  = reg.Gauge("go_heap_alloc_bytes")
 		heapSys    = reg.Gauge("go_heap_sys_bytes")
 		gcCycles   = reg.Counter("go_gc_cycles_total")
 		gcPause    = reg.Histogram("go_gc_pause_seconds", GCPauseBuckets)
+		// Gauges are int64, so the [0,1] GC CPU fraction is exported in
+		// parts per million — 2% of CPU in GC reads as 20000.
+		gcCPUFrac = reg.Gauge("runtime_gc_cpu_fraction_ppm")
+		cgoCalls  = reg.Gauge("runtime_num_cgo_calls")
 	)
 	var mu sync.Mutex // snapshots of one registry can race; the cursor must not
 	var seenGC uint32
@@ -58,5 +64,7 @@ func RegisterRuntimeMetrics(reg *Registry) {
 			gcCycles.Add(int64(ms.NumGC - seenGC))
 			seenGC = ms.NumGC
 		}
+		gcCPUFrac.Set(int64(ms.GCCPUFraction * 1e6))
+		cgoCalls.Set(runtime.NumCgoCall())
 	})
 }

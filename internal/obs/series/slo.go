@@ -402,6 +402,7 @@ type Engine struct {
 	mu          sync.Mutex
 	cur         []Status
 	transitions []Transition
+	onTrans     []func(Transition)
 
 	gState []*obs.Gauge
 	gBurn  []*obs.Gauge
@@ -435,6 +436,43 @@ func (e *Engine) Objectives() []Objective {
 	return e.objs
 }
 
+// OnTransition registers fn to run after every recorded state change —
+// the hook the continuous profiler uses to fire an anomaly capture the
+// moment an objective pages. Callbacks run outside the engine's lock,
+// after the Eval pass that produced them, in registration order; they
+// must not block for long (they run on the collector's sample tick).
+// Nil engine or fn is a no-op.
+func (e *Engine) OnTransition(fn func(Transition)) {
+	if e == nil || fn == nil {
+		return
+	}
+	e.mu.Lock()
+	e.onTrans = append(e.onTrans, fn)
+	e.mu.Unlock()
+}
+
+// StateSummary renders the engine's worst current objective state for
+// capture manifests: "OK" when everything is healthy, else the worst
+// severity and the name of the first objective at it, e.g.
+// "PAGE:availability". A nil engine reports "".
+func (e *Engine) StateSummary() string {
+	if e == nil {
+		return ""
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	worst, name := StateOK, ""
+	for _, st := range e.cur {
+		if st.State > worst {
+			worst, name = st.State, st.Name
+		}
+	}
+	if worst == StateOK {
+		return "OK"
+	}
+	return worst.String() + ":" + name
+}
+
 // Eval evaluates every objective at now. Meant to be registered via
 // Collector.OnSample so evaluation follows each fresh sample.
 func (e *Engine) Eval(now time.Time) {
@@ -442,24 +480,35 @@ func (e *Engine) Eval(now time.Time) {
 		return
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	var fired []Transition
 	for i, o := range e.objs {
 		st := Evaluate(e.src, o, now)
 		if prev := e.cur[i]; prev.State != st.State && !prev.Time.IsZero() {
-			e.transitions = append(e.transitions, Transition{
+			tr := Transition{
 				Time: now, Name: o.Name,
 				From: prev.State, To: st.State,
 				FromS: prev.State.String(), ToS: st.State.String(),
 				Burn: st.BurnLong,
-			})
+			}
+			e.transitions = append(e.transitions, tr)
 			if len(e.transitions) > maxTransitions {
 				e.transitions = e.transitions[len(e.transitions)-maxTransitions:]
 			}
+			fired = append(fired, tr)
 		}
 		e.cur[i] = st
 		e.gState[i].Set(int64(st.State))
 		e.gBurn[i].Set(int64(math.Round(st.BurnLong * 1000)))
 		e.gSLI[i].Set(int64(math.Round(st.SLI * 1e6)))
+	}
+	callbacks := e.onTrans
+	e.mu.Unlock()
+	// Outside the lock: a callback may call back into the engine (e.g.
+	// StateSummary from a capture trigger) without deadlocking.
+	for _, tr := range fired {
+		for _, fn := range callbacks {
+			fn(tr)
+		}
 	}
 }
 

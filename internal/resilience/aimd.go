@@ -31,6 +31,11 @@ type AIMDOptions struct {
 	// single burst of rejections — N workers all seeing the same squeeze —
 	// counts as one congestion event, not N collapses to Min.
 	Cooldown time.Duration
+	// OnDecrease, when non-nil, runs after each multiplicative cut with
+	// the new limit — outside the gate's lock, so it may call back into
+	// the gate. The continuous profiler hooks this to capture the moment
+	// the fleet collapses toward Min.
+	OnDecrease func(limit int)
 }
 
 func (o AIMDOptions) minLimit() int {
@@ -161,6 +166,7 @@ func (g *AIMD) RecordOverload() {
 		return
 	}
 	g.mu.Lock()
+	cut, limit := false, 0
 	now := time.Now()
 	if now.Sub(g.lastCut) >= g.opts.cooldown() {
 		g.lastCut = now
@@ -172,8 +178,12 @@ func (g *AIMD) RecordOverload() {
 		g.decreases++
 		g.gLimit.Set(int64(g.limit))
 		g.cDecreases.Inc()
+		cut, limit = true, g.limit
 	}
 	g.mu.Unlock()
+	if cut && g.opts.OnDecrease != nil {
+		g.opts.OnDecrease(limit)
+	}
 }
 
 // Limit reports the current concurrency limit (0 for nil).
