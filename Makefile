@@ -8,7 +8,7 @@ GO ?= go
 # the rule set). It is never downloaded — no network access is required.
 STATICCHECK_VERSION ?= 2024.1
 
-.PHONY: all check help build vet test race staticcheck hygiene chaos brownout trace-demo dash-demo prof-demo bench bench-hotpath bench-analysis ablations fuzz fuzz-short verify examples report clean
+.PHONY: all check help build vet test race staticcheck hygiene chaos brownout trace-demo dash-demo prof-demo bench bench-hotpath bench-analysis bench-storage paperscale ablations fuzz fuzz-short verify examples report clean
 
 # Default check path: the tier-1 verify (build + test) plus vet and the
 # race suite over the concurrent packages.
@@ -34,6 +34,8 @@ help:
 	@echo "make bench          one benchmark per table/figure"
 	@echo "make bench-hotpath  serving/crawling hot paths -> BENCH_hotpath.json"
 	@echo "make bench-analysis graph analytics at P=1/4/8/NumCPU -> BENCH_analysis.json"
+	@echo "make bench-storage  out-of-core CSR: segment/compact/load/scan -> BENCH_storage.json"
+	@echo "make paperscale     10M-node/200M-edge out-of-core acceptance run (slow; merges RSS rows into BENCH_storage.json)"
 	@echo "make ablations      design-choice ablation experiments"
 	@echo "make fuzz           long fuzz of every parser (30s each)"
 	@echo "make verify         generate a dataset and audit it against the paper"
@@ -50,7 +52,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/obs/prof/ ./internal/obs/series/ ./internal/crawler/ ./internal/gplusd/ ./internal/graph/ ./internal/resilience/
+	$(GO) test -race ./internal/obs/ ./internal/obs/prof/ ./internal/obs/series/ ./internal/crawler/ ./internal/dataset/ ./internal/gplusd/ ./internal/graph/ ./internal/graph/diskcsr/ ./internal/resilience/
 
 # The metrics-hygiene gate: every family either registry exposes after a
 # faulted crawl must match the Prometheus naming grammar and carry a
@@ -132,6 +134,29 @@ bench-analysis:
 	$(GO) test -run '^$$' -bench 'BenchmarkAnalysis' -benchmem -benchtime=1x -count=1 -timeout 30m ./internal/graph \
 	    | $(GO) run ./cmd/benchjson -out BENCH_analysis.json
 
+# The out-of-core storage suite: segment ingest, k-way compaction, v2
+# encode, load (materialize vs verified mmap vs unverified mmap), and
+# the two kernel access patterns (sequential sweep, random row probes)
+# over both backends, recorded as a JSON baseline future PRs can diff
+# against. `make paperscale` later merges its rows into the same file
+# without disturbing these.
+bench-storage:
+	$(GO) test -run '^$$' -bench 'BenchmarkStorage' -benchmem -benchtime=1x -count=1 -timeout 30m ./internal/graph/diskcsr \
+	    | $(GO) run ./cmd/benchjson -out BENCH_storage.json
+
+# The paper-scale acceptance run for the out-of-core pipeline: stream a
+# >=10M-node/>=200M-edge synthetic edge list into sorted segments,
+# compact them into one CSR v2 file, run degrees/WCC/triangles over the
+# memory-mapped form, then materialize and require byte-identical
+# results in RAM. Stage timings and peak-RSS checkpoints are merged
+# into BENCH_storage.json as PaperScale/* rows. Needs a few GB of disk
+# in GPLUS_PAPERSCALE_DIR (default /tmp) and tens of minutes.
+paperscale:
+	GPLUS_PAPERSCALE=1 GPLUS_PAPERSCALE_DIR=/tmp/gplus-paperscale \
+	    GPLUS_BENCH_OUT=$(CURDIR)/BENCH_storage.json \
+	    $(GO) test -count=1 -run TestPaperScale -v -timeout 120m ./internal/graph/diskcsr/
+	rm -rf /tmp/gplus-paperscale
+
 # Design-choice ablations and the methodology/future-work experiments.
 ablations:
 	$(GO) test -bench='Ablation|SamplingBias|SeedSensitivity|Growth|Stream|Recommendation' -benchtime=1x .
@@ -140,6 +165,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseProfileHTML -fuzztime=30s ./internal/gplusapi/
 	$(GO) test -fuzz=FuzzToProfile -fuzztime=30s ./internal/gplusapi/
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/graph/
+	$(GO) test -fuzz=FuzzOpenV2 -fuzztime=30s ./internal/graph/diskcsr/
 	$(GO) test -fuzz=FuzzReadResult -fuzztime=30s ./internal/crawler/
 	$(GO) test -fuzz=FuzzParseFaultSpec -fuzztime=30s ./internal/gplusd/
 
@@ -168,4 +194,4 @@ report:
 	$(GO) run ./cmd/gplusanalyze -data /tmp/gplus-report-data -format md
 
 clean:
-	rm -rf /tmp/gplus-verify-data /tmp/gplus-report-data /tmp/gplus-prof-demo
+	rm -rf /tmp/gplus-verify-data /tmp/gplus-report-data /tmp/gplus-prof-demo /tmp/gplus-paperscale

@@ -68,6 +68,7 @@ import (
 	"gplus/internal/crawler"
 	"gplus/internal/dataset"
 	"gplus/internal/gplusapi"
+	"gplus/internal/graph/diskcsr"
 	"gplus/internal/obs"
 	"gplus/internal/obs/prof"
 	"gplus/internal/obs/series"
@@ -105,6 +106,7 @@ func main() {
 		flushEvery  = flag.Duration("flush-interval", time.Second, "journal flush+fsync interval (bounds what a crash can lose)")
 		scrapeHTML  = flag.Bool("html", false, "scrape HTML profile pages instead of the JSON API")
 		compress    = flag.Bool("compress", false, "gzip the dataset's profile column")
+		segmentDir  = flag.String("segment-dir", "", "stream observed edges to sorted on-disk segments in this directory instead of RAM, then compact them into a memory-mapped v2 graph at save time — bounds crawl RSS by the frontier, not the edge count (the dir must be fresh; resume replays the journal through it)")
 		abortErrs   = flag.Int("abort-errors", 0, "stop after this many permanent fetch failures (0 = never)")
 		politeness  = flag.Duration("politeness", 0, "pause between requests per worker (e.g. 50ms)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof/ and /debug/traces on this address while crawling (empty disables)")
@@ -389,6 +391,27 @@ func main() {
 		collector.OnSample(dash.Frame)
 	}
 
+	// Out-of-core edge collection: workers stream every observed edge
+	// into sorted disk segments; the in-RAM edge list is never built.
+	var sink *dataset.SegmentSink
+	var diskMet *diskcsr.Metrics
+	if *segmentDir != "" {
+		if reg != nil {
+			diskMet = diskcsr.NewMetrics(reg)
+		}
+		var serr error
+		sink, serr = dataset.NewSegmentSink(*segmentDir, 0, diskMet)
+		if serr != nil {
+			log.Fatalf("opening -segment-dir: %v", serr)
+		}
+		log.Printf("streaming edges to segments -> %s (compacted into %s at save)", *segmentDir, filepath.Join(*out, "graph.v2"))
+	}
+	// A typed-nil *SegmentSink must not become a non-nil interface.
+	var edgeSink crawler.EdgeSink
+	if sink != nil {
+		edgeSink = sink
+	}
+
 	var resCfg *crawler.ResilienceConfig
 	if *resilient {
 		resCfg = &crawler.ResilienceConfig{
@@ -432,6 +455,7 @@ func main() {
 		},
 		Tracer:     tracer,
 		Resilience: resCfg,
+		EdgeSink:   edgeSink,
 	})
 	profC.Stop()
 	if cerr := jrnl.Close(); cerr != nil {
@@ -475,13 +499,28 @@ func main() {
 		log.Printf("wrote checkpoint -> %s", *checkpoint)
 	}
 
-	ds := dataset.FromCrawl(res)
-	save := ds.Save
-	if *compress {
-		save = ds.SaveCompressed
+	var ds *dataset.Dataset
+	if sink != nil {
+		// Compact the on-disk segments straight into <out>/graph.v2 and
+		// open the result memory-mapped: the full edge list never exists
+		// in this process's RAM.
+		build := dataset.FromCrawlSegments
+		if *compress {
+			build = dataset.FromCrawlSegmentsCompressed
+		}
+		if ds, err = build(res, sink, *out, diskMet); err != nil {
+			log.Fatalf("compacting segment dataset: %v", err)
+		}
+		defer ds.Close()
+	} else {
+		ds = dataset.FromCrawl(res)
+		save := ds.Save
+		if *compress {
+			save = ds.SaveCompressed
+		}
+		if err := save(*out); err != nil {
+			log.Fatalf("saving dataset: %v", err)
+		}
 	}
-	if err := save(*out); err != nil {
-		log.Fatalf("saving dataset: %v", err)
-	}
-	log.Printf("wrote dataset: %d users, %d edges -> %s", ds.NumUsers(), ds.Graph.NumEdges(), *out)
+	log.Printf("wrote dataset: %d users, %d edges -> %s", ds.NumUsers(), ds.View().NumEdges(), *out)
 }

@@ -129,7 +129,7 @@ func (s *Study) TopOccupationsByCountry(k int) []CountryOccupations {
 		if !p.HasLocation() || !want[p.CountryCode] {
 			return
 		}
-		perCountry[p.CountryCode] = append(perCountry[p.CountryCode], ranked{node, s.ds.Graph.InDegree(node)})
+		perCountry[p.CountryCode] = append(perCountry[p.CountryCode], ranked{node, s.g.InDegree(node)})
 	})
 
 	rows := make([]CountryOccupations, 0, len(paperTop10))
@@ -190,7 +190,7 @@ func (s *Study) CountryStructures() []CountryStructure {
 	})
 	out := make([]CountryStructure, 0, len(paperTop10))
 	for i, c := range paperTop10 {
-		sub, _ := graph.Induced(s.ds.Graph, byCountry[c])
+		sub, _ := graph.Induced(s.g, byCountry[c])
 		cs := CountryStructure{
 			Country:     c,
 			Users:       sub.NumNodes(),
@@ -231,13 +231,13 @@ func (s *Study) PathMiles() PathMileResult {
 	friends := stats.NewReservoir[[2]graph.NodeID](s.opts.PairSample, rng)
 	reciprocal := stats.NewReservoir[[2]graph.NodeID](s.opts.PairSample, rng)
 	for _, u := range located {
-		for _, v := range s.ds.Graph.Out(u) {
+		for _, v := range s.g.Out(u) {
 			if !isLocated[v] {
 				continue
 			}
 			pair := [2]graph.NodeID{u, v}
 			friends.Add(pair)
-			if s.ds.Graph.HasEdge(v, u) {
+			if graph.HasArc(s.g, v, u) {
 				reciprocal.Add(pair)
 			}
 		}
@@ -260,7 +260,7 @@ func (s *Study) PathMiles() PathMileResult {
 		for attempts := 0; len(res.Random) < s.opts.PairSample && attempts < 20*s.opts.PairSample; attempts++ {
 			u := located[rng.IntN(len(located))]
 			v := located[rng.IntN(len(located))]
-			if u == v || s.ds.Graph.HasEdge(u, v) || s.ds.Graph.HasEdge(v, u) {
+			if u == v || graph.HasArc(s.g, u, v) || graph.HasArc(s.g, v, u) {
 				continue
 			}
 			res.Random = append(res.Random, dist([2]graph.NodeID{u, v}))
@@ -301,7 +301,7 @@ func (s *Study) AveragePathMiles() []CountryPathMile {
 		if !ok {
 			return
 		}
-		for _, v := range s.ds.Graph.Out(u) {
+		for _, v := range s.g.Out(u) {
 			if !isLocated[v] {
 				continue
 			}
@@ -384,7 +384,7 @@ func (s *Study) CountryLinks() CountryLinkMatrix {
 		if cu < 0 {
 			continue
 		}
-		for _, v := range s.ds.Graph.Out(graph.NodeID(u)) {
+		for _, v := range s.g.Out(graph.NodeID(u)) {
 			cv := countryOf[v]
 			if cv < 0 {
 				continue

@@ -20,7 +20,7 @@ type TopUser struct {
 // occupation (the paper could always crawl its top users, and so can the
 // crawler here, but budget-truncated datasets may not have).
 func (s *Study) TopUsers(k int) []TopUser {
-	top := graph.TopByInDegree(s.ds.Graph, k, s.opts.Parallelism)
+	top := graph.TopByInDegree(s.g, k, s.opts.Parallelism)
 	rows := make([]TopUser, len(top))
 	for i, node := range top {
 		rows[i] = TopUser{
@@ -28,7 +28,7 @@ func (s *Study) TopUsers(k int) []TopUser {
 			ID:         s.ds.IDs[node],
 			Name:       s.ds.Profiles[node].Name,
 			Occupation: s.ds.Profiles[node].Occupation,
-			InDegree:   s.ds.Graph.InDegree(node),
+			InDegree:   s.g.InDegree(node),
 		}
 	}
 	return rows

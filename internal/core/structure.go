@@ -37,8 +37,8 @@ func (s *Study) Degrees() (DegreeDistributions, error) {
 func (s *Study) degrees(ctx context.Context) (DegreeDistributions, error) {
 	_, finish := s.stage(ctx, "degrees")
 	defer finish()
-	inDegs := graph.InDegrees(s.ds.Graph, s.opts.Parallelism)
-	outDegs := graph.OutDegrees(s.ds.Graph, s.opts.Parallelism)
+	inDegs := graph.InDegrees(s.g, s.opts.Parallelism)
+	outDegs := graph.OutDegrees(s.g, s.opts.Parallelism)
 	in := stats.CCDFInts(inDegs)
 	out := stats.CCDFInts(outDegs)
 	inFit, err := stats.FitPowerLawCCDF(in, 1)
@@ -80,7 +80,7 @@ func (s *Study) WCC() WCCResult {
 func (s *Study) wcc(ctx context.Context) WCCResult {
 	_, finish := s.stage(ctx, "wcc")
 	defer finish()
-	res := graph.WCC(s.ds.Graph, s.opts.Parallelism)
+	res := graph.WCC(s.g, s.opts.Parallelism)
 	return WCCResult{
 		Count:         res.Count,
 		GiantSize:     res.GiantSize(),
@@ -108,7 +108,7 @@ func (s *Study) Reciprocity() ReciprocityResult {
 func (s *Study) reciprocity(ctx context.Context) ReciprocityResult {
 	_, finish := s.stage(ctx, "reciprocity")
 	defer finish()
-	rrs := graph.AllReciprocities(s.ds.Graph, s.opts.Parallelism)
+	rrs := graph.AllReciprocities(s.g, s.opts.Parallelism)
 	over := 0
 	for _, r := range rrs {
 		if r > 0.6 {
@@ -117,7 +117,7 @@ func (s *Study) reciprocity(ctx context.Context) ReciprocityResult {
 	}
 	res := ReciprocityResult{
 		CDF:    stats.CDF(rrs),
-		Global: graph.GlobalReciprocity(s.ds.Graph, s.opts.Parallelism),
+		Global: graph.GlobalReciprocity(s.g, s.opts.Parallelism),
 	}
 	if len(rrs) > 0 {
 		res.FractionAbove06 = float64(over) / float64(len(rrs))
@@ -163,12 +163,12 @@ func (s *Study) clustering(ctx context.Context) ClusteringResult {
 	defer finish()
 	var res ClusteringResult
 	var coeffs []float64
-	if graph.WedgeCount(s.ds.Graph, s.opts.Parallelism) <= exactClusteringWedgeBudget {
-		coeffs = graph.AllClustering(s.ds.Graph, s.opts.Parallelism)
+	if graph.WedgeCount(s.g, s.opts.Parallelism) <= exactClusteringWedgeBudget {
+		coeffs = graph.AllClustering(s.g, s.opts.Parallelism)
 		res.Exact = true
-		res.ByDegree = graph.ClusteringByDegree(s.ds.Graph, s.opts.Parallelism)
+		res.ByDegree = graph.ClusteringByDegree(s.g, s.opts.Parallelism)
 	} else {
-		coeffs = graph.SampleClustering(s.ds.Graph, s.opts.ClusteringSample, s.rng(2), s.opts.Parallelism)
+		coeffs = graph.SampleClustering(s.g, s.opts.ClusteringSample, s.rng(2), s.opts.Parallelism)
 	}
 	res.CDF = stats.CDF(coeffs)
 	res.Sampled = len(coeffs)
@@ -212,8 +212,8 @@ func (s *Study) Motifs() (MotifResult, error) {
 func (s *Study) motifs(ctx context.Context) (MotifResult, error) {
 	_, finish := s.stage(ctx, "motifs")
 	defer finish()
-	tri := graph.Triangles(s.ds.Graph, graph.TriangleAuto, s.opts.Parallelism)
-	census := graph.Motifs(s.ds.Graph, s.opts.Parallelism)
+	tri := graph.Triangles(s.g, graph.TriangleAuto, s.opts.Parallelism)
+	census := graph.Motifs(s.g, s.opts.Parallelism)
 	if got := census.Triangles(); got != tri.Total {
 		return MotifResult{}, fmt.Errorf(
 			"motif census disagrees with triangle kernel %v: %d closed triads vs %d triangles",
@@ -250,7 +250,7 @@ func (s *Study) SCC() SCCResult {
 func (s *Study) scc(ctx context.Context) SCCResult {
 	_, finish := s.stage(ctx, "scc")
 	defer finish()
-	res := graph.SCCParallel(s.ds.Graph, s.opts.Parallelism)
+	res := graph.SCCParallel(s.g, s.opts.Parallelism)
 	sizes := make([]float64, len(res.Sizes))
 	for i, sz := range res.Sizes {
 		sizes[i] = float64(sz)
@@ -283,12 +283,12 @@ func (s *Study) PathLengths(ctx context.Context) PathLengthResult {
 		Rand:        s.rng(3),
 	}
 	res := PathLengthResult{
-		Directed: graph.SamplePathLengths(ctx, s.ds.Graph, graph.Directed, opt),
+		Directed: graph.SamplePathLengths(ctx, s.g, graph.Directed, opt),
 	}
 	opt.Rand = s.rng(4)
-	res.Undirected = graph.SamplePathLengths(ctx, s.ds.Graph, graph.Undirected, opt)
-	res.DiameterDirected = graph.DoubleSweepDiameter(s.ds.Graph, graph.Directed, s.opts.DiameterSweeps, s.rng(5))
-	res.DiameterUndirected = graph.DoubleSweepDiameter(s.ds.Graph, graph.Undirected, s.opts.DiameterSweeps, s.rng(6))
+	res.Undirected = graph.SamplePathLengths(ctx, s.g, graph.Undirected, opt)
+	res.DiameterDirected = graph.DoubleSweepDiameter(s.g, graph.Directed, s.opts.DiameterSweeps, s.rng(5))
+	res.DiameterUndirected = graph.DoubleSweepDiameter(s.g, graph.Undirected, s.opts.DiameterSweeps, s.rng(6))
 	return res
 }
 
@@ -306,7 +306,7 @@ type TopologyRow struct {
 
 // Topology computes the Google+ row of Table 4.
 func (s *Study) Topology(ctx context.Context) TopologyRow {
-	row := topologyOf(ctx, "Google+", s.ds.Graph, s.opts, s.rng(7), s.rng(8))
+	row := topologyOf(ctx, "Google+", s.g, s.opts, s.rng(7), s.rng(8))
 	if n := s.ds.NumUsers(); n > 0 {
 		row.CrawledPercent = 100 * float64(s.ds.NumCrawled()) / float64(n)
 	}
@@ -315,13 +315,13 @@ func (s *Study) Topology(ctx context.Context) TopologyRow {
 
 // BaselineTopology computes a Table 4 row for a comparison graph
 // produced by the synth baselines (or any other graph).
-func (s *Study) BaselineTopology(ctx context.Context, name string, g *graph.Graph) TopologyRow {
+func (s *Study) BaselineTopology(ctx context.Context, name string, g graph.View) TopologyRow {
 	row := topologyOf(ctx, name, g, s.opts, s.rng(9), s.rng(10))
 	row.CrawledPercent = 100
 	return row
 }
 
-func topologyOf(ctx context.Context, name string, g *graph.Graph, opts Options, pathRNG, diamRNG *rand.Rand) TopologyRow {
+func topologyOf(ctx context.Context, name string, g graph.View, opts Options, pathRNG, diamRNG *rand.Rand) TopologyRow {
 	dist := graph.SamplePathLengths(ctx, g, graph.Directed, graph.PathLengthOptions{
 		MinSources:  opts.PathSources / 4,
 		MaxSources:  opts.PathSources,
@@ -335,7 +335,7 @@ func topologyOf(ctx context.Context, name string, g *graph.Graph, opts Options, 
 		PathLength:  dist.Mean(),
 		Reciprocity: graph.GlobalReciprocity(g, opts.Parallelism),
 		Diameter:    graph.DoubleSweepDiameter(g, graph.Directed, opts.DiameterSweeps, diamRNG),
-		AvgDegree:   g.AvgDegree(),
+		AvgDegree:   graph.AvgDegree(g),
 	}
 }
 
@@ -439,9 +439,9 @@ func (s *Study) LostEdges(circleCap int) LostEdgeEstimate {
 		}
 		est.UsersOverCap++
 		est.DeclaredEdges += int64(declared)
-		est.FoundEdges += int64(s.ds.Graph.InDegree(node))
+		est.FoundEdges += int64(s.g.InDegree(node))
 	})
-	if total := s.ds.Graph.NumEdges(); total > 0 {
+	if total := s.g.NumEdges(); total > 0 {
 		est.LostFraction = float64(est.DeclaredEdges-est.FoundEdges) / float64(total)
 	}
 	return est

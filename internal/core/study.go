@@ -25,6 +25,11 @@ import (
 type Study struct {
 	ds   *dataset.Dataset
 	opts Options
+
+	// g is the dataset's graph read surface, cached once: the in-RAM
+	// *graph.Graph or the mmap-backed v2 view. Every analysis goes
+	// through it, so a Study never needs the concrete backend.
+	g graph.View
 }
 
 // Options tunes the sampled analyses.
@@ -82,7 +87,7 @@ func (o Options) withDefaults() Options {
 
 // New builds a Study over a dataset.
 func New(ds *dataset.Dataset, opts Options) *Study {
-	return &Study{ds: ds, opts: opts.withDefaults()}
+	return &Study{ds: ds, opts: opts.withDefaults(), g: ds.View()}
 }
 
 // Dataset returns the underlying dataset.

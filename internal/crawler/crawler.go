@@ -116,6 +116,16 @@ type Config struct {
 	// X-Gplus-Trace. nil disables tracing at the cost of a pointer check
 	// per span site.
 	Tracer *trace.Tracer
+	// EdgeSink, when non-nil, receives every observed edge live as circle
+	// pages stream in, instead of accumulating them in Result.Edges — the
+	// out-of-core path for crawls whose edge list would not fit in RAM
+	// (dataset.SegmentSink spools them into compactable disk segments).
+	// Under Config.Resume the carried-over edges are forwarded into the
+	// sink up front, so the sink alone holds the complete edge stream;
+	// duplicates between sessions collapse at compaction like any other
+	// re-observed edge. Implementations must be safe for concurrent use
+	// by all workers. A sink write error aborts the crawl.
+	EdgeSink EdgeSink
 	// Resilience arms the overload machinery: a shared retry budget and
 	// per-endpoint circuit breakers on every worker's client, an AIMD
 	// gate that adapts how many workers may fetch concurrently to
@@ -174,6 +184,15 @@ func (c *Config) withDefaults() (Config, error) {
 // Edge is one observed circle relationship: From added To to a circle.
 type Edge struct {
 	From, To string
+}
+
+// EdgeSink streams observed edges out of the crawl as they are seen.
+// ObserveEdge is called concurrently by every worker; implementations
+// synchronize internally. Returning an error stops the crawl: a sink
+// that cannot persist edges has already lost data, and limping on would
+// silently produce a graph with holes.
+type EdgeSink interface {
+	ObserveEdge(from, to string) error
 }
 
 // Stats summarizes a crawl.
@@ -285,6 +304,15 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 		// Surface the load-time torn-record count in live telemetry so the
 		// progress line reports what the resume dropped.
 		tel.torn.Add(int64(cfg.Resume.Stats.TornRecords))
+		if cfg.EdgeSink != nil {
+			// Forward the carried-over edges so the sink holds the complete
+			// stream; cross-session duplicates collapse at compaction.
+			for _, e := range cfg.Resume.Edges {
+				if err := cfg.EdgeSink.ObserveEdge(e.From, e.To); err != nil {
+					return nil, fmt.Errorf("crawler: forwarding resumed edges to sink: %w", err)
+				}
+			}
+		}
 	}
 	sched.offerBatch(cfg.Seeds)
 
@@ -345,14 +373,23 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 		Profiles:   make(map[string]profile.Profile),
 		Discovered: sched.discovered(),
 	}
+	var edgesSeen int64
 	if cfg.Resume != nil {
 		for id, p := range cfg.Resume.Profiles {
 			res.Profiles[id] = p
 		}
-		res.Edges = append(res.Edges, cfg.Resume.Edges...)
+		if cfg.EdgeSink == nil {
+			res.Edges = append(res.Edges, cfg.Resume.Edges...)
+		}
+		edgesSeen += int64(len(cfg.Resume.Edges))
 		res.Stats.ProfilesResumed = len(cfg.Resume.Profiles)
 	}
+	var sinkErr error
 	for _, w := range workers {
+		if w.sinkErr != nil && sinkErr == nil {
+			sinkErr = w.sinkErr
+		}
+		edgesSeen += w.edgesSeen
 		for id, p := range w.profiles {
 			res.Profiles[id] = p
 		}
@@ -366,12 +403,15 @@ func Crawl(ctx context.Context, cfg Config) (*Result, error) {
 		res.Stats.ProfileErrors += w.profileErrs
 		res.Stats.CircleErrors += w.circleErrs
 	}
-	res.Stats.EdgesObserved = int64(len(res.Edges))
+	res.Stats.EdgesObserved = edgesSeen
 	res.Stats.Discovered = len(res.Discovered)
 	res.Stats.Requeued = sched.requeueTotal()
 	res.Stats.Duration = time.Since(start)
 	if ctx.Err() != nil {
 		return res, ctx.Err()
+	}
+	if sinkErr != nil {
+		return res, fmt.Errorf("crawler: edge sink failed (streamed graph is incomplete): %w", sinkErr)
 	}
 	if total := res.Stats.ProfileErrors + res.Stats.CircleErrors; cfg.AbortAfterErrors > 0 && total >= cfg.AbortAfterErrors {
 		return res, fmt.Errorf("%w: %d failures (%d profile, %d circle)",
@@ -389,7 +429,9 @@ type worker struct {
 	requeue     bool             // return overloaded ids to the frontier
 	client      *gplusapi.Client
 	profiles    map[string]profile.Profile
-	edges       []Edge
+	edges       []Edge // accumulated only when cfg.EdgeSink is nil
+	edgesSeen   int64
+	sinkErr     error // first EdgeSink failure; set at most once
 	pages       int64
 	profileErrs int
 	circleErrs  int
@@ -591,10 +633,23 @@ func (w *worker) fetchCircle(ctx context.Context, id string, dir gplusapi.Circle
 			w.tel.pages.Inc()
 			w.tel.edges.Add(int64(len(page.IDs)))
 			for _, other := range page.IDs {
-				if dir == gplusapi.CircleOut {
-					w.edges = append(w.edges, Edge{From: id, To: other})
+				e := Edge{From: id, To: other}
+				if dir == gplusapi.CircleIn {
+					e = Edge{From: other, To: id}
+				}
+				w.edgesSeen++
+				if sink := w.cfg.EdgeSink; sink != nil {
+					if w.sinkErr == nil {
+						if serr := sink.ObserveEdge(e.From, e.To); serr != nil {
+							// A sink that cannot persist edges has already
+							// dropped part of the graph; close the crawl
+							// rather than widen the hole.
+							w.sinkErr = serr
+							w.sched.abort()
+						}
+					}
 				} else {
-					w.edges = append(w.edges, Edge{From: other, To: id})
+					w.edges = append(w.edges, e)
 				}
 			}
 			// One frontier lock round-trip per page, not one per edge. The

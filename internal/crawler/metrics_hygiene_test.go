@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"gplus/internal/gplusd"
+	"gplus/internal/graph"
+	"gplus/internal/graph/diskcsr"
 	"gplus/internal/obs"
 	"gplus/internal/obs/prof"
 	"gplus/internal/obs/series"
@@ -74,6 +76,33 @@ func TestMetricsHygiene(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// The out-of-core storage path registers its diskcsr_* family on the
+	// same client registry a segment-streaming crawl would use; exercise
+	// a tiny segment->compact->mmap cycle so every family carries samples.
+	dm := diskcsr.NewMetrics(creg)
+	segDir := t.TempDir()
+	w, err := diskcsr.NewWriter(segDir, 4, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}, {0, 2}, {2, 1}} {
+		if err := w.Add(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v2 := t.TempDir() + "/graph.v2"
+	if _, err := diskcsr.Compact(segDir, v2, diskcsr.CompactOptions{Metrics: dm}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := diskcsr.Open(v2, diskcsr.Options{Metrics: dm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
 
 	checkExposition(t, "gplusd", sreg)
 	checkExposition(t, "crawl", creg)

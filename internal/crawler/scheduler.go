@@ -76,6 +76,16 @@ func (s *scheduler) recordErrors(n int) {
 	}
 }
 
+// abort closes the crawl immediately — the path for fatal local
+// failures (an edge sink that can no longer persist what the workers
+// collect), where continuing to fetch would only widen the data loss.
+func (s *scheduler) abort() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
 func newScheduler(budget int) *scheduler {
 	s := &scheduler{
 		seen:   make(map[string]bool),

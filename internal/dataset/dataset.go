@@ -5,6 +5,7 @@ package dataset
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"gplus/internal/crawler"
@@ -23,11 +24,42 @@ type Dataset struct {
 	IDs      []string
 	Crawled  []bool
 
+	// view, when non-nil, is the graph behind an alternate backend (the
+	// mmap-backed v2 form); Graph may then be nil. Access through View().
+	view graph.View
+	// closer releases the view's resources (the mmap); nil for in-RAM
+	// datasets, where Close is a no-op.
+	closer io.Closer
+
 	index map[string]graph.NodeID
+}
+
+// Close releases the dataset's graph mapping, if any. Datasets loaded
+// fully into RAM have nothing to release and Close returns nil. The
+// graph must not be used after Close.
+func (d *Dataset) Close() error {
+	if d.closer == nil {
+		return nil
+	}
+	c := d.closer
+	d.closer = nil
+	return c.Close()
 }
 
 // NumUsers returns the number of discovered users (graph nodes).
 func (d *Dataset) NumUsers() int { return len(d.IDs) }
+
+// View returns the graph as the read surface the analysis kernels are
+// written against: the memory-mapped backend when the dataset was
+// opened with Options.Mapped, the in-RAM Graph otherwise. Callers that
+// only traverse should prefer this over the Graph field — code written
+// against View runs over either backend unchanged.
+func (d *Dataset) View() graph.View {
+	if d.view != nil {
+		return d.view
+	}
+	return d.Graph
+}
 
 // NumCrawled returns how many users have fetched profiles.
 func (d *Dataset) NumCrawled() int {
@@ -61,10 +93,15 @@ func (d *Dataset) Validate() error {
 		return fmt.Errorf("dataset: column lengths differ: %d ids, %d profiles, %d crawled flags",
 			n, len(d.Profiles), len(d.Crawled))
 	}
-	if d.Graph.NumNodes() != n {
-		return fmt.Errorf("dataset: graph has %d nodes for %d users", d.Graph.NumNodes(), n)
+	g := d.View()
+	if g.NumNodes() != n {
+		return fmt.Errorf("dataset: graph has %d nodes for %d users", g.NumNodes(), n)
 	}
-	return d.Graph.Validate()
+	if d.Graph != nil {
+		return d.Graph.Validate()
+	}
+	// A mapped view was already fully verified by its decoder on open.
+	return nil
 }
 
 // FromCrawl builds a dataset from raw crawl output. Node ids are

@@ -11,18 +11,34 @@ import (
 
 	"gplus/internal/gplusapi"
 	"gplus/internal/graph"
+	"gplus/internal/graph/diskcsr"
 )
 
-// On-disk layout: <dir>/graph.bin (compact CSR) and <dir>/profiles.jsonl
-// (one JSON record per user in node-id order). The JSONL form keeps the
-// profile columns greppable and diffable; the graph stays binary because
-// edge lists dominate the size.
+// On-disk layout: <dir>/graph.bin (v1 compact CSR) or <dir>/graph.v2
+// (varint/delta-compressed CSR, openable via mmap without materializing
+// — see internal/graph/diskcsr), plus <dir>/profiles.jsonl (one JSON
+// record per user in node-id order). The JSONL form keeps the profile
+// columns greppable and diffable; the graph stays binary because edge
+// lists dominate the size. Load prefers the v2 graph when both exist;
+// Save/SaveV2 each remove the other graph form after committing theirs,
+// so a directory never carries two graphs that could drift apart.
 
 const (
 	graphFile      = "graph.bin"
+	graphV2File    = "graph.v2"
 	profilesFile   = "profiles.jsonl"
 	profilesGzFile = "profiles.jsonl.gz"
 )
+
+// Options controls how LoadWith opens a dataset.
+type Options struct {
+	// Mapped serves the graph straight from the memory-mapped v2 file
+	// instead of materializing it into RAM: analyses then fault in only
+	// the pages they touch, bounding resident memory far below the edge
+	// count. Requires a v2 graph (SaveV2 or FromCrawlSegments); a
+	// dataset holding only v1 graph.bin loads in RAM regardless.
+	Mapped bool
+}
 
 // userRecord is one line of profiles.jsonl.
 type userRecord struct {
@@ -42,6 +58,116 @@ func (d *Dataset) SaveCompressed(dir string) error {
 	return d.save(dir, true)
 }
 
+// SaveV2 writes the dataset with the graph in the v2 on-disk CSR form
+// (graph.v2: varint/delta-compressed adjacency with an O(1)-seek index)
+// instead of v1 graph.bin. A v2 graph is typically 2-4x smaller and can
+// be opened memory-mapped via LoadWith(dir, Options{Mapped: true}),
+// bounding analysis RSS by the pages actually touched. The graph is
+// streamed from the dataset's View, so saving a mapped dataset never
+// materializes it.
+func (d *Dataset) SaveV2(dir string) error {
+	return d.saveV2(dir, false)
+}
+
+// SaveV2Compressed is SaveV2 with a gzip-compressed profile column.
+func (d *Dataset) SaveV2Compressed(dir string) error {
+	return d.saveV2(dir, true)
+}
+
+func (d *Dataset) saveV2(dir string, compress bool) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := diskcsr.WriteGraph(filepath.Join(dir, graphV2File), d.View()); err != nil {
+		return fmt.Errorf("dataset: writing v2 graph: %w", err)
+	}
+	os.Remove(filepath.Join(dir, graphFile)) //nolint:errcheck — superseded form
+	return d.saveProfiles(dir, compress)
+}
+
+// saveProfilesAndV2Graph is FromCrawlSegments' save path: the graph
+// arrives by compacting segDir (through remap) rather than from a View.
+func (d *Dataset) saveProfilesAndV2Graph(dir, segDir string, remap []graph.NodeID, met *diskcsr.Metrics, compress bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	_, err := diskcsr.Compact(segDir, filepath.Join(dir, graphV2File), diskcsr.CompactOptions{
+		NumNodes: len(d.IDs),
+		Remap:    remap,
+		Metrics:  met,
+	})
+	if err != nil {
+		return fmt.Errorf("dataset: compacting segments: %w", err)
+	}
+	os.Remove(filepath.Join(dir, graphFile)) //nolint:errcheck — superseded form
+	return d.saveProfiles(dir, compress)
+}
+
+// saveStepHook, when non-nil, is invoked between the durability steps of
+// save with a label naming the step about to run. Returning an error
+// aborts the save at exactly that point — the test's stand-in for a
+// crash, since every step boundary is also an fsync boundary.
+var saveStepHook func(step string) error
+
+func stepHook(step string) error {
+	if saveStepHook != nil {
+		return saveStepHook(step)
+	}
+	return nil
+}
+
+// writeFileAtomic writes the output of write to dir/name via a temp
+// file: write, fsync, close, rename, fsync dir — the checkpoint
+// contract of internal/crawler. A crash at any point leaves either the
+// old file or the new one under the final name, never a torn mix, so a
+// failed re-save cannot destroy the only copy of a dataset.
+func writeFileAtomic(dir, name string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(dir, "."+name+"-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := stepHook(name + ":written"); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := stepHook(name + ":synced"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return stepHook(name + ":renamed")
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Errors are swallowed: some platforms cannot fsync directories, and the
+// rename is already atomic for every observer except a badly timed
+// power cut.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	d.Sync() //nolint:errcheck — best-effort durability, see above
+}
+
 func (d *Dataset) save(dir string, compress bool) error {
 	if err := d.Validate(); err != nil {
 		return err
@@ -49,42 +175,39 @@ func (d *Dataset) save(dir string, compress bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	gf, err := os.Create(filepath.Join(dir, graphFile))
+	err := writeFileAtomic(dir, graphFile, func(w io.Writer) error {
+		bw := bufio.NewWriterSize(w, 1<<16)
+		if err := graph.WriteBinary(bw, d.View()); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
 	if err != nil {
-		return err
-	}
-	defer gf.Close()
-	if err := graph.WriteBinary(gf, d.Graph); err != nil {
 		return fmt.Errorf("dataset: writing graph: %w", err)
 	}
-	if err := gf.Close(); err != nil {
-		return err
-	}
+	os.Remove(filepath.Join(dir, graphV2File)) //nolint:errcheck — superseded form
+	return d.saveProfiles(dir, compress)
+}
 
+func (d *Dataset) saveProfiles(dir string, compress bool) error {
 	name := profilesFile
 	if compress {
 		name = profilesGzFile
 	}
-	pf, err := os.Create(filepath.Join(dir, name))
+	err := writeFileAtomic(dir, name, func(w io.Writer) error {
+		if compress {
+			gz := gzip.NewWriter(w)
+			if err := d.writeProfiles(gz); err != nil {
+				return err
+			}
+			return gz.Close()
+		}
+		return d.writeProfiles(w)
+	})
 	if err != nil {
-		return err
-	}
-	defer pf.Close()
-	var w io.Writer = pf
-	var gz *gzip.Writer
-	if compress {
-		gz = gzip.NewWriter(pf)
-		w = gz
-	}
-	if err := d.writeProfiles(w); err != nil {
 		return fmt.Errorf("dataset: writing profiles: %w", err)
 	}
-	if gz != nil {
-		if err := gz.Close(); err != nil {
-			return err
-		}
-	}
-	return pf.Close()
+	return nil
 }
 
 func (d *Dataset) writeProfiles(w io.Writer) error {
@@ -102,18 +225,57 @@ func (d *Dataset) writeProfiles(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a dataset saved by Save.
+// Load reads a dataset saved by Save or SaveV2, materialized in RAM.
 func Load(dir string) (*Dataset, error) {
-	gf, err := os.Open(filepath.Join(dir, graphFile))
-	if err != nil {
+	return LoadWith(dir, Options{})
+}
+
+// LoadWith reads a dataset with explicit backend options. The v2 graph
+// form is preferred when present; with Options.Mapped it is served
+// memory-mapped and the caller must Close the returned dataset.
+func LoadWith(dir string, opt Options) (*Dataset, error) {
+	d := &Dataset{}
+	v2Path := filepath.Join(dir, graphV2File)
+	if _, err := os.Stat(v2Path); err == nil {
+		m, err := diskcsr.Open(v2Path, diskcsr.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("dataset: opening v2 graph: %w", err)
+		}
+		if opt.Mapped {
+			d.view = m
+			d.closer = m
+		} else {
+			d.Graph, err = m.Materialize()
+			m.Close() //nolint:errcheck — read-only mapping
+			if err != nil {
+				return nil, fmt.Errorf("dataset: materializing v2 graph: %w", err)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	} else {
+		gf, err := os.Open(filepath.Join(dir, graphFile))
+		if err != nil {
+			return nil, err
+		}
+		defer gf.Close()
+		if d.Graph, err = graph.ReadBinary(gf); err != nil {
+			return nil, fmt.Errorf("dataset: reading graph: %w", err)
+		}
+	}
+	if err := d.loadProfiles(dir); err != nil {
+		d.Close() //nolint:errcheck — unwinding a failed open
 		return nil, err
 	}
-	defer gf.Close()
-	g, err := graph.ReadBinary(gf)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: reading graph: %w", err)
+	d.buildIndex()
+	if err := d.Validate(); err != nil {
+		d.Close() //nolint:errcheck — unwinding a failed open
+		return nil, err
 	}
+	return d, nil
+}
 
+func (d *Dataset) loadProfiles(dir string) error {
 	// Prefer the plain form; fall back to the gzip form.
 	var profiles io.Reader
 	pf, err := os.Open(filepath.Join(dir, profilesFile))
@@ -123,28 +285,23 @@ func Load(dir string) (*Dataset, error) {
 	case os.IsNotExist(err):
 		pf, err = os.Open(filepath.Join(dir, profilesGzFile))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gz, err := gzip.NewReader(pf)
 		if err != nil {
 			pf.Close()
-			return nil, fmt.Errorf("dataset: opening compressed profiles: %w", err)
+			return fmt.Errorf("dataset: opening compressed profiles: %w", err)
 		}
 		defer gz.Close()
 		profiles = gz
 	default:
-		return nil, err
+		return err
 	}
 	defer pf.Close()
-	d := &Dataset{Graph: g}
 	if err := d.readProfiles(profiles); err != nil {
-		return nil, fmt.Errorf("dataset: reading profiles: %w", err)
+		return fmt.Errorf("dataset: reading profiles: %w", err)
 	}
-	d.buildIndex()
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	return d, nil
+	return nil
 }
 
 func (d *Dataset) readProfiles(r io.Reader) error {

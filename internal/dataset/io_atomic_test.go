@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"gplus/internal/graph"
+)
+
+// TestSaveSurvivesCrash kills a re-save at every durability step and
+// checks the directory still loads — each file is either fully the old
+// version or fully the new one, never a torn hybrid. Before save used
+// the temp-rename contract, the first write would truncate graph.bin in
+// place and a crash destroyed the only copy.
+func TestSaveSurvivesCrash(t *testing.T) {
+	_, res := fixtures(t)
+	orig := FromCrawl(res)
+	dir := t.TempDir()
+	if err := orig.Save(dir); err != nil {
+		t.Fatalf("initial save: %v", err)
+	}
+
+	// A second dataset over the same user roster (so any mix of old and
+	// new files still agrees on the node count) but a different graph
+	// and a flipped profile column.
+	mod := &Dataset{
+		IDs:      append([]string(nil), orig.IDs...),
+		Profiles: append(orig.Profiles[:0:0], orig.Profiles...),
+		Crawled:  append([]bool(nil), orig.Crawled...),
+	}
+	b := graph.NewBuilder(len(mod.IDs), len(mod.IDs))
+	for i := 0; i+1 < len(mod.IDs); i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	b.EnsureNode(graph.NodeID(len(mod.IDs) - 1))
+	mod.Graph = b.Build()
+	mod.Crawled[0] = !orig.Crawled[0]
+	mod.buildIndex()
+	if reflect.DeepEqual(mod.Graph, orig.Graph) {
+		t.Fatal("test needs the re-saved graph to differ")
+	}
+
+	boom := errors.New("simulated crash")
+	steps := []string{
+		"graph.bin:written",
+		"graph.bin:synced",
+		"graph.bin:renamed",
+		"profiles.jsonl:written",
+		"profiles.jsonl:synced",
+	}
+	for _, step := range steps {
+		t.Run(step, func(t *testing.T) {
+			saveStepHook = func(s string) error {
+				if s == step {
+					return boom
+				}
+				return nil
+			}
+			defer func() { saveStepHook = nil }()
+			if err := mod.Save(dir); !errors.Is(err, boom) {
+				t.Fatalf("save did not surface the crash: %v", err)
+			}
+			saveStepHook = nil
+
+			got, err := Load(dir)
+			if err != nil {
+				t.Fatalf("dataset unloadable after crash at %q: %v", step, err)
+			}
+			graphIsOld := reflect.DeepEqual(got.Graph, orig.Graph)
+			graphIsNew := reflect.DeepEqual(got.Graph, mod.Graph)
+			if !graphIsOld && !graphIsNew {
+				t.Fatal("graph.bin is neither the old nor the new graph")
+			}
+			profilesOld := got.Crawled[0] == orig.Crawled[0]
+			profilesNew := got.Crawled[0] == mod.Crawled[0]
+			if !profilesOld && !profilesNew {
+				t.Fatal("profiles are neither old nor new")
+			}
+			// The rename is the commit point: before graph.bin:renamed
+			// completes nothing may have changed, and the profile file
+			// can never commit before the graph's rename step.
+			if step == "graph.bin:written" || step == "graph.bin:synced" {
+				if !graphIsOld || !profilesOld {
+					t.Fatalf("crash at %q leaked partial state", step)
+				}
+			}
+			if !profilesOld && graphIsOld {
+				t.Fatal("profiles committed before the graph did")
+			}
+		})
+	}
+
+	// With the hook gone the save completes and the new data lands.
+	if err := mod.Save(dir); err != nil {
+		t.Fatalf("final save: %v", err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Graph, mod.Graph) || got.Crawled[0] != mod.Crawled[0] {
+		t.Fatal("completed save did not persist the new dataset")
+	}
+}

@@ -29,7 +29,7 @@ func (d Direction) String() string {
 // BFSDistances returns the hop distance from src to every node, or -1 for
 // unreachable nodes. The dist slice may be passed in to avoid allocation;
 // if it is nil or too short a new slice is allocated.
-func BFSDistances(g *Graph, src NodeID, dir Direction, dist []int32) []int32 {
+func BFSDistances(g View, src NodeID, dir Direction, dist []int32) []int32 {
 	n := g.NumNodes()
 	if cap(dist) < n {
 		dist = make([]int32, n)
@@ -170,7 +170,7 @@ func (o *PathLengthOptions) setDefaults() {
 // (returning the estimate so far). The result is independent of
 // Parallelism: sources are drawn up-front in a fixed order and per-batch
 // histograms merge by summation.
-func SamplePathLengths(ctx context.Context, g *Graph, dir Direction, opt PathLengthOptions) *PathLengthDist {
+func SamplePathLengths(ctx context.Context, g View, dir Direction, opt PathLengthOptions) *PathLengthDist {
 	opt.setDefaults()
 	n := g.NumNodes()
 	res := &PathLengthDist{}
@@ -233,7 +233,7 @@ func SamplePathLengths(ctx context.Context, g *Graph, dir Direction, opt PathLen
 // Instead each source keeps its own histogram and only the longest
 // fully-completed prefix merges — completed work beyond the first gap is
 // discarded, exactly as if the serial scan had been cancelled there.
-func bfsBatch(ctx context.Context, g *Graph, dir Direction, sources []NodeID, scratch [][]int32) ([]int64, int) {
+func bfsBatch(ctx context.Context, g View, dir Direction, sources []NodeID, scratch [][]int32) ([]int64, int) {
 	workers := len(scratch)
 	if workers <= 1 || len(sources) < 2 {
 		return bfsBatchSeq(ctx, g, dir, sources, &scratch[0])
@@ -285,7 +285,7 @@ func bfsBatch(ctx context.Context, g *Graph, dir Direction, sources []NodeID, sc
 
 // bfsBatchSeq runs BFS from each source in order and returns the summed
 // histogram plus the number of sources it finished before cancellation.
-func bfsBatchSeq(ctx context.Context, g *Graph, dir Direction, sources []NodeID, dist *[]int32) ([]int64, int) {
+func bfsBatchSeq(ctx context.Context, g View, dir Direction, sources []NodeID, dist *[]int32) ([]int64, int) {
 	var counts []int64
 	for i, src := range sources {
 		if ctx.Err() != nil {
@@ -336,7 +336,7 @@ func linfDelta(a, b []float64) float64 {
 // runs backwards over in-edges, the standard directed variant, so that a
 // path ending at the far node is measured end to end. sweeps controls how
 // many restarts are tried from random nodes.
-func DoubleSweepDiameter(g *Graph, dir Direction, sweeps int, rng *rand.Rand) int {
+func DoubleSweepDiameter(g View, dir Direction, sweeps int, rng *rand.Rand) int {
 	n := g.NumNodes()
 	if n == 0 {
 		return 0
@@ -370,7 +370,7 @@ func DoubleSweepDiameter(g *Graph, dir Direction, sweeps int, rng *rand.Rand) in
 }
 
 // bfsReverse is BFSDistances over the transpose graph (in-edges).
-func bfsReverse(g *Graph, src NodeID, dist []int32) []int32 {
+func bfsReverse(g View, src NodeID, dist []int32) []int32 {
 	n := g.NumNodes()
 	if cap(dist) < n {
 		dist = make([]int32, n)

@@ -64,6 +64,11 @@ func (b *Builder) Build() *Graph {
 		}
 		kept = append(kept, e)
 	}
+	// Truncate the builder to the compacted list. Without this the
+	// dropped-duplicate tail stays live past Build: a reused builder
+	// would re-sort and re-emit the stale records alongside any new
+	// edges, and the capacity pinned by duplicates never shrinks.
+	b.edges = kept
 
 	n := b.n
 	g := &Graph{

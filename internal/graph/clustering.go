@@ -10,7 +10,7 @@ import (
 // divided by the maximum possible |OS(u)| * (|OS(u)|-1). It returns
 // (0, false) for nodes with fewer than two out-neighbors, which the paper
 // excludes from the analysis.
-func ClusteringCoefficient(g *Graph, u NodeID) (float64, bool) {
+func ClusteringCoefficient(g View, u NodeID) (float64, bool) {
 	k := g.OutDegree(u)
 	if k < 2 {
 		return 0, false
@@ -22,7 +22,7 @@ func ClusteringCoefficient(g *Graph, u NodeID) (float64, bool) {
 // directed edges among u's out-neighbors. Kept separate so exact
 // aggregations (per-degree curves, motif cross-checks) can sum the
 // numerators as integers instead of rounding floats back.
-func clusteringLinks(g *Graph, u NodeID) int {
+func clusteringLinks(g View, u NodeID) int {
 	out := g.Out(u)
 	links := 0
 	for _, v := range out {
@@ -118,7 +118,7 @@ func intersectSorted(a, b []NodeID, emit func(NodeID)) {
 // parallelism workers; the Fisher-Yates draw stays serial so the RNG
 // stream is consumed in a fixed order. For a fixed rng seed the result is
 // identical for any parallelism.
-func SampleClustering(g *Graph, sampleSize int, rng *rand.Rand, parallelism int) []float64 {
+func SampleClustering(g View, sampleSize int, rng *rand.Rand, parallelism int) []float64 {
 	if sampleSize < 0 {
 		return nil
 	}
@@ -165,8 +165,8 @@ func SampleClustering(g *Graph, sampleSize int, rng *rand.Rand, parallelism int)
 // degree-balanced and merge by concatenation, so the result is
 // identical for any parallelism. It equals SampleClustering(g, 0, nil,
 // parallelism) and exists as the named entry point of the exact path.
-func AllClustering(g *Graph, parallelism int) []float64 {
-	bounds := g.workBounds(parallelism)
+func AllClustering(g View, parallelism int) []float64 {
+	bounds := viewWorkBounds(g, parallelism)
 	parts := make([][]float64, len(bounds)-1)
 	runShards(bounds, func(shard, lo, hi int) {
 		var part []float64
@@ -195,9 +195,9 @@ type DegreeClustering struct {
 // nodes of that out-degree, ascending by k. Shards accumulate the
 // integer link numerators, which merge by exact sums, so the curve is
 // byte-identical for any parallelism.
-func ClusteringByDegree(g *Graph, parallelism int) []DegreeClustering {
+func ClusteringByDegree(g View, parallelism int) []DegreeClustering {
 	type acc struct{ links, n int64 }
-	bounds := g.workBounds(parallelism)
+	bounds := viewWorkBounds(g, parallelism)
 	parts := make([]map[int]acc, len(bounds)-1)
 	runShards(bounds, func(shard, lo, hi int) {
 		m := map[int]acc{}
@@ -243,7 +243,7 @@ func ClusteringByDegree(g *Graph, parallelism int) []DegreeClustering {
 // (d_out(u)−1) — the work upper bound of the exact clustering scan. The
 // study layer uses it to decide whether the exact path is affordable or
 // the paper's sampled estimate must stand in.
-func WedgeCount(g *Graph, parallelism int) int64 {
+func WedgeCount(g View, parallelism int) int64 {
 	bounds := uniformBounds(g.NumNodes(), parallelism)
 	parts := make([]int64, len(bounds)-1)
 	runShards(bounds, func(shard, lo, hi int) {
@@ -263,7 +263,7 @@ func WedgeCount(g *Graph, parallelism int) int64 {
 
 // GlobalClustering returns the mean clustering coefficient over a sample
 // (convenience for Table 4-style summaries).
-func GlobalClustering(g *Graph, sampleSize int, rng *rand.Rand, parallelism int) float64 {
+func GlobalClustering(g View, sampleSize int, rng *rand.Rand, parallelism int) float64 {
 	coeffs := SampleClustering(g, sampleSize, rng, parallelism)
 	if len(coeffs) == 0 {
 		return 0

@@ -3,7 +3,7 @@ package graph
 // InDegrees returns the in-degree of every node, computed over
 // parallelism workers on disjoint node ranges. The result is identical
 // for any parallelism.
-func InDegrees(g *Graph, parallelism int) []int {
+func InDegrees(g View, parallelism int) []int {
 	n := g.NumNodes()
 	out := make([]int, n)
 	runShards(uniformBounds(n, parallelism), func(_, lo, hi int) {
@@ -17,7 +17,7 @@ func InDegrees(g *Graph, parallelism int) []int {
 // OutDegrees returns the out-degree of every node, computed over
 // parallelism workers on disjoint node ranges. The result is identical
 // for any parallelism.
-func OutDegrees(g *Graph, parallelism int) []int {
+func OutDegrees(g View, parallelism int) []int {
 	n := g.NumNodes()
 	out := make([]int, n)
 	runShards(uniformBounds(n, parallelism), func(_, lo, hi int) {
@@ -34,13 +34,13 @@ func OutDegrees(g *Graph, parallelism int) []int {
 // parallelism workers keeps a top-k heap over its node range; the merged
 // selection is by the same (degree, id) total order, so the result is
 // identical for any parallelism.
-func TopByInDegree(g *Graph, k, parallelism int) []NodeID {
+func TopByInDegree(g View, k, parallelism int) []NodeID {
 	return topBy(g.NumNodes(), k, parallelism, func(u NodeID) int { return g.InDegree(u) })
 }
 
 // TopByOutDegree returns the k nodes with the largest out-degree, in
 // descending order, breaking ties by node id.
-func TopByOutDegree(g *Graph, k, parallelism int) []NodeID {
+func TopByOutDegree(g View, k, parallelism int) []NodeID {
 	return topBy(g.NumNodes(), k, parallelism, func(u NodeID) int { return g.OutDegree(u) })
 }
 

@@ -1,0 +1,223 @@
+package diskcsr
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"gplus/internal/graph"
+)
+
+// The storage benchmark fixture: one mid-sized graph shared by every
+// BenchmarkStorage* function, plus its v2 encoding on disk.
+const (
+	benchNodes = 200_000
+	benchEdges = 2_000_000
+)
+
+var (
+	benchOnce  sync.Once
+	benchGraph *graph.Graph
+	benchDir   string
+	benchV2    string
+)
+
+func benchSetup(b *testing.B) (*graph.Graph, string) {
+	b.Helper()
+	benchOnce.Do(func() {
+		rng := rand.New(rand.NewPCG(2012, 35))
+		benchGraph = randomGraph(benchNodes, benchEdges, rng)
+		dir, err := os.MkdirTemp("", "diskcsr-bench-*")
+		if err != nil {
+			panic(err)
+		}
+		benchDir = dir
+		benchV2 = filepath.Join(dir, "graph.v2")
+		if err := WriteGraph(benchV2, benchGraph); err != nil {
+			panic(err)
+		}
+	})
+	return benchGraph, benchV2
+}
+
+// TestMain tears down the shared benchmark fixture directory, which
+// outlives any single benchmark on purpose.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if benchDir != "" {
+		os.RemoveAll(benchDir)
+	}
+	os.Exit(code)
+}
+
+func reportEdges(b *testing.B, edges int64) {
+	b.Helper()
+	b.ReportMetric(float64(edges)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkStorageWriteSegments prices the crawl-time ingest path:
+// streaming edges into sorted segment files.
+func BenchmarkStorageWriteSegments(b *testing.B) {
+	g, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		dir := filepath.Join(b.TempDir(), "segs")
+		w, err := NewWriter(dir, 1<<18, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, v := range g.Out(graph.NodeID(u)) {
+				if err := w.Add(graph.NodeID(u), v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportEdges(b, g.NumEdges())
+}
+
+// BenchmarkStorageCompact prices the k-way segment merge into CSR v2.
+func BenchmarkStorageCompact(b *testing.B) {
+	g, _ := benchSetup(b)
+	segDir := filepath.Join(b.TempDir(), "segs")
+	w, err := NewWriter(segDir, 1<<18, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Out(graph.NodeID(u)) {
+			if err := w.Add(graph.NodeID(u), v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := filepath.Join(b.TempDir(), "graph.v2")
+		if _, err := Compact(segDir, out, CompactOptions{NumNodes: g.NumNodes()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportEdges(b, g.NumEdges())
+}
+
+// BenchmarkStorageWriteV2 prices encoding an in-RAM graph to v2.
+func BenchmarkStorageWriteV2(b *testing.B) {
+	g, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if err := WriteGraph(filepath.Join(b.TempDir(), "graph.v2"), g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportEdges(b, g.NumEdges())
+}
+
+// BenchmarkStorageLoad compares bringing a saved graph into service:
+// fully materialized into RAM versus opened as a verified mapping.
+func BenchmarkStorageLoad(b *testing.B) {
+	g, v2 := benchSetup(b)
+	b.Run("ram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := Open(v2, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Materialize(); err != nil {
+				b.Fatal(err)
+			}
+			m.Close()
+		}
+		reportEdges(b, g.NumEdges())
+	})
+	b.Run("mmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := Open(v2, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Close()
+		}
+		reportEdges(b, g.NumEdges())
+	})
+	b.Run("mmap-noverify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := Open(v2, Options{SkipVerify: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Close()
+		}
+		reportEdges(b, g.NumEdges())
+	})
+}
+
+// BenchmarkStorageSequentialScan prices a full adjacency sweep — the
+// access pattern of degree counting, WCC rounds, and triangle counting.
+func BenchmarkStorageSequentialScan(b *testing.B) {
+	g, v2 := benchSetup(b)
+	scan := func(b *testing.B, v graph.View) {
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			for u := 0; u < v.NumNodes(); u++ {
+				for _, w := range v.Out(graph.NodeID(u)) {
+					sum += int64(w)
+				}
+			}
+		}
+		if sum == 1 {
+			b.Log(sum) // defeat dead-code elimination
+		}
+		reportEdges(b, g.NumEdges())
+	}
+	b.Run("ram", func(b *testing.B) { scan(b, g) })
+	b.Run("mmap", func(b *testing.B) {
+		m, err := Open(v2, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		b.ResetTimer()
+		scan(b, m)
+	})
+}
+
+// BenchmarkStorageRandomOut prices random row access — the pattern of
+// sampled analyses (clustering samples, BFS sources, HasArc probes).
+func BenchmarkStorageRandomOut(b *testing.B) {
+	g, v2 := benchSetup(b)
+	const probes = 1_000_000
+	random := func(b *testing.B, v graph.View) {
+		rng := rand.New(rand.NewPCG(7, 8))
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			for p := 0; p < probes; p++ {
+				row := v.Out(graph.NodeID(rng.IntN(v.NumNodes())))
+				if len(row) > 0 {
+					sum += int64(row[0])
+				}
+			}
+		}
+		if sum == 1 {
+			b.Log(sum)
+		}
+		b.ReportMetric(float64(probes)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	}
+	b.Run("ram", func(b *testing.B) { random(b, g) })
+	b.Run("mmap", func(b *testing.B) {
+		m, err := Open(v2, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		b.ResetTimer()
+		random(b, m)
+	})
+}

@@ -1,0 +1,191 @@
+// Package diskcsr stores the study graph out of core: a compressed CSR
+// file (format v2) that is memory-mapped and decoded lazily, so graphs
+// far larger than RAM — the paper's 27.5M-profile / 575M-edge crawl —
+// analyze on one machine. The package has two halves:
+//
+//   - The v2 file: per-direction edge-count and byte-offset index
+//     arrays over a varint/delta-compressed adjacency blob. Mapped
+//     implements graph.View (plus graph.WorkPrefixer), so every
+//     analysis kernel in internal/graph runs over it unmodified and,
+//     by the package determinism contract, byte-identically to the
+//     in-RAM Graph.
+//
+//   - LSM-style edge segments: bounded in-memory batches of edges
+//     flushed to sorted segment files during a live crawl and k-way
+//     merged into a v2 file by Compact. Ingest RAM is bounded by the
+//     flush threshold, not the crawl size.
+//
+// v2 layout (all integers little-endian):
+//
+//	magic "GPLGRPH2" | u64 n | u64 m | u64 outBlobLen | u64 inBlobLen | u64 reserved
+//	outCnt (n+1)×u64 | outPos (n+1)×u64 | inCnt (n+1)×u64 | inPos (n+1)×u64
+//	outBlob | inBlob
+//
+// cnt arrays are edge-count prefix sums (cnt[u] = edges in rows < u),
+// giving O(1) degrees and the same WorkPrefix the in-RAM graph uses for
+// degree-balanced sharding. pos arrays are byte offsets into the blob.
+// A row with degree d > 0 encodes varint(first) then varint(delta−1)
+// for each further, strictly ascending, neighbor.
+package diskcsr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gplus/internal/graph"
+)
+
+const (
+	headerSize = 48
+	// maxNodes/maxEdges bound header claims before any allocation, the
+	// same hostile-input caps graph.ReadBinary applies to v1.
+	maxNodes = 1 << 31
+	maxEdges = 1 << 33
+)
+
+var v2Magic = [8]byte{'G', 'P', 'L', 'G', 'R', 'P', 'H', '2'}
+
+// header is the fixed-size prefix of a v2 file.
+type header struct {
+	n          uint64
+	m          uint64
+	outBlobLen uint64
+	inBlobLen  uint64
+}
+
+func (h *header) indexBytes() uint64 { return 4 * 8 * (h.n + 1) }
+
+func (h *header) fileSize() uint64 {
+	return headerSize + h.indexBytes() + h.outBlobLen + h.inBlobLen
+}
+
+func (h *header) marshal() []byte {
+	buf := make([]byte, headerSize)
+	copy(buf, v2Magic[:])
+	binary.LittleEndian.PutUint64(buf[8:], h.n)
+	binary.LittleEndian.PutUint64(buf[16:], h.m)
+	binary.LittleEndian.PutUint64(buf[24:], h.outBlobLen)
+	binary.LittleEndian.PutUint64(buf[32:], h.inBlobLen)
+	return buf
+}
+
+func parseHeader(buf []byte) (header, error) {
+	var h header
+	if len(buf) < headerSize {
+		return h, fmt.Errorf("diskcsr: file shorter than header (%d bytes)", len(buf))
+	}
+	if [8]byte(buf[:8]) != v2Magic {
+		return h, fmt.Errorf("diskcsr: bad magic %q", buf[:8])
+	}
+	h.n = binary.LittleEndian.Uint64(buf[8:])
+	h.m = binary.LittleEndian.Uint64(buf[16:])
+	h.outBlobLen = binary.LittleEndian.Uint64(buf[24:])
+	h.inBlobLen = binary.LittleEndian.Uint64(buf[32:])
+	if h.n > maxNodes {
+		return h, fmt.Errorf("diskcsr: node count %d exceeds limit", h.n)
+	}
+	if h.m > maxEdges {
+		return h, fmt.Errorf("diskcsr: edge count %d exceeds limit", h.m)
+	}
+	return h, nil
+}
+
+// rowSize returns the encoded byte length of one strictly ascending row.
+func rowSize(row []graph.NodeID) int {
+	if len(row) == 0 {
+		return 0
+	}
+	s := uvarintLen(uint64(row[0]))
+	for i := 1; i < len(row); i++ {
+		s += uvarintLen(uint64(row[i]-row[i-1]) - 1)
+	}
+	return s
+}
+
+// appendRow appends the encoding of a strictly ascending row to dst.
+func appendRow(dst []byte, row []graph.NodeID) []byte {
+	if len(row) == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(row[0]))
+	for i := 1; i < len(row); i++ {
+		dst = binary.AppendUvarint(dst, uint64(row[i]-row[i-1])-1)
+	}
+	return dst
+}
+
+// decodeRow appends count neighbors decoded from blob to dst, returning
+// the extended slice and the bytes consumed. n bounds node ids; any
+// malformed varint, non-ascending step, or out-of-range id is an error.
+func decodeRow(blob []byte, count int, n uint64, dst []graph.NodeID) ([]graph.NodeID, int, error) {
+	used := 0
+	prev := uint64(0)
+	for i := 0; i < count; i++ {
+		v, k := binary.Uvarint(blob[used:])
+		if k <= 0 {
+			return dst, used, fmt.Errorf("diskcsr: truncated varint at row element %d", i)
+		}
+		used += k
+		if i == 0 {
+			prev = v
+		} else {
+			prev += v + 1
+		}
+		if prev >= n {
+			return dst, used, fmt.Errorf("diskcsr: neighbor %d out of range (n=%d)", prev, n)
+		}
+		dst = append(dst, graph.NodeID(prev))
+	}
+	return dst, used, nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// writeFileAtomic writes build's output to path via a temp file in the
+// same directory with the write-fsync-rename-fsync-dir contract shared
+// with the crawler's checkpoints: a crash leaves either the old file or
+// the complete new one, never a torn hybrid.
+func writeFileAtomic(path string, build func(*os.File) error) error {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	tmp, err := os.CreateTemp(dir, "."+base+"-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := build(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so a completed rename survives
+// power loss; some platforms cannot fsync directories, hence no error.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	d.Sync() //nolint:errcheck — best-effort durability
+}

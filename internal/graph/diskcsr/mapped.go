@@ -1,0 +1,261 @@
+package diskcsr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"gplus/internal/graph"
+)
+
+// Options configures Open.
+type Options struct {
+	// SkipVerify skips the full O(m) decode check of both adjacency
+	// blobs. Structural validation of the header and index arrays still
+	// runs; only per-edge checks (varint well-formedness, ascending
+	// rows, in-range targets) are waived. Use only for files this
+	// process just wrote and fsynced.
+	SkipVerify bool
+	// Metrics, when non-nil, receives open/close accounting.
+	Metrics *Metrics
+}
+
+// Mapped is a v2 graph file exposed through the graph.View surface.
+// Adjacency bytes live in a shared read-only memory map (plain memory
+// on platforms without mmap) and fault in on first touch, so opening a
+// file costs index validation, not an edge-list read, and resident
+// memory grows only with the rows actually visited. Out and In allocate
+// a fresh slice per call — nothing is shared between calls — which is
+// what makes the lazily-decoded form safe for the concurrent kernels.
+//
+// Mapped implements graph.View and graph.WorkPrefixer. All methods are
+// safe for concurrent use. Close unmaps the file; no method may be
+// called afterwards.
+type Mapped struct {
+	h      header
+	data   []byte
+	unmap  func() error
+	met    *Metrics
+	outCnt []byte // (n+1) little-endian uint64s
+	outPos []byte
+	inCnt  []byte
+	inPos  []byte
+	outBlob []byte
+	inBlob  []byte
+}
+
+// Open maps the v2 file at path and validates it. By default every
+// byte of both blobs is decoded once (sequentially — the cheap access
+// pattern for a fresh map) so that corrupt files fail here rather than
+// as garbage analysis results later.
+func Open(path string, opt Options) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, unmap, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("diskcsr: mapping %s: %w", path, err)
+	}
+	m, err := newMapped(data, unmap, opt)
+	if err != nil {
+		unmap()
+		return nil, fmt.Errorf("diskcsr: %s: %w", path, err)
+	}
+	if opt.Metrics != nil {
+		opt.Metrics.mappedOpens.Inc()
+		opt.Metrics.mappedBytes.Add(int64(len(data)))
+	}
+	return m, nil
+}
+
+// newMapped slices the index sections out of data and validates.
+func newMapped(data []byte, unmap func() error, opt Options) (*Mapped, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(data)) != h.fileSize() {
+		return nil, fmt.Errorf("file is %d bytes, header implies %d", len(data), h.fileSize())
+	}
+	idx := uint64(headerSize)
+	arr := 8 * (h.n + 1)
+	m := &Mapped{h: h, data: data, unmap: unmap, met: opt.Metrics}
+	m.outCnt = data[idx : idx+arr]
+	m.outPos = data[idx+arr : idx+2*arr]
+	m.inCnt = data[idx+2*arr : idx+3*arr]
+	m.inPos = data[idx+3*arr : idx+4*arr]
+	blobs := idx + 4*arr
+	m.outBlob = data[blobs : blobs+h.outBlobLen]
+	m.inBlob = data[blobs+h.outBlobLen : blobs+h.outBlobLen+h.inBlobLen]
+	if err := m.validateIndex("out", m.outCnt, m.outPos, h.outBlobLen); err != nil {
+		return nil, err
+	}
+	if err := m.validateIndex("in", m.inCnt, m.inPos, h.inBlobLen); err != nil {
+		return nil, err
+	}
+	if !opt.SkipVerify {
+		if err := m.verifyBlob("out", m.outCnt, m.outPos, m.outBlob); err != nil {
+			return nil, err
+		}
+		if err := m.verifyBlob("in", m.inCnt, m.inPos, m.inBlob); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// validateIndex checks the O(n) invariants of one direction's index:
+// prefix arrays start at zero, never decrease, and end at the header's
+// edge count and blob length. After this, every pos/cnt delta a reader
+// computes is in range, so lazy row access never faults outside a blob
+// whatever the blob bytes contain.
+func (m *Mapped) validateIndex(name string, cnt, pos []byte, blobLen uint64) error {
+	n := m.h.n
+	if u64at(cnt, 0) != 0 || u64at(pos, 0) != 0 {
+		return fmt.Errorf("%s index does not start at zero", name)
+	}
+	for u := uint64(0); u < n; u++ {
+		if u64at(cnt, u+1) < u64at(cnt, u) {
+			return fmt.Errorf("%s edge counts decrease at node %d", name, u)
+		}
+		if u64at(pos, u+1) < u64at(pos, u) {
+			return fmt.Errorf("%s byte offsets decrease at node %d", name, u)
+		}
+	}
+	if got := u64at(cnt, n); got != m.h.m {
+		return fmt.Errorf("%s degree sum %d does not match edge count %d", name, got, m.h.m)
+	}
+	if got := u64at(pos, n); got != blobLen {
+		return fmt.Errorf("%s offsets end at %d, want blob length %d", name, got, blobLen)
+	}
+	return nil
+}
+
+// verifyBlob decodes a whole blob once, checking each row against its
+// index entries: exact byte length, exact count, strictly ascending,
+// all targets below n.
+func (m *Mapped) verifyBlob(name string, cnt, pos, blob []byte) error {
+	n := m.h.n
+	var scratch []graph.NodeID
+	for u := uint64(0); u < n; u++ {
+		count := int(u64at(cnt, u+1) - u64at(cnt, u))
+		lo, hi := u64at(pos, u), u64at(pos, u+1)
+		row := blob[lo:hi]
+		var used int
+		var err error
+		scratch, used, err = decodeRow(row, count, n, scratch[:0])
+		if err != nil {
+			return fmt.Errorf("%s row %d: %w", name, u, err)
+		}
+		if uint64(used) != hi-lo {
+			return fmt.Errorf("%s row %d: %d encoded bytes, index claims %d", name, u, used, hi-lo)
+		}
+	}
+	return nil
+}
+
+func u64at(arr []byte, i uint64) uint64 {
+	return binary.LittleEndian.Uint64(arr[8*i:])
+}
+
+// Close releases the mapping. Not safe to call concurrently with reads.
+func (m *Mapped) Close() error {
+	if m.unmap == nil {
+		return nil
+	}
+	if m.met != nil {
+		m.met.mappedBytes.Add(-int64(len(m.data)))
+	}
+	u := m.unmap
+	m.unmap = nil
+	m.data = nil
+	m.outCnt, m.outPos, m.inCnt, m.inPos = nil, nil, nil, nil
+	m.outBlob, m.inBlob = nil, nil
+	return u()
+}
+
+// NumNodes implements graph.View.
+func (m *Mapped) NumNodes() int { return int(m.h.n) }
+
+// NumEdges implements graph.View.
+func (m *Mapped) NumEdges() int64 { return int64(m.h.m) }
+
+// OutDegree implements graph.View in O(1) from the count index.
+func (m *Mapped) OutDegree(u graph.NodeID) int {
+	return int(u64at(m.outCnt, uint64(u)+1) - u64at(m.outCnt, uint64(u)))
+}
+
+// InDegree implements graph.View in O(1) from the count index.
+func (m *Mapped) InDegree(u graph.NodeID) int {
+	return int(u64at(m.inCnt, uint64(u)+1) - u64at(m.inCnt, uint64(u)))
+}
+
+// Out implements graph.View: u's out-neighbors, decoded into a fresh
+// slice. The decode trusts Open's verification; a row that fails to
+// decode here means the file changed underneath the map, and panicking
+// beats silently analyzing garbage.
+func (m *Mapped) Out(u graph.NodeID) []graph.NodeID {
+	return m.row(u, m.outCnt, m.outPos, m.outBlob)
+}
+
+// In implements graph.View: u's in-neighbors, decoded per call.
+func (m *Mapped) In(u graph.NodeID) []graph.NodeID {
+	return m.row(u, m.inCnt, m.inPos, m.inBlob)
+}
+
+func (m *Mapped) row(u graph.NodeID, cnt, pos, blob []byte) []graph.NodeID {
+	count := int(u64at(cnt, uint64(u)+1) - u64at(cnt, uint64(u)))
+	if count == 0 {
+		return nil
+	}
+	row, _, err := decodeRow(blob[u64at(pos, uint64(u)):u64at(pos, uint64(u)+1)],
+		count, m.h.n, make([]graph.NodeID, 0, count))
+	if err != nil {
+		panic(fmt.Sprintf("diskcsr: verified row %d unreadable: %v", u, err))
+	}
+	return row
+}
+
+// WorkPrefix implements graph.WorkPrefixer with the same weight the
+// in-RAM graph uses (outdeg + indeg + 1 per node, as a prefix sum), so
+// degree-balanced shard cuts are identical across backends.
+func (m *Mapped) WorkPrefix(u int) int64 {
+	return int64(u64at(m.outCnt, uint64(u)) + u64at(m.inCnt, uint64(u)) + uint64(u))
+}
+
+// Materialize decodes the whole file into an in-RAM graph.Graph — the
+// escape hatch when RAM affords it and repeated random access makes
+// decode-per-row too slow.
+func (m *Mapped) Materialize() (*graph.Graph, error) {
+	outOff, outAdj, err := m.materializeDir(m.outCnt, m.outPos, m.outBlob)
+	if err != nil {
+		return nil, fmt.Errorf("diskcsr: out direction: %w", err)
+	}
+	inOff, inAdj, err := m.materializeDir(m.inCnt, m.inPos, m.inBlob)
+	if err != nil {
+		return nil, fmt.Errorf("diskcsr: in direction: %w", err)
+	}
+	return graph.FromCSR(outOff, outAdj, inOff, inAdj)
+}
+
+func (m *Mapped) materializeDir(cnt, pos, blob []byte) ([]int64, []graph.NodeID, error) {
+	n := m.h.n
+	off := make([]int64, n+1)
+	adj := make([]graph.NodeID, 0, m.h.m)
+	for u := uint64(0); u < n; u++ {
+		off[u+1] = int64(u64at(cnt, u+1))
+		count := int(u64at(cnt, u+1) - u64at(cnt, u))
+		var err error
+		adj, _, err = decodeRow(blob[u64at(pos, u):u64at(pos, u+1)], count, n, adj)
+		if err != nil {
+			return nil, nil, fmt.Errorf("row %d: %w", u, err)
+		}
+	}
+	return off, adj, nil
+}

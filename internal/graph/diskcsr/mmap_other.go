@@ -1,0 +1,19 @@
+//go:build !unix
+
+package diskcsr
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without mmap reads the whole file into memory.
+// Access stays correct, just not lazy — the compressed form is still
+// several times smaller than the in-RAM CSR.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,301 @@
+package diskcsr
+
+import (
+	"math/rand/v2"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gplus/internal/graph"
+)
+
+// testGraphs mirrors the shape spread of internal/graph's fuzz suite:
+// cyclic, acyclic, disconnected, heavy-tailed, and empty graphs.
+func testGraphs() map[string]*graph.Graph {
+	rng := rand.New(rand.NewPCG(77, 78))
+	star := graph.NewBuilder(64, 0)
+	for i := 1; i < 64; i++ {
+		star.AddEdge(graph.NodeID(i), 0)
+		if i%3 == 0 {
+			star.AddEdge(0, graph.NodeID(i))
+		}
+	}
+	chain := graph.NewBuilder(40, 0)
+	for i := 0; i < 39; i++ {
+		chain.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return map[string]*graph.Graph{
+		"empty":    graph.NewBuilder(0, 0).Build(),
+		"triangle": graph.FromEdges(3, 0, 1, 1, 2, 2, 0),
+		"isolated": graph.FromEdges(6, 0, 1, 5, 0),
+		"star":     star.Build(),
+		"chain":    chain.Build(),
+		"random":   randomGraph(300, 1200, rng),
+		"sparse":   randomGraph(500, 600, rng),
+	}
+}
+
+func randomGraph(n, m int, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n, m)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.IntN(n)), graph.NodeID(rng.IntN(n)))
+	}
+	b.EnsureNode(graph.NodeID(n - 1))
+	return b.Build()
+}
+
+// mustOpen writes g as v2 under dir and opens it fully verified.
+func mustOpen(t *testing.T, dir string, g *graph.Graph) *Mapped {
+	t.Helper()
+	path := filepath.Join(dir, "graph.v2")
+	if err := WriteGraph(path, g); err != nil {
+		t.Fatalf("WriteGraph: %v", err)
+	}
+	m, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// viewsEqual compares two views row by row.
+func viewsEqual(t *testing.T, want, got graph.View) {
+	t.Helper()
+	if want.NumNodes() != got.NumNodes() || want.NumEdges() != got.NumEdges() {
+		t.Fatalf("size mismatch: want %d nodes/%d edges, got %d/%d",
+			want.NumNodes(), want.NumEdges(), got.NumNodes(), got.NumEdges())
+	}
+	for u := 0; u < want.NumNodes(); u++ {
+		id := graph.NodeID(u)
+		if want.OutDegree(id) != got.OutDegree(id) || want.InDegree(id) != got.InDegree(id) {
+			t.Fatalf("node %d: degree mismatch", u)
+		}
+		if !rowsEqual(want.Out(id), got.Out(id)) {
+			t.Fatalf("node %d: out rows differ: %v vs %v", u, want.Out(id), got.Out(id))
+		}
+		if !rowsEqual(want.In(id), got.In(id)) {
+			t.Fatalf("node %d: in rows differ: %v vs %v", u, want.In(id), got.In(id))
+		}
+	}
+}
+
+func rowsEqual(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWriteOpenRoundtrip(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			m := mustOpen(t, t.TempDir(), g)
+			viewsEqual(t, g, m)
+			back, err := m.Materialize()
+			if err != nil {
+				t.Fatalf("Materialize: %v", err)
+			}
+			if !reflect.DeepEqual(g, back) {
+				t.Fatal("materialized graph differs from the original")
+			}
+		})
+	}
+}
+
+// TestWorkPrefixMatchesGraph pins that both backends price sharding
+// identically, so degree-balanced shard cuts (and with them, every
+// kernel's work split) agree across backends.
+func TestWorkPrefixMatchesGraph(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			m := mustOpen(t, t.TempDir(), g)
+			for u := 0; u <= g.NumNodes(); u++ {
+				if g.WorkPrefix(u) != m.WorkPrefix(u) {
+					t.Fatalf("WorkPrefix(%d): graph %d, mapped %d", u, g.WorkPrefix(u), m.WorkPrefix(u))
+				}
+			}
+		})
+	}
+}
+
+// TestKernelEquivalence is the tentpole's acceptance contract in
+// miniature: every analysis kernel must produce byte-identical results
+// over the mapped backend, at multiple parallelism levels.
+func TestKernelEquivalence(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			m := mustOpen(t, t.TempDir(), g)
+			kernels := map[string]func(v graph.View, par int) any{
+				"InDegrees":         func(v graph.View, par int) any { return graph.InDegrees(v, par) },
+				"OutDegrees":        func(v graph.View, par int) any { return graph.OutDegrees(v, par) },
+				"TopByInDegree":     func(v graph.View, par int) any { return graph.TopByInDegree(v, 10, par) },
+				"TopByOutDegree":    func(v graph.View, par int) any { return graph.TopByOutDegree(v, 10, par) },
+				"WCC":               func(v graph.View, par int) any { return graph.WCC(v, par) },
+				"SCC":               func(v graph.View, par int) any { return graph.SCCParallel(v, par) },
+				"AllReciprocities":  func(v graph.View, par int) any { return graph.AllReciprocities(v, par) },
+				"GlobalReciprocity": func(v graph.View, par int) any { return graph.GlobalReciprocity(v, par) },
+				"AllClustering":     func(v graph.View, par int) any { return graph.AllClustering(v, par) },
+				"Triangles":         func(v graph.View, par int) any { return graph.Triangles(v, graph.TriangleAuto, par) },
+				"Motifs":            func(v graph.View, par int) any { return graph.Motifs(v, par) },
+				"SampleClustering": func(v graph.View, par int) any {
+					return graph.SampleClustering(v, 50, rand.New(rand.NewPCG(5, 6)), par)
+				},
+			}
+			for kname, run := range kernels {
+				for _, par := range []int{1, 4} {
+					want := run(g, par)
+					got := run(m, par)
+					if !reflect.DeepEqual(want, got) {
+						t.Errorf("%s at P=%d: mapped result diverged:\n got %v\nwant %v", kname, par, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSegmentCompactEquivalence drives the LSM path: the same edge
+// stream pushed through tiny segments and compacted must equal the
+// Builder's graph — including cross-segment duplicate collapse and
+// self-loop dropping.
+func TestSegmentCompactEquivalence(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			segDir := filepath.Join(dir, "segs")
+			w, err := NewWriter(segDir, 64, nil) // tiny buffer: force many segments
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := g.NumNodes()
+			for u := 0; u < n; u++ {
+				for _, v := range g.Out(graph.NodeID(u)) {
+					if err := w.Add(graph.NodeID(u), v); err != nil {
+						t.Fatal(err)
+					}
+					if u%3 == 0 {
+						// Duplicates and self-loops must vanish at compaction.
+						if err := w.Add(graph.NodeID(u), v); err != nil {
+							t.Fatal(err)
+						}
+						if err := w.Add(v, v); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			out := filepath.Join(dir, "graph.v2")
+			stats, err := Compact(segDir, out, CompactOptions{NumNodes: n})
+			if err != nil {
+				t.Fatalf("Compact: %v", err)
+			}
+			if stats.Edges != g.NumEdges() {
+				t.Fatalf("compacted %d edges, want %d", stats.Edges, g.NumEdges())
+			}
+			m, err := Open(out, Options{})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer m.Close()
+			viewsEqual(t, g, m)
+		})
+	}
+}
+
+// TestCompactRemap checks the crawl scenario: segments written under
+// provisional ids, compacted through a permutation into final ids.
+func TestCompactRemap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	const n = 200
+	remap := make([]graph.NodeID, n)
+	for i := range remap {
+		remap[i] = graph.NodeID(i)
+	}
+	rng.Shuffle(n, func(i, j int) { remap[i], remap[j] = remap[j], remap[i] })
+
+	type edge struct{ u, v graph.NodeID }
+	var edges []edge
+	for i := 0; i < 900; i++ {
+		edges = append(edges, edge{graph.NodeID(rng.IntN(n)), graph.NodeID(rng.IntN(n))})
+	}
+
+	dir := t.TempDir()
+	segDir := filepath.Join(dir, "segs")
+	w, err := NewWriter(segDir, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(n, len(edges))
+	for _, e := range edges {
+		if err := w.Add(e.u, e.v); err != nil {
+			t.Fatal(err)
+		}
+		b.AddEdge(remap[e.u], remap[e.v])
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b.EnsureNode(n - 1)
+	want := b.Build()
+
+	out := filepath.Join(dir, "graph.v2")
+	if _, err := Compact(segDir, out, CompactOptions{NumNodes: n, Remap: remap}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	m, err := Open(out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	viewsEqual(t, want, m)
+}
+
+// TestWriterResume pins that a writer reopened over existing segments
+// continues the sequence instead of clobbering flushed edges.
+func TestWriterResume(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWriter(dir, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Add(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("want 2 segments after resume, got %v", segs)
+	}
+	out := filepath.Join(t.TempDir(), "graph.v2")
+	stats, err := Compact(dir, out, CompactOptions{NumNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Edges != 2 {
+		t.Fatalf("want both flushes' edges, got %d", stats.Edges)
+	}
+}

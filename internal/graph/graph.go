@@ -82,6 +82,21 @@ func (g *Graph) AvgDegree() float64 {
 	return float64(g.NumEdges()) / float64(g.NumNodes())
 }
 
+// FromCSR assembles a Graph directly from prebuilt CSR arrays — offsets
+// plus sorted adjacency for both directions — validating the invariants
+// the Builder would have established. It is the constructor used by the
+// on-disk decoders (graph.ReadBinary's sibling in diskcsr), which
+// already hold the arrays and must not pay the Builder's edge-list
+// resort. The arrays are retained, not copied; the caller must not
+// modify them afterwards.
+func FromCSR(outOff []int64, outAdj []NodeID, inOff []int64, inAdj []NodeID) (*Graph, error) {
+	g := &Graph{outOff: outOff, outAdj: outAdj, inOff: inOff, inAdj: inAdj}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
 // Validate checks internal CSR invariants. It is used by tests and by the
 // binary decoder to reject corrupt inputs.
 func (g *Graph) Validate() error {

@@ -12,8 +12,9 @@ import (
 // load; storing only one direction halves the file size.
 var graphMagic = [8]byte{'G', 'P', 'L', 'G', 'R', 'P', 'H', '1'}
 
-// WriteBinary encodes the graph to w in the compact binary format.
-func WriteBinary(w io.Writer, g *Graph) error {
+// WriteBinary encodes the graph to w in the compact binary format. Any
+// View serializes; a mapped v2 graph written here becomes a v1 file.
+func WriteBinary(w io.Writer, g View) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.Write(graphMagic[:]); err != nil {
 		return err
@@ -32,10 +33,12 @@ func WriteBinary(w io.Writer, g *Graph) error {
 			return err
 		}
 	}
-	for _, v := range g.outAdj {
-		binary.LittleEndian.PutUint32(buf[:], v)
-		if _, err := bw.Write(buf[:]); err != nil {
-			return err
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(NodeID(u)) {
+			binary.LittleEndian.PutUint32(buf[:], v)
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
@@ -85,7 +88,11 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if total != int64(m) {
 		return nil, fmt.Errorf("graph: degree sum %d does not match edge count %d", total, m)
 	}
-	g.outAdj = make([]NodeID, 0, chunkCap(m))
+	// The degree stream already proved the edge count is real data, not
+	// just a header claim, so the adjacency arrays can be allocated at
+	// their exact final size — no append-doubling churn on the largest
+	// allocations of the load.
+	g.outAdj = make([]NodeID, 0, m)
 	err = readUint32s(br, m, func(v uint32) {
 		g.outAdj = append(g.outAdj, v)
 	})
@@ -95,8 +102,12 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	g.inOff = make([]int64, n+1)
 	g.inAdj = make([]NodeID, m)
 
-	// Rebuild the reverse CSR. Because out-rows are visited in ascending
-	// source order, each in-row comes out sorted.
+	// Rebuild the reverse CSR in place. Because out-rows are visited in
+	// ascending source order, each in-row comes out sorted. The prefix
+	// sums themselves serve as the fill cursors: inOff[v] advances as
+	// v's in-row fills, finishing exactly at the old inOff[v+1], and one
+	// backward shift restores the offsets — no per-node scratch array,
+	// which on a paper-scale load is hundreds of MB of peak RSS.
 	for _, v := range g.outAdj {
 		if uint64(v) >= n {
 			return nil, fmt.Errorf("graph: edge to out-of-range node %d", v)
@@ -106,13 +117,16 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	for u := uint64(0); u < n; u++ {
 		g.inOff[u+1] += g.inOff[u]
 	}
-	cursor := make([]int64, n)
 	for u := uint64(0); u < n; u++ {
 		for _, v := range g.outAdj[g.outOff[u]:g.outOff[u+1]] {
-			g.inAdj[g.inOff[v]+cursor[v]] = NodeID(u)
-			cursor[v]++
+			g.inAdj[g.inOff[v]] = NodeID(u)
+			g.inOff[v]++
 		}
 	}
+	for v := n; v > 0; v-- {
+		g.inOff[v] = g.inOff[v-1]
+	}
+	g.inOff[0] = 0
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}

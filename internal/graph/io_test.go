@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand/v2"
 	"reflect"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -58,6 +59,48 @@ func TestBinaryRejectsTruncated(t *testing.T) {
 		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
 		}
+	}
+}
+
+// TestReadBinaryAllocBudget pins the in-place reverse-CSR rebuild: the
+// decoder's total allocations must stay close to the final graph's own
+// arrays. The pre-fix decoder allocated a per-node cursor array and let
+// the out-adjacency grow by append-doubling, which fails this budget by
+// roughly 2x on this shape.
+func TestReadBinaryAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	const n, m = 20_000, 400_000
+	g := randomGraph(n, m, rng)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Warm up once so lazy runtime/testing allocations don't bill to the
+	// measured run.
+	if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	got, err := ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatal("decode produced the wrong graph")
+	}
+
+	// The graph's own storage: two int64 offset arrays and two uint32
+	// adjacency arrays.
+	csrBytes := uint64(2*8*(got.NumNodes()+1)) + uint64(2*4*got.NumEdges())
+	budget := csrBytes + csrBytes/4 + 512*1024 // 25% + fixed slack for bufio and chunk buffers
+	alloc := after.TotalAlloc - before.TotalAlloc
+	if alloc > budget {
+		t.Fatalf("ReadBinary allocated %d bytes, budget %d (CSR payload %d)", alloc, budget, csrBytes)
 	}
 }
 

@@ -204,11 +204,11 @@ func choose3(n int64) int64 {
 
 // Motifs runs the exact directed triad census of g. The result is
 // byte-identical for any parallelism.
-func Motifs(g *Graph, parallelism int) *MotifCensus {
+func Motifs(g View, parallelism int) *MotifCensus {
 	return motifsOn(g, buildUndirected(g, parallelism), parallelism)
 }
 
-func motifsOn(g *Graph, u *undirected, parallelism int) *MotifCensus {
+func motifsOn(g View, u *undirected, parallelism int) *MotifCensus {
 	n := u.numNodes()
 	m := &MotifCensus{Nodes: n}
 	if n == 0 {
@@ -363,9 +363,9 @@ const (
 
 // u2mut classifies the connected dyad (center, other); the pair must be
 // adjacent in the undirected projection.
-func u2mut(g *Graph, center, other NodeID) dyadKind {
-	fwd := hasArc(g, center, other)
-	rev := hasArc(g, other, center)
+func u2mut(g View, center, other NodeID) dyadKind {
+	fwd := HasArc(g, center, other)
+	rev := HasArc(g, other, center)
 	switch {
 	case fwd && rev:
 		return dyadMut
@@ -376,21 +376,8 @@ func u2mut(g *Graph, center, other NodeID) dyadKind {
 	}
 }
 
-// hasArc reports the directed edge a→b, probing the shorter of a's
-// out-list and b's in-list.
-func hasArc(g *Graph, a, b NodeID) bool {
-	out := g.Out(a)
-	in := g.In(b)
-	if len(in) < len(out) {
-		i := sort.Search(len(in), func(k int) bool { return in[k] >= a })
-		return i < len(in) && in[i] == a
-	}
-	i := sort.Search(len(out), func(k int) bool { return out[k] >= b })
-	return i < len(out) && out[i] == b
-}
-
 // triangleClass classifies a closed triple by its three dyads.
-func triangleClass(g *Graph, a, b, c NodeID) TriadClass {
+func triangleClass(g View, a, b, c NodeID) TriadClass {
 	kinds := [3]dyadKind{u2mut(g, a, b), u2mut(g, a, c), u2mut(g, b, c)}
 	muts := 0
 	for _, k := range kinds {
@@ -416,8 +403,8 @@ func triangleClass(g *Graph, a, b, c NodeID) TriadClass {
 		default:
 			x, p, q = a, b, c
 		}
-		xp := hasArc(g, x, p)
-		xq := hasArc(g, x, q)
+		xp := HasArc(g, x, p)
+		xq := HasArc(g, x, q)
 		switch {
 		case xp && xq:
 			return Triad120D
@@ -430,7 +417,7 @@ func triangleClass(g *Graph, a, b, c NodeID) TriadClass {
 		// All asymmetric: cyclic iff the three arcs chain a→b→c→a or
 		// its reverse; otherwise one node sources two arcs and the
 		// triangle is transitive.
-		if hasArc(g, a, b) == hasArc(g, b, c) && hasArc(g, b, c) == hasArc(g, c, a) {
+		if HasArc(g, a, b) == HasArc(g, b, c) && HasArc(g, b, c) == HasArc(g, c, a) {
 			return Triad030C
 		}
 		return Triad030T

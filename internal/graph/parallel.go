@@ -60,16 +60,20 @@ func prefixWorkBounds(n, parallelism int, w func(int) int64) []int {
 	return bounds
 }
 
-// workBounds splits [0, n) into contiguous ranges of near-equal *work*
-// for algorithms whose per-node cost is proportional to degree: the
-// weight of node u is outdeg(u) + indeg(u) + 1, read straight off the CSR
-// offset arrays. On the crawl's heavy-tailed graphs a node-uniform split
-// would hand the shard holding the celebrity head most of the edges; this
-// split keeps shard runtimes level so the slowest worker bounds speedup.
+// WorkPrefix implements WorkPrefixer: the total sharding weight of
+// nodes [0, u), where node weight is outdeg + indeg + 1, read straight
+// off the CSR offset arrays. On the crawl's heavy-tailed graphs a
+// node-uniform split would hand the shard holding the celebrity head
+// most of the edges; weight-balanced cuts keep shard runtimes level so
+// the slowest worker bounds speedup.
+func (g *Graph) WorkPrefix(u int) int64 {
+	return g.outOff[u] + g.inOff[u] + int64(u)
+}
+
+// workBounds splits [0, n) into contiguous ranges of near-equal work;
+// kept as a method for tests, it is viewWorkBounds specialized to g.
 func (g *Graph) workBounds(parallelism int) []int {
-	return prefixWorkBounds(g.NumNodes(), parallelism, func(u int) int64 {
-		return g.outOff[u] + g.inOff[u] + int64(u)
-	})
+	return viewWorkBounds(g, parallelism)
 }
 
 // runShards invokes fn(shard, lo, hi) for each consecutive bounds pair,

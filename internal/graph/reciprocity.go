@@ -7,7 +7,7 @@ package graph
 //
 // It returns (0, false) for nodes with no out-edges, which have no defined
 // reciprocity.
-func RelationReciprocity(g *Graph, u NodeID) (float64, bool) {
+func RelationReciprocity(g View, u NodeID) (float64, bool) {
 	out := g.Out(u)
 	if len(out) == 0 {
 		return 0, false
@@ -21,8 +21,8 @@ func RelationReciprocity(g *Graph, u NodeID) (float64, bool) {
 // parallelism workers on degree-balanced node ranges; per-shard results
 // concatenate in shard order, so the output is identical for any
 // parallelism.
-func AllReciprocities(g *Graph, parallelism int) []float64 {
-	bounds := g.workBounds(parallelism)
+func AllReciprocities(g View, parallelism int) []float64 {
+	bounds := viewWorkBounds(g, parallelism)
 	parts := make([][]float64, len(bounds)-1)
 	runShards(bounds, func(shard, lo, hi int) {
 		part := make([]float64, 0, hi-lo)
@@ -41,11 +41,11 @@ func AllReciprocities(g *Graph, parallelism int) []float64 {
 // Google+ versus 22.1% reported for Twitter. The per-node intersection
 // counts are summed as integers per shard and then across shards, so the
 // result is identical for any parallelism.
-func GlobalReciprocity(g *Graph, parallelism int) float64 {
+func GlobalReciprocity(g View, parallelism int) float64 {
 	if g.NumEdges() == 0 {
 		return 0
 	}
-	bounds := g.workBounds(parallelism)
+	bounds := viewWorkBounds(g, parallelism)
 	partial := make([]int64, len(bounds)-1)
 	runShards(bounds, func(shard, lo, hi int) {
 		var sum int64

@@ -41,7 +41,7 @@ func (r *SCCResult) GiantFraction() float64 {
 // long path structures). It is the serial reference implementation that
 // SCCParallel is cross-checked against; both label components
 // canonically, in order of first appearance by node id.
-func SCC(g *Graph) *SCCResult {
+func SCC(g View) *SCCResult {
 	n := g.NumNodes()
 	const unvisited = -1
 	index := make([]int32, n)

@@ -19,7 +19,7 @@ import (
 // (first appearance by node id) after the fact, so the result is
 // byte-identical to SCC's iterative Tarjan for any parallelism.
 // parallelism <= 1 simply runs SCC.
-func SCCParallel(g *Graph, parallelism int) *SCCResult {
+func SCCParallel(g View, parallelism int) *SCCResult {
 	n := g.NumNodes()
 	if parallelism <= 1 || n == 0 {
 		return SCC(g)
@@ -69,7 +69,7 @@ type sccTask struct {
 }
 
 type sccState struct {
-	g *Graph
+	g View
 	// comp holds provisional component ids (-1 while unassigned); ids come
 	// from nextComp in completion order and are canonicalized at the end.
 	comp []int32

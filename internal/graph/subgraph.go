@@ -4,7 +4,7 @@ package graph
 // renumbered densely in the order given (duplicates ignored), and every
 // edge whose endpoints are both selected is kept. The second return
 // value maps new ids back to the original ids.
-func Induced(g *Graph, nodes []NodeID) (*Graph, []NodeID) {
+func Induced(g View, nodes []NodeID) (*Graph, []NodeID) {
 	oldToNew := make(map[NodeID]NodeID, len(nodes))
 	newToOld := make([]NodeID, 0, len(nodes))
 	for _, u := range nodes {

@@ -128,13 +128,13 @@ func (u *undirected) workBounds(parallelism int) []int {
 // already sorted) merge into one sorted, deduplicated neighbor list.
 // Two passes — size then fill — so the CSR arrays are allocated exactly
 // once; both passes shard over the directed workBounds.
-func buildUndirected(g *Graph, parallelism int) *undirected {
+func buildUndirected(g View, parallelism int) *undirected {
 	n := g.NumNodes()
 	u := &undirected{off: make([]int64, n+1)}
 	if n == 0 {
 		return u
 	}
-	bounds := g.workBounds(parallelism)
+	bounds := viewWorkBounds(g, parallelism)
 	// Pass 1: per-node union sizes into off[v+1].
 	runShards(bounds, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
@@ -251,7 +251,7 @@ func resolveTriangleMethod(u *undirected, wedges int64) TriangleMethod {
 // exactly, using the requested kernel (or an automatic choice). The
 // result — total, per-node counts, and wedge count — is byte-identical
 // for any parallelism.
-func Triangles(g *Graph, method TriangleMethod, parallelism int) *TriangleResult {
+func Triangles(g View, method TriangleMethod, parallelism int) *TriangleResult {
 	u := buildUndirected(g, parallelism)
 	return trianglesOn(u, method, parallelism)
 }

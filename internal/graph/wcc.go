@@ -44,7 +44,7 @@ func (r *WCCResult) GiantFraction() float64 {
 //
 // A bidirectional snowball crawl such as the paper's yields a single WCC;
 // isolated or uncrawled users show up as additional components.
-func WCC(g *Graph, parallelism int) *WCCResult {
+func WCC(g View, parallelism int) *WCCResult {
 	n := g.NumNodes()
 	parent := make([]int32, n)
 	for i := range parent {
@@ -53,7 +53,7 @@ func WCC(g *Graph, parallelism int) *WCCResult {
 	// Scanning out-edges alone covers every edge; in-edges are mirrors.
 	// Shard weight follows the out-CSR so the celebrity head does not pile
 	// onto one worker.
-	runShards(g.workBounds(parallelism), func(_, lo, hi int) {
+	runShards(viewWorkBounds(g, parallelism), func(_, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			for _, v := range g.Out(NodeID(u)) {
 				ufUnion(parent, int32(u), int32(v))

@@ -18,7 +18,7 @@ func Markdown(ctx context.Context, w io.Writer, s *core.Study) error {
 	ds := s.Dataset()
 	fmt.Fprintf(w, "# Google+ reproduction report\n\n")
 	fmt.Fprintf(w, "Dataset: %d users (%d crawled), %d edges.\n\n",
-		ds.NumUsers(), ds.NumCrawled(), ds.Graph.NumEdges())
+		ds.NumUsers(), ds.NumCrawled(), ds.View().NumEdges())
 
 	results, err := paper.Collect(ctx, s)
 	if err != nil {
